@@ -1,0 +1,84 @@
+// Empirically validates the §V-B complexity analysis: one HIM forward pass
+// costs O(n m e (n + m + h)). The google-benchmark sweeps below vary n (the
+// user axis), m (the item axis) and h (the attribute-slot axis via f)
+// independently so the scaling of each term is observable.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/variable.h"
+#include "core/him_block.h"
+#include "core/hire_config.h"
+#include "tensor/random.h"
+
+namespace {
+
+using namespace hire;
+
+core::HireConfig SmallConfig(int64_t attr_embed_dim) {
+  core::HireConfig config;
+  config.num_heads = 2;
+  config.head_dim = 8;
+  config.attr_embed_dim = attr_embed_dim;
+  return config;
+}
+
+// Scaling in n (users per context); m, h fixed.
+void BM_HimForwardUsers(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t m = 16;
+  const int64_t h = 4;
+  const int64_t f = 8;
+  Rng rng(1);
+  core::HimBlock him(SmallConfig(f), h * f, h, &rng);
+  him.SetTraining(false);
+  ag::Variable input(RandomNormal({n, m, h * f}, 0, 1, &rng), false);
+  Rng dropout_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(him.Forward(input, &dropout_rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HimForwardUsers)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Scaling in m (items per context); n, h fixed.
+void BM_HimForwardItems(benchmark::State& state) {
+  const int64_t n = 16;
+  const int64_t m = state.range(0);
+  const int64_t h = 4;
+  const int64_t f = 8;
+  Rng rng(3);
+  core::HimBlock him(SmallConfig(f), h * f, h, &rng);
+  him.SetTraining(false);
+  ag::Variable input(RandomNormal({n, m, h * f}, 0, 1, &rng), false);
+  Rng dropout_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(him.Forward(input, &dropout_rng));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_HimForwardItems)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Scaling in h (attribute slots); n, m, f fixed.
+void BM_HimForwardAttributes(benchmark::State& state) {
+  const int64_t n = 12;
+  const int64_t m = 12;
+  const int64_t h = state.range(0);
+  const int64_t f = 8;
+  Rng rng(5);
+  core::HimBlock him(SmallConfig(f), h * f, h, &rng);
+  him.SetTraining(false);
+  ag::Variable input(RandomNormal({n, m, h * f}, 0, 1, &rng), false);
+  Rng dropout_rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(him.Forward(input, &dropout_rng));
+  }
+  state.SetComplexityN(h);
+}
+BENCHMARK(BM_HimForwardAttributes)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Micro-benchmarks of the computational substrate: GEMM kernels, softmax,
+// a full MHSA layer forward, and the autograd round trip. These bound what
+// the training loop can achieve on one core and make substrate regressions
+// visible.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "nn/multi_head_self_attention.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace {
+
+using namespace hire;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomNormal({n, n}, 0, 1, &rng);
+  Tensor b = RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  Tensor a = RandomNormal({batch, 32, 32}, 0, 1, &rng);
+  Tensor b = RandomNormal({batch, 32, 32}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BatchedMatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(3);
+  Tensor a = RandomNormal({rows, 64}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_MhsaForward(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  Rng rng(4);
+  nn::MhsaConfig config;
+  config.embed_dim = 64;
+  config.num_heads = 4;
+  nn::MultiHeadSelfAttention mhsa(config, &rng);
+  mhsa.SetTraining(false);
+  ag::Variable x(RandomNormal({8, tokens, 64}, 0, 1, &rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mhsa.Forward(x));
+  }
+}
+BENCHMARK(BM_MhsaForward)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_AutogradForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  ag::Variable w(RandomNormal({n, n}, 0, 0.1f, &rng), true);
+  ag::Variable x(RandomNormal({n, n}, 0, 1, &rng), false);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    ag::Variable loss = ag::MeanAll(ag::Square(ag::MatMul(x, w)));
+    loss.Backward();
+    benchmark::DoNotOptimize(w.grad());
+  }
+}
+BENCHMARK(BM_AutogradForwardBackward)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  const int64_t count = state.range(0);
+  Rng rng(6);
+  ag::Variable table(RandomNormal({1000, 16}, 0, 1, &rng), true);
+  std::vector<int64_t> indices(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    indices[static_cast<size_t>(i)] = rng.UniformInt(1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::EmbeddingLookup(table, indices));
+  }
+}
+BENCHMARK(BM_EmbeddingLookup)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Ingesting your own data: writes a small CSV dataset to a temp directory,
+// loads it with the CSV loader (the same path works for the real
+// MovieLens-1M / Douban / Bookcrossing dumps converted to CSV), trains HIRE
+// and serializes the trained model to disk.
+//
+// CSV formats:
+//   ratings.csv  : user_id,item_id,rating
+//   users.csv    : user_id,attr1,attr2,...   (categorical strings)
+//   items.csv    : item_id,attr1,...
+//
+// Build & run:  ./build/examples/custom_dataset
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/hire_model.h"
+#include "core/trainer.h"
+#include "data/csv_loader.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "nn/serialize.h"
+#include "tensor/random.h"
+
+namespace {
+
+void WriteDemoCsvFiles(const std::string& dir) {
+  using hire::Rng;
+  // A compact but non-trivial world: 40 users x 30 items.
+  Rng rng(5);
+  const char* ages[] = {"teen", "adult", "senior"};
+  const char* jobs[] = {"student", "engineer", "artist", "doctor"};
+  const char* genres[] = {"action", "comedy", "drama", "scifi"};
+
+  std::ofstream users(dir + "/users.csv");
+  users << "user,age,job\n";
+  for (int u = 0; u < 40; ++u) {
+    users << "u" << u << "," << ages[u % 3] << "," << jobs[u % 4] << "\n";
+  }
+  std::ofstream items(dir + "/items.csv");
+  items << "item,genre\n";
+  for (int i = 0; i < 30; ++i) {
+    items << "m" << i << "," << genres[i % 4] << "\n";
+  }
+  std::ofstream ratings(dir + "/ratings.csv");
+  ratings << "user,item,rating\n";
+  for (int u = 0; u < 40; ++u) {
+    for (int r = 0; r < 8; ++r) {
+      const int i = static_cast<int>(rng.UniformInt(30));
+      // Users like the genre matching their job index; add noise.
+      const int base = (u % 4) == (i % 4) ? 4 : 2;
+      const int value = std::min(5, std::max(1, base + static_cast<int>(
+                                                          rng.UniformInt(3)) -
+                                                    1));
+      ratings << "u" << u << ",m" << i << "," << value << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace hire;
+  const std::string dir = "/tmp/hire_custom_dataset_demo";
+  std::system(("mkdir -p " + dir).c_str());
+  WriteDemoCsvFiles(dir);
+
+  // Load from CSV. Ids are arbitrary strings and attribute values are
+  // vocabulary-encoded automatically.
+  data::CsvDatasetSpec spec;
+  spec.name = "my-csv-dataset";
+  spec.ratings_path = dir + "/ratings.csv";
+  spec.user_attributes_path = dir + "/users.csv";
+  spec.item_attributes_path = dir + "/items.csv";
+  const data::Dataset dataset = data::LoadCsvDataset(spec);
+  std::printf("loaded: %s\n", dataset.Summary().c_str());
+
+  // Train a small HIRE model.
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  core::HireConfig config;
+  config.num_him_blocks = 2;
+  config.num_heads = 2;
+  config.head_dim = 4;
+  config.attr_embed_dim = 4;
+  core::HireModel model(&dataset, config, /*seed=*/1);
+
+  graph::NeighborhoodSampler sampler;
+  core::TrainerConfig trainer;
+  trainer.num_steps = 120;
+  trainer.batch_size = 2;
+  trainer.context_users = 10;
+  trainer.context_items = 10;
+  const core::TrainStats stats =
+      core::TrainHire(&model, graph, sampler, trainer);
+  std::printf("trained: loss %.3f -> %.3f\n", stats.step_losses.front(),
+              stats.final_loss);
+
+  // Persist and restore the trained parameters.
+  const std::string model_path = dir + "/hire_model.bin";
+  nn::SaveParameters(model, model_path);
+  core::HireModel restored(&dataset, config, /*seed=*/999);
+  nn::LoadParameters(&restored, model_path);
+  std::printf("saved and restored %lld parameters from %s\n",
+              static_cast<long long>(restored.NumParameters()),
+              model_path.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Full cold-start workflow on the MovieLens-1M profile: builds all three
+// cold-start splits (user / item / user&item), trains a HIRE model per
+// split with the paper's optimiser stack, evaluates it through the shared
+// protocol and prints Precision/NDCG/MAP at 5, 7 and 10 — i.e. one row of
+// the paper's Table III per scenario.
+//
+// Build & run:  ./build/examples/movielens_cold_start
+
+#include <iostream>
+
+#include "core/evaluation.h"
+#include "core/hire_model.h"
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "utils/string_utils.h"
+#include "utils/table_printer.h"
+
+int main() {
+  using namespace hire;
+
+  const data::Dataset dataset = data::GenerateSyntheticDataset(
+      data::MovieLens1MProfile(/*scale=*/0.6), /*seed=*/2024);
+  std::cout << "dataset: " << dataset.Summary() << "\n";
+
+  core::HireConfig model_config;
+  model_config.num_him_blocks = 3;
+  model_config.num_heads = 4;
+  model_config.head_dim = 8;
+  model_config.attr_embed_dim = 8;
+
+  graph::NeighborhoodSampler sampler;
+  TablePrinter table({"Scenario", "Pre@5", "NDCG@5", "MAP@5", "Pre@7",
+                      "NDCG@7", "MAP@7", "Pre@10", "NDCG@10", "MAP@10"});
+
+  for (const auto scenario : {data::ColdStartScenario::kUserCold,
+                              data::ColdStartScenario::kItemCold,
+                              data::ColdStartScenario::kUserItemCold}) {
+    // Cold entities and all of their ratings are held out of training.
+    Rng split_rng(11);
+    const data::ColdStartSplit split =
+        data::MakeColdStartSplit(dataset, scenario, 0.8, &split_rng);
+    const graph::BipartiteGraph train_graph(
+        dataset.num_users(), dataset.num_items(), split.train_ratings);
+
+    core::HireModel model(&dataset, model_config, /*seed=*/5);
+    core::TrainerConfig trainer;
+    trainer.num_steps = 300;
+    trainer.batch_size = 2;
+    trainer.context_users = 16;
+    trainer.context_items = 16;
+    trainer.log_every = 100;
+    core::TrainHire(&model, train_graph, sampler, trainer);
+
+    core::HirePredictor predictor(&model, &sampler, 16, 16, /*seed=*/6);
+    core::EvalConfig eval;
+    eval.max_eval_users = 25;
+    const core::EvalResult result =
+        core::EvaluateColdStart(&predictor, dataset, split, eval);
+
+    std::vector<std::string> row{data::ScenarioName(scenario)};
+    for (int k : {5, 7, 10}) {
+      const metrics::RankingMetrics& m = result.by_k.at(k);
+      row.push_back(FormatDouble(m.precision, 4));
+      row.push_back(FormatDouble(m.ndcg, 4));
+      row.push_back(FormatDouble(m.map, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::cout << "\nHIRE cold-start results (cf. paper Table III):\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the minimal end-to-end HIRE pipeline.
+//
+//   1. Generate a small synthetic rating dataset.
+//   2. Train a HIRE model on prediction contexts sampled from the rating
+//      bipartite graph (Algorithm 1 of the paper).
+//   3. Predict a user's masked ratings from one prediction context.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/hire_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/context_builder.h"
+#include "graph/samplers.h"
+
+int main() {
+  using namespace hire;
+
+  // 1. A small synthetic world: 150 users x 120 items with categorical
+  //    attributes and ~4000 observed ratings on a 1-5 scale.
+  data::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_items = 120;
+  config.num_ratings = 4000;
+  config.user_schema = {{"age", 5}, {"occupation", 8}};
+  config.item_schema = {{"genre", 6}};
+  const data::Dataset dataset = data::GenerateSyntheticDataset(config, 7);
+  std::printf("dataset: %s\n", dataset.Summary().c_str());
+
+  // 2. Train HIRE. The model owns the attribute encoders, K HIM blocks and
+  //    the rating decoder; the trainer implements the paper's masked-MSE
+  //    objective with LAMB + Lookahead and a flat-then-cosine schedule.
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  core::HireConfig model_config;
+  model_config.num_him_blocks = 2;
+  model_config.num_heads = 2;
+  model_config.head_dim = 8;
+  model_config.attr_embed_dim = 8;
+  core::HireModel model(&dataset, model_config, /*seed=*/42);
+  std::printf("model: %lld parameters\n",
+              static_cast<long long>(model.NumParameters()));
+
+  graph::NeighborhoodSampler sampler;
+  core::TrainerConfig trainer;
+  trainer.num_steps = 150;
+  trainer.batch_size = 2;
+  trainer.context_users = 12;
+  trainer.context_items = 12;
+  trainer.log_every = 50;
+  const core::TrainStats stats =
+      core::TrainHire(&model, graph, sampler, trainer);
+  std::printf("training: first loss %.3f -> final loss %.3f (%.1fs)\n",
+              stats.step_losses.front(), stats.final_loss,
+              stats.train_seconds);
+
+  // 3. Predict. Build a context around a user, mask some ratings and read
+  //    the model's estimates for the masked cells.
+  Rng rng(99);
+  graph::PredictionContext context =
+      graph::BuildTrainingContext(graph, sampler, 12, 12, 0.3, &rng);
+  const Tensor predicted = model.Predict(context);
+
+  std::printf("\nmasked-cell predictions for user %lld:\n",
+              static_cast<long long>(context.users[0]));
+  int shown = 0;
+  for (int64_t j = 0; j < context.num_items() && shown < 6; ++j) {
+    if (context.target_mask.at(0, j) > 0) {
+      std::printf("  item %-5lld actual %.0f  predicted %.2f\n",
+                  static_cast<long long>(context.items[(size_t)j]),
+                  context.target_ratings.at(0, j), predicted.at(0, j));
+      ++shown;
+    }
+  }
+  return 0;
+}

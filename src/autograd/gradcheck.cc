@@ -1,0 +1,70 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double epsilon, double tolerance) {
+  HIRE_CHECK(!inputs.empty());
+  for (const Variable& input : inputs) {
+    HIRE_CHECK(input.requires_grad())
+        << "gradcheck inputs must have requires_grad";
+  }
+
+  // Analytic pass.
+  for (Variable& input : inputs) input.ZeroGrad();
+  Variable output = fn(inputs);
+  HIRE_CHECK_EQ(output.size(), 1) << "gradcheck target must be scalar";
+  output.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    analytic.push_back(input.has_grad() ? input.grad()
+                                        : Tensor::Zeros(input.shape()));
+  }
+
+  GradCheckResult result;
+  result.passed = true;
+
+  for (size_t p = 0; p < inputs.size(); ++p) {
+    Tensor& values = inputs[p].mutable_value();
+    for (int64_t i = 0; i < values.size(); ++i) {
+      const float original = values.flat(i);
+
+      values.flat(i) = original + static_cast<float>(epsilon);
+      const double f_plus =
+          static_cast<double>(fn(inputs).value().flat(0));
+
+      values.flat(i) = original - static_cast<float>(epsilon);
+      const double f_minus =
+          static_cast<double>(fn(inputs).value().flat(0));
+
+      values.flat(i) = original;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double error =
+          std::fabs(numeric - static_cast<double>(analytic[p].flat(i)));
+      if (error > result.max_abs_error) {
+        result.max_abs_error = error;
+        std::ostringstream coordinate;
+        coordinate << "input " << p << " flat index " << i << " analytic "
+                   << analytic[p].flat(i) << " numeric " << numeric;
+        result.worst_coordinate = coordinate.str();
+      }
+      if (error > tolerance) {
+        result.passed = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace hire

@@ -1,0 +1,35 @@
+#ifndef HIRE_AUTOGRAD_GRADCHECK_H_
+#define HIRE_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace hire {
+namespace ag {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool passed = false;
+  /// Largest |analytic - numeric| across all checked coordinates.
+  double max_abs_error = 0.0;
+  /// Coordinate description of the worst error, for diagnostics.
+  std::string worst_coordinate;
+};
+
+/// Verifies the analytic gradients of `fn` against central finite
+/// differences. `fn` must be a pure function of `inputs` (re-invocable) that
+/// returns a scalar Variable. Every input must have requires_grad set.
+///
+/// Used throughout the test suite to certify each autograd op.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double epsilon = 1e-3,
+    double tolerance = 5e-2);
+
+}  // namespace ag
+}  // namespace hire
+
+#endif  // HIRE_AUTOGRAD_GRADCHECK_H_

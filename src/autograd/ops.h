@@ -1,0 +1,127 @@
+#ifndef HIRE_AUTOGRAD_OPS_H_
+#define HIRE_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace ag {
+
+// All operations are pure: they return a fresh Variable and never mutate
+// inputs. When no input requires a gradient the result is a detached leaf,
+// so inference runs without tape overhead.
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic (shapes must match exactly).
+// ---------------------------------------------------------------------------
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+
+Variable Neg(const Variable& a);
+Variable AddScalar(const Variable& a, float value);
+Variable MulScalar(const Variable& a, float value);
+
+// ---------------------------------------------------------------------------
+// Elementwise nonlinearities.
+// ---------------------------------------------------------------------------
+
+Variable Sigmoid(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Exp(const Variable& a);
+
+/// ln(max(x, floor)); the floor keeps AFN-style logarithmic layers finite.
+Variable LogClamped(const Variable& a, float floor = 1e-6f);
+
+Variable Square(const Variable& a);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// [n, k] x [k, m] -> [n, m].
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// [b, n, k] x [b, k, m] -> [b, n, m].
+Variable BatchedMatMul(const Variable& a, const Variable& b);
+
+/// [b, n, k] x [b, m, k]^T -> [b, n, m] (attention scores).
+Variable BatchedMatMulTransposedB(const Variable& a, const Variable& b);
+
+/// Adds bias [d] to every row of x [..., d].
+Variable AddBias(const Variable& x, const Variable& bias);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation.
+// ---------------------------------------------------------------------------
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape);
+Variable Permute(const Variable& a, std::vector<int> axes);
+Variable Concat(const std::vector<Variable>& parts, int axis);
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length);
+
+/// [n, d] -> [n, m, d]: repeats each user's feature row across m items.
+/// Backward sums over the item axis.
+Variable BroadcastUsers(const Variable& users, int64_t num_items);
+
+/// [m, d] -> [n, m, d]: repeats the item feature block across n users.
+/// Backward sums over the user axis.
+Variable BroadcastItems(const Variable& items, int64_t num_users);
+
+// ---------------------------------------------------------------------------
+// Reductions, losses, normalisation.
+// ---------------------------------------------------------------------------
+
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+
+/// Sums over `axis`, dropping it from the shape (negative axes count from
+/// the end).
+Variable SumAxis(const Variable& a, int axis);
+
+/// Softmax along the last axis.
+Variable Softmax(const Variable& a);
+
+/// Layer normalisation over the last axis with learnable gain/offset.
+/// gamma and beta must be 1-D of extent x.shape(-1).
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float epsilon = 1e-5f);
+
+/// Inverted dropout; identity when !training or p == 0. Uses `rng` for mask
+/// draws so training runs are reproducible.
+Variable Dropout(const Variable& x, float p, bool training, Rng* rng);
+
+/// Mean squared error over cells where mask != 0:
+///   sum(mask * (pred - target)^2) / sum(mask).
+/// target/mask are constants. sum(mask) must be positive.
+Variable MaskedMSE(const Variable& pred, const Tensor& target,
+                   const Tensor& mask);
+
+/// Plain MSE over all elements.
+Variable MSE(const Variable& pred, const Tensor& target);
+
+// ---------------------------------------------------------------------------
+// Embedding.
+// ---------------------------------------------------------------------------
+
+/// Gathers rows of `table` [V, f] by index: output [N, f]. Index -1 yields a
+/// zero row (used for masked ratings) and receives no gradient.
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int64_t>& indices);
+
+/// Averages rows of x [N, d] into `num_segments` groups: output [S, d] where
+/// row s is the mean of the rows with segments[i] == s. Empty segments yield
+/// zero rows. Used for neighborhood aggregation in graph baselines.
+Variable SegmentMean(const Variable& x, const std::vector<int64_t>& segments,
+                     int64_t num_segments);
+
+}  // namespace ag
+}  // namespace hire
+
+#endif  // HIRE_AUTOGRAD_OPS_H_

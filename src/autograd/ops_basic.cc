@@ -1,0 +1,279 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace ag {
+
+namespace {
+
+// Wraps op construction: detached result when no input tracks gradients,
+// tape node otherwise.
+Variable Make(Tensor value, std::vector<Variable> inputs,
+              std::function<void(const Tensor&)> backward) {
+  if (!AnyRequiresGrad(inputs)) {
+    return Variable(std::move(value), /*requires_grad=*/false);
+  }
+  return Variable::MakeNode(std::move(value), std::move(inputs),
+                            std::move(backward));
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor value = ops::Add(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) a.impl()->AccumulateGrad(up);
+    if (b.requires_grad()) b.impl()->AccumulateGrad(up);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor value = ops::Sub(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) a.impl()->AccumulateGrad(up);
+    if (b.requires_grad()) b.impl()->AccumulateGrad(ops::Neg(up));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor value = ops::Mul(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) a.impl()->AccumulateGrad(ops::Mul(up, b.value()));
+    if (b.requires_grad()) b.impl()->AccumulateGrad(ops::Mul(up, a.value()));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable AddScalar(const Variable& a, float value) {
+  Tensor out = ops::AddScalar(a.value(), value);
+  return Make(std::move(out), {a}, [a](const Tensor& up) {
+    a.impl()->AccumulateGrad(up);
+  });
+}
+
+Variable MulScalar(const Variable& a, float value) {
+  Tensor out = ops::MulScalar(a.value(), value);
+  return Make(std::move(out), {a}, [a, value](const Tensor& up) {
+    a.impl()->AccumulateGrad(ops::MulScalar(up, value));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = ops::Sigmoid(a.value());
+  Tensor y_copy = y;
+  return Make(std::move(y), {a}, [a, y_copy](const Tensor& up) {
+    Tensor grad(up.shape());
+    const int64_t n = up.size();
+    for (int64_t i = 0; i < n; ++i) {
+      const float s = y_copy.flat(i);
+      grad.flat(i) = up.flat(i) * s * (1.0f - s);
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor y = ops::Relu(a.value());
+  return Make(std::move(y), {a}, [a](const Tensor& up) {
+    const Tensor& x = a.value();
+    Tensor grad(up.shape());
+    const int64_t n = up.size();
+    for (int64_t i = 0; i < n; ++i) {
+      grad.flat(i) = x.flat(i) > 0.0f ? up.flat(i) : 0.0f;
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = ops::Tanh(a.value());
+  Tensor y_copy = y;
+  return Make(std::move(y), {a}, [a, y_copy](const Tensor& up) {
+    Tensor grad(up.shape());
+    const int64_t n = up.size();
+    for (int64_t i = 0; i < n; ++i) {
+      const float t = y_copy.flat(i);
+      grad.flat(i) = up.flat(i) * (1.0f - t * t);
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor y = ops::Exp(a.value());
+  Tensor y_copy = y;
+  return Make(std::move(y), {a}, [a, y_copy](const Tensor& up) {
+    a.impl()->AccumulateGrad(ops::Mul(up, y_copy));
+  });
+}
+
+Variable LogClamped(const Variable& a, float floor) {
+  HIRE_CHECK_GT(floor, 0.0f);
+  Tensor y(a.value().shape());
+  const int64_t n = y.size();
+  for (int64_t i = 0; i < n; ++i) {
+    y.flat(i) = std::log(std::max(a.value().flat(i), floor));
+  }
+  return Make(std::move(y), {a}, [a, floor](const Tensor& up) {
+    const Tensor& x = a.value();
+    Tensor grad(up.shape());
+    for (int64_t i = 0; i < up.size(); ++i) {
+      // Gradient is 1/x in the linear region and 0 where the clamp is active.
+      grad.flat(i) = x.flat(i) > floor ? up.flat(i) / x.flat(i) : 0.0f;
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Square(const Variable& a) {
+  Tensor y = ops::Square(a.value());
+  return Make(std::move(y), {a}, [a](const Tensor& up) {
+    Tensor grad = ops::Mul(up, a.value());
+    a.impl()->AccumulateGrad(ops::MulScalar(grad, 2.0f));
+  });
+}
+
+Variable SumAll(const Variable& a) {
+  Tensor y = Tensor::Scalar(ops::SumAll(a.value()));
+  return Make(std::move(y), {a}, [a](const Tensor& up) {
+    a.impl()->AccumulateGrad(
+        Tensor::Full(a.value().shape(), up.flat(0)));
+  });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.size());
+  Tensor y = Tensor::Scalar(ops::MeanAll(a.value()));
+  return Make(std::move(y), {a}, [a, inv](const Tensor& up) {
+    a.impl()->AccumulateGrad(
+        Tensor::Full(a.value().shape(), up.flat(0) * inv));
+  });
+}
+
+Variable MaskedMSE(const Variable& pred, const Tensor& target,
+                   const Tensor& mask) {
+  HIRE_CHECK(pred.value().SameShape(target))
+      << "MaskedMSE pred " << pred.value().ShapeString() << " vs target "
+      << target.ShapeString();
+  HIRE_CHECK(pred.value().SameShape(mask))
+      << "MaskedMSE pred " << pred.value().ShapeString() << " vs mask "
+      << mask.ShapeString();
+  const float mask_total = ops::SumAll(mask);
+  HIRE_CHECK_GT(mask_total, 0.0f) << "MaskedMSE needs at least one unmasked cell";
+
+  double loss = 0.0;
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    const double diff = pred.value().flat(i) - target.flat(i);
+    loss += mask.flat(i) * diff * diff;
+  }
+  Tensor y = Tensor::Scalar(static_cast<float>(loss / mask_total));
+
+  return Make(std::move(y), {pred},
+              [pred, target, mask, mask_total](const Tensor& up) {
+    const float scale = 2.0f * up.flat(0) / mask_total;
+    Tensor grad(pred.value().shape());
+    for (int64_t i = 0; i < grad.size(); ++i) {
+      grad.flat(i) =
+          scale * mask.flat(i) * (pred.value().flat(i) - target.flat(i));
+    }
+    pred.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable MSE(const Variable& pred, const Tensor& target) {
+  return MaskedMSE(pred, target, Tensor::Ones(target.shape()));
+}
+
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int64_t>& indices) {
+  HIRE_CHECK_EQ(table.value().dim(), 2);
+  const int64_t vocab = table.value().shape(0);
+  const int64_t width = table.value().shape(1);
+  const int64_t count = static_cast<int64_t>(indices.size());
+  HIRE_CHECK_GT(count, 0);
+
+  Tensor out({count, width});
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t row = indices[static_cast<size_t>(i)];
+    if (row < 0) continue;  // masked entry -> zero row
+    HIRE_CHECK_LT(row, vocab) << "embedding index out of range";
+    const float* src = table.value().data() + row * width;
+    std::copy(src, src + width, out.data() + i * width);
+  }
+
+  return Make(std::move(out), {table}, [table, indices, width](const Tensor& up) {
+    Tensor grad(table.value().shape());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const int64_t row = indices[i];
+      if (row < 0) continue;
+      const float* src = up.data() + static_cast<int64_t>(i) * width;
+      float* dst = grad.data() + row * width;
+      for (int64_t j = 0; j < width; ++j) dst[j] += src[j];
+    }
+    table.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable SegmentMean(const Variable& x, const std::vector<int64_t>& segments,
+                     int64_t num_segments) {
+  HIRE_CHECK_EQ(x.value().dim(), 2);
+  HIRE_CHECK_EQ(static_cast<int64_t>(segments.size()), x.value().shape(0));
+  HIRE_CHECK_GT(num_segments, 0);
+  const int64_t d = x.value().shape(1);
+
+  std::vector<int64_t> counts(static_cast<size_t>(num_segments), 0);
+  for (int64_t segment : segments) {
+    HIRE_CHECK(segment >= 0 && segment < num_segments)
+        << "segment id " << segment;
+    ++counts[static_cast<size_t>(segment)];
+  }
+
+  Tensor out({num_segments, d});
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const float* src = x.value().data() + static_cast<int64_t>(i) * d;
+    float* dst = out.data() + segments[i] * d;
+    for (int64_t c = 0; c < d; ++c) dst[c] += src[c];
+  }
+  for (int64_t s = 0; s < num_segments; ++s) {
+    if (counts[static_cast<size_t>(s)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(s)]);
+    float* row = out.data() + s * d;
+    for (int64_t c = 0; c < d; ++c) row[c] *= inv;
+  }
+
+  return Make(std::move(out), {x},
+              [x, segments, counts, d](const Tensor& up) {
+    Tensor grad(x.value().shape());
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const float inv =
+          1.0f / static_cast<float>(counts[static_cast<size_t>(segments[i])]);
+      const float* src = up.data() + segments[i] * d;
+      float* dst = grad.data() + static_cast<int64_t>(i) * d;
+      for (int64_t c = 0; c < d; ++c) dst[c] = src[c] * inv;
+    }
+    x.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Dropout(const Variable& x, float p, bool training, Rng* rng) {
+  HIRE_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  if (!training || p == 0.0f) return x;
+  HIRE_CHECK(rng != nullptr);
+
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(x.value().shape());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.flat(i) = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  Tensor y = ops::Mul(x.value(), mask);
+  return Make(std::move(y), {x}, [x, mask](const Tensor& up) {
+    x.impl()->AccumulateGrad(ops::Mul(up, mask));
+  });
+}
+
+}  // namespace ag
+}  // namespace hire

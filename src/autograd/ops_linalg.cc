@@ -1,0 +1,335 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace ag {
+
+namespace {
+
+Variable Make(Tensor value, std::vector<Variable> inputs,
+              std::function<void(const Tensor&)> backward) {
+  if (!AnyRequiresGrad(inputs)) {
+    return Variable(std::move(value), /*requires_grad=*/false);
+  }
+  return Variable::MakeNode(std::move(value), std::move(inputs),
+                            std::move(backward));
+}
+
+std::vector<int> InversePermutation(const std::vector<int>& axes) {
+  std::vector<int> inverse(axes.size());
+  for (size_t i = 0; i < axes.size(); ++i) {
+    inverse[static_cast<size_t>(axes[i])] = static_cast<int>(i);
+  }
+  return inverse;
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor value = ops::MatMul(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) {
+      // dA = dC * B^T
+      a.impl()->AccumulateGrad(ops::MatMulTransposedB(up, b.value()));
+    }
+    if (b.requires_grad()) {
+      // dB = A^T * dC
+      b.impl()->AccumulateGrad(
+          ops::MatMul(ops::TransposeLast2(a.value()), up));
+    }
+  });
+}
+
+Variable BatchedMatMul(const Variable& a, const Variable& b) {
+  Tensor value = ops::BatchedMatMul(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) {
+      // C = A B  =>  dA = dC B^T (B is [b, k, m], so dC and B share the
+      // last axis).
+      a.impl()->AccumulateGrad(ops::BatchedMatMulTransposedB(up, b.value()));
+    }
+    if (b.requires_grad()) {
+      b.impl()->AccumulateGrad(
+          ops::BatchedMatMul(ops::TransposeLast2(a.value()), up));
+    }
+  });
+}
+
+Variable BatchedMatMulTransposedB(const Variable& a, const Variable& b) {
+  Tensor value = ops::BatchedMatMulTransposedB(a.value(), b.value());
+  return Make(std::move(value), {a, b}, [a, b](const Tensor& up) {
+    if (a.requires_grad()) {
+      // C = A B^T  =>  dA = dC B
+      a.impl()->AccumulateGrad(ops::BatchedMatMul(up, b.value()));
+    }
+    if (b.requires_grad()) {
+      // dB = dC^T A
+      b.impl()->AccumulateGrad(
+          ops::BatchedMatMul(ops::TransposeLast2(up), a.value()));
+    }
+  });
+}
+
+Variable AddBias(const Variable& x, const Variable& bias) {
+  Tensor value = ops::AddBias(x.value(), bias.value());
+  return Make(std::move(value), {x, bias}, [x, bias](const Tensor& up) {
+    if (x.requires_grad()) x.impl()->AccumulateGrad(up);
+    if (bias.requires_grad()) {
+      const int64_t d = bias.value().shape(0);
+      Tensor grad({d});
+      const int64_t rows = up.size() / d;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* src = up.data() + r * d;
+        for (int64_t j = 0; j < d; ++j) grad.flat(j) += src[j];
+      }
+      bias.impl()->AccumulateGrad(grad);
+    }
+  });
+}
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
+  Tensor value = a.value().Reshape(std::move(shape));
+  return Make(std::move(value), {a}, [a](const Tensor& up) {
+    a.impl()->AccumulateGrad(up.Reshape(a.value().shape()));
+  });
+}
+
+Variable Permute(const Variable& a, std::vector<int> axes) {
+  Tensor value = ops::Permute(a.value(), axes);
+  std::vector<int> inverse = InversePermutation(axes);
+  return Make(std::move(value), {a}, [a, inverse](const Tensor& up) {
+    a.impl()->AccumulateGrad(ops::Permute(up, inverse));
+  });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int axis) {
+  HIRE_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& part : parts) values.push_back(part.value());
+  Tensor value = ops::Concat(values, axis);
+
+  const int rank = parts[0].value().dim();
+  const int resolved_axis = axis < 0 ? axis + rank : axis;
+  std::vector<int64_t> extents;
+  extents.reserve(parts.size());
+  for (const Variable& part : parts) {
+    extents.push_back(part.value().shape(resolved_axis));
+  }
+
+  return Make(std::move(value), parts,
+              [parts, extents, resolved_axis](const Tensor& up) {
+    int64_t offset = 0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].requires_grad()) {
+        parts[i].impl()->AccumulateGrad(
+            ops::Slice(up, resolved_axis, offset, extents[i]));
+      }
+      offset += extents[i];
+    }
+  });
+}
+
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
+  Tensor value = ops::Slice(a.value(), axis, start, length);
+  const int rank = a.value().dim();
+  const int resolved_axis = axis < 0 ? axis + rank : axis;
+  return Make(std::move(value), {a},
+              [a, resolved_axis, start, length](const Tensor& up) {
+    // Scatter the upstream gradient back into a zero tensor of the input
+    // shape.
+    Tensor grad(a.value().shape());
+    int64_t outer = 1;
+    for (int i = 0; i < resolved_axis; ++i) outer *= grad.shape(i);
+    int64_t inner = 1;
+    for (int i = resolved_axis + 1; i < grad.dim(); ++i) inner *= grad.shape(i);
+    const int64_t extent = grad.shape(resolved_axis);
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = up.data() + o * length * inner;
+      float* dst = grad.data() + (o * extent + start) * inner;
+      std::copy(src, src + length * inner, dst);
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable BroadcastUsers(const Variable& users, int64_t num_items) {
+  HIRE_CHECK_EQ(users.value().dim(), 2);
+  HIRE_CHECK_GT(num_items, 0);
+  const int64_t n = users.value().shape(0);
+  const int64_t d = users.value().shape(1);
+  Tensor value({n, num_items, d});
+  for (int64_t k = 0; k < n; ++k) {
+    const float* src = users.value().data() + k * d;
+    for (int64_t j = 0; j < num_items; ++j) {
+      std::copy(src, src + d, value.data() + (k * num_items + j) * d);
+    }
+  }
+  return Make(std::move(value), {users},
+              [users, num_items, n, d](const Tensor& up) {
+    Tensor grad({n, d});
+    for (int64_t k = 0; k < n; ++k) {
+      float* dst = grad.data() + k * d;
+      for (int64_t j = 0; j < num_items; ++j) {
+        const float* src = up.data() + (k * num_items + j) * d;
+        for (int64_t c = 0; c < d; ++c) dst[c] += src[c];
+      }
+    }
+    users.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable BroadcastItems(const Variable& items, int64_t num_users) {
+  HIRE_CHECK_EQ(items.value().dim(), 2);
+  HIRE_CHECK_GT(num_users, 0);
+  const int64_t m = items.value().shape(0);
+  const int64_t d = items.value().shape(1);
+  Tensor value({num_users, m, d});
+  const int64_t block = m * d;
+  for (int64_t k = 0; k < num_users; ++k) {
+    std::copy(items.value().data(), items.value().data() + block,
+              value.data() + k * block);
+  }
+  return Make(std::move(value), {items},
+              [items, num_users, m, d](const Tensor& up) {
+    Tensor grad({m, d});
+    const int64_t block = m * d;
+    for (int64_t k = 0; k < num_users; ++k) {
+      const float* src = up.data() + k * block;
+      for (int64_t c = 0; c < block; ++c) grad.flat(c) += src[c];
+    }
+    items.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable SumAxis(const Variable& a, int axis) {
+  const int rank = a.value().dim();
+  const int resolved = axis < 0 ? axis + rank : axis;
+  HIRE_CHECK(resolved >= 0 && resolved < rank) << "SumAxis axis " << axis;
+  Tensor value = ops::Sum(a.value(), resolved);
+  return Make(std::move(value), {a}, [a, resolved](const Tensor& up) {
+    // Broadcast the upstream gradient back along the reduced axis.
+    const Tensor& in = a.value();
+    Tensor grad(in.shape());
+    int64_t outer = 1;
+    for (int i = 0; i < resolved; ++i) outer *= in.shape(i);
+    int64_t inner = 1;
+    for (int i = resolved + 1; i < in.dim(); ++i) inner *= in.shape(i);
+    const int64_t extent = in.shape(resolved);
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = up.data() + o * inner;
+      for (int64_t e = 0; e < extent; ++e) {
+        float* dst = grad.data() + (o * extent + e) * inner;
+        std::copy(src, src + inner, dst);
+      }
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable Softmax(const Variable& a) {
+  Tensor y = ops::Softmax(a.value());
+  Tensor y_copy = y;
+  return Make(std::move(y), {a}, [a, y_copy](const Tensor& up) {
+    // dX = Y * (dY - rowsum(dY * Y))
+    const int64_t d = y_copy.shape(-1);
+    const int64_t rows = y_copy.size() / d;
+    Tensor grad(y_copy.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* yr = y_copy.data() + r * d;
+      const float* ur = up.data() + r * d;
+      float* gr = grad.data() + r * d;
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += ur[j] * yr[j];
+      for (int64_t j = 0; j < d; ++j) {
+        gr[j] = yr[j] * (ur[j] - static_cast<float>(dot));
+      }
+    }
+    a.impl()->AccumulateGrad(grad);
+  });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float epsilon) {
+  HIRE_CHECK_EQ(gamma.value().dim(), 1);
+  HIRE_CHECK_EQ(beta.value().dim(), 1);
+  const int64_t d = x.value().shape(-1);
+  HIRE_CHECK_EQ(gamma.value().shape(0), d);
+  HIRE_CHECK_EQ(beta.value().shape(0), d);
+
+  const int64_t rows = x.value().size() / d;
+  Tensor y(x.value().shape());
+  Tensor xhat(x.value().shape());
+  Tensor inv_std({rows});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.value().data() + r * d;
+    double mean = 0.0;
+    for (int64_t j = 0; j < d; ++j) mean += xr[j];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double c = xr[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(d);
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+    inv_std.flat(r) = istd;
+    float* hr = xhat.data() + r * d;
+    float* yr = y.data() + r * d;
+    for (int64_t j = 0; j < d; ++j) {
+      hr[j] = (xr[j] - static_cast<float>(mean)) * istd;
+      yr[j] = hr[j] * gamma.value().flat(j) + beta.value().flat(j);
+    }
+  }
+
+  return Make(std::move(y), {x, gamma, beta},
+              [x, gamma, beta, xhat, inv_std, d](const Tensor& up) {
+    const int64_t rows = xhat.size() / d;
+    if (gamma.requires_grad() || beta.requires_grad()) {
+      Tensor dgamma({d});
+      Tensor dbeta({d});
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* ur = up.data() + r * d;
+        const float* hr = xhat.data() + r * d;
+        for (int64_t j = 0; j < d; ++j) {
+          dgamma.flat(j) += ur[j] * hr[j];
+          dbeta.flat(j) += ur[j];
+        }
+      }
+      if (gamma.requires_grad()) gamma.impl()->AccumulateGrad(dgamma);
+      if (beta.requires_grad()) beta.impl()->AccumulateGrad(dbeta);
+    }
+    if (x.requires_grad()) {
+      Tensor dx(xhat.shape());
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* ur = up.data() + r * d;
+        const float* hr = xhat.data() + r * d;
+        float* dr = dx.data() + r * d;
+        // dxhat = dy * gamma; dx = istd*(dxhat - mean(dxhat)
+        //                                - xhat*mean(dxhat*xhat))
+        double mean_dxhat = 0.0;
+        double mean_dxhat_xhat = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+          const double dxh = static_cast<double>(ur[j]) * gamma.value().flat(j);
+          mean_dxhat += dxh;
+          mean_dxhat_xhat += dxh * hr[j];
+        }
+        mean_dxhat /= static_cast<double>(d);
+        mean_dxhat_xhat /= static_cast<double>(d);
+        const float istd = inv_std.flat(r);
+        for (int64_t j = 0; j < d; ++j) {
+          const double dxh = static_cast<double>(ur[j]) * gamma.value().flat(j);
+          dr[j] = istd * static_cast<float>(dxh - mean_dxhat -
+                                            hr[j] * mean_dxhat_xhat);
+        }
+      }
+      x.impl()->AccumulateGrad(dx);
+    }
+  });
+}
+
+}  // namespace ag
+}  // namespace hire

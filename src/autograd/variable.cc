@@ -1,0 +1,122 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace ag {
+
+namespace internal {
+
+void VarImpl::AccumulateGrad(const Tensor& g) {
+  HIRE_CHECK(g.SameShape(value))
+      << "gradient shape " << g.ShapeString() << " does not match value "
+      << value.ShapeString();
+  if (!grad_allocated) {
+    grad = g;
+    grad_allocated = true;
+    return;
+  }
+  float* acc = grad.data();
+  const float* src = g.data();
+  const int64_t n = grad.size();
+  for (int64_t i = 0; i < n; ++i) acc[i] += src[i];
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<internal::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  HIRE_CHECK(defined()) << "null Variable";
+  return impl_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  HIRE_CHECK(defined()) << "null Variable";
+  return impl_->value;
+}
+
+const Tensor& Variable::grad() const {
+  HIRE_CHECK(defined()) << "null Variable";
+  HIRE_CHECK(impl_->grad_allocated)
+      << "gradient not populated; call Backward() first";
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const {
+  return defined() && impl_->grad_allocated;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  HIRE_CHECK(defined()) << "null Variable";
+  impl_->grad = Tensor();
+  impl_->grad_allocated = false;
+}
+
+Variable Variable::MakeNode(
+    Tensor value, std::vector<Variable> parents,
+    std::function<void(const Tensor& upstream)> backward) {
+  Variable out(std::move(value), /*requires_grad=*/true);
+  out.impl_->parents.reserve(parents.size());
+  for (Variable& parent : parents) {
+    HIRE_CHECK(parent.defined()) << "op input is a null Variable";
+    out.impl_->parents.push_back(parent.impl());
+  }
+  out.impl_->backward = std::move(backward);
+  return out;
+}
+
+void Variable::Backward() {
+  HIRE_CHECK(defined()) << "null Variable";
+  HIRE_CHECK_EQ(size(), 1) << "Backward() requires a scalar output";
+
+  // Topological order via iterative post-order DFS.
+  std::vector<internal::VarImpl*> order;
+  std::unordered_set<internal::VarImpl*> visited;
+  std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal::VarImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->AccumulateGrad(Tensor::Ones(impl_->value.shape()));
+
+  // Reverse topological order: every node sees its full gradient before
+  // pushing contributions to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarImpl* node = *it;
+    if (!node->backward || !node->grad_allocated) continue;
+    node->backward(node->grad);
+  }
+}
+
+bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
+  for (const Variable& input : inputs) {
+    if (input.requires_grad()) return true;
+  }
+  return false;
+}
+
+}  // namespace ag
+}  // namespace hire

@@ -1,0 +1,105 @@
+#ifndef HIRE_AUTOGRAD_VARIABLE_H_
+#define HIRE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace ag {
+
+class Variable;
+
+namespace internal {
+
+/// Node in the reverse-mode tape. Holds the forward value, the (lazily
+/// allocated) gradient accumulator, edges to parent nodes and the backward
+/// closure that routes this node's gradient into its parents.
+struct VarImpl {
+  Tensor value;
+  Tensor grad;
+  bool requires_grad = false;
+  bool grad_allocated = false;
+
+  /// Parents kept alive for the duration of the backward pass.
+  std::vector<std::shared_ptr<VarImpl>> parents;
+
+  /// Given the gradient of the loss w.r.t. this node's value, accumulates
+  /// gradients into the parents. Empty for leaves.
+  std::function<void(const Tensor& upstream)> backward;
+
+  /// Adds `g` into the gradient accumulator (allocating it on first use).
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+/// Differentiable tensor handle. Variables are cheap shared handles onto tape
+/// nodes: copying a Variable aliases the same node (PyTorch semantics).
+///
+/// Leaves are constructed directly from a Tensor; interior nodes are produced
+/// by the operations in autograd/ops.h, which record backward closures.
+/// Calling Backward() on a scalar result populates `grad()` on every
+/// reachable node with requires_grad set.
+class Variable {
+ public:
+  /// Null handle; defined() is false.
+  Variable() = default;
+
+  /// Leaf node holding `value`. Gradients are tracked iff `requires_grad`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// True when this handle points at a node.
+  bool defined() const { return impl_ != nullptr; }
+
+  /// Forward value (must be defined).
+  const Tensor& value() const;
+
+  /// Mutable forward value; used by optimisers to update parameters
+  /// in place.
+  Tensor& mutable_value();
+
+  /// Accumulated gradient. Zero-shaped until the first backward pass
+  /// touches this node.
+  const Tensor& grad() const;
+
+  /// True when a gradient buffer has been accumulated since the last
+  /// ZeroGrad().
+  bool has_grad() const;
+
+  bool requires_grad() const;
+
+  /// Clears the gradient accumulator.
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this node, which must hold a
+  /// single-element value. Gradients accumulate (+=) into every
+  /// requires_grad node in the reachable graph.
+  void Backward();
+
+  /// Shape convenience accessors.
+  const std::vector<int64_t>& shape() const { return value().shape(); }
+  int64_t size() const { return value().size(); }
+
+  /// Internal: used by ops to build interior nodes.
+  static Variable MakeNode(
+      Tensor value, std::vector<Variable> parents,
+      std::function<void(const Tensor& upstream)> backward);
+
+  /// Internal: direct access to the tape node.
+  const std::shared_ptr<internal::VarImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<internal::VarImpl> impl_;
+};
+
+/// True if any input requires a gradient (how ops decide whether to record a
+/// backward edge).
+bool AnyRequiresGrad(const std::vector<Variable>& inputs);
+
+}  // namespace ag
+}  // namespace hire
+
+#endif  // HIRE_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,60 @@
+#include "baselines/afn.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+AFN::AFN(const data::Dataset* dataset, int64_t embed_dim,
+         int64_t num_log_neurons, uint64_t seed)
+    : num_log_neurons_(num_log_neurons) {
+  HIRE_CHECK(dataset != nullptr);
+  HIRE_CHECK_GT(num_log_neurons_, 0);
+  rating_scale_ = dataset->max_rating();
+  Rng rng(seed);
+
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset, embed_dim, &rng);
+  RegisterSubmodule("embedder", embedder_.get());
+
+  log_layer_ = std::make_unique<nn::Linear>(embedder_->num_fields(),
+                                            num_log_neurons_, &rng,
+                                            /*bias=*/false);
+  RegisterSubmodule("log_layer", log_layer_.get());
+
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{num_log_neurons_ * embed_dim, 2 * embed_dim, 1},
+      nn::Activation::kRelu, &rng);
+  RegisterSubmodule("head", head_.get());
+}
+
+ag::Variable AFN::ScoreBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const graph::BipartiteGraph* /*visible_graph*/) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  const int64_t fields = embedder_->num_fields();
+  const int64_t width = embedder_->embed_dim();
+
+  // [B, F, f] -> |v| -> ln -> per-dimension weighted field combinations.
+  ag::Variable stacked = embedder_->EmbedPairsFields(pairs);
+  // abs(v) via relu(v) + relu(-v), keeping the log input positive.
+  ag::Variable magnitude =
+      ag::Add(ag::Relu(stacked), ag::Relu(ag::Neg(stacked)));
+  ag::Variable logs = ag::LogClamped(magnitude, 1e-4f);  // [B, F, f]
+
+  // Apply the field-combination weights per embedding dimension:
+  // [B, f, F] x [F, L] -> [B, f, L].
+  ag::Variable per_dim = ag::Permute(logs, {0, 2, 1});          // [B, f, F]
+  ag::Variable combined = log_layer_->Forward(per_dim);         // [B, f, L]
+  ag::Variable crosses = ag::Exp(combined);                     // [B, f, L]
+
+  ag::Variable flattened =
+      ag::Reshape(crosses, {batch, num_log_neurons_ * width});
+  (void)fields;
+  ag::Variable logits = head_->Forward(flattened);
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+}  // namespace baselines
+}  // namespace hire

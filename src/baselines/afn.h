@@ -1,0 +1,41 @@
+#ifndef HIRE_BASELINES_AFN_H_
+#define HIRE_BASELINES_AFN_H_
+
+#include <memory>
+
+#include "baselines/feature_embedder.h"
+#include "baselines/pointwise_model.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace hire {
+namespace baselines {
+
+/// Adaptive Factorization Network (Cheng et al. 2020): a logarithmic
+/// transformation layer learns arbitrary-order cross features. Each
+/// log-neuron computes exp(Σ_f w_f ln|v_f|) per embedding dimension; the
+/// log-neuron outputs feed an MLP.
+class AFN : public PointwiseModel {
+ public:
+  AFN(const data::Dataset* dataset, int64_t embed_dim, int64_t num_log_neurons,
+      uint64_t seed);
+
+  ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) override;
+
+  std::string name() const override { return "AFN"; }
+
+ private:
+  float rating_scale_;
+  int64_t num_log_neurons_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> log_layer_;  // fields -> log neurons
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_AFN_H_

@@ -1,0 +1,50 @@
+#include "baselines/deepfm.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+DeepFM::DeepFM(const data::Dataset* dataset, int64_t embed_dim,
+               uint64_t seed) {
+  HIRE_CHECK(dataset != nullptr);
+  rating_scale_ = dataset->max_rating();
+  Rng rng(seed);
+
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset, embed_dim, &rng);
+  RegisterSubmodule("embedder", embedder_.get());
+
+  first_order_ = std::make_unique<nn::Linear>(embedder_->pair_dim(), 1, &rng);
+  RegisterSubmodule("first_order", first_order_.get());
+
+  deep_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedder_->pair_dim(), 2 * embed_dim, embed_dim, 1},
+      nn::Activation::kRelu, &rng);
+  RegisterSubmodule("deep", deep_.get());
+}
+
+ag::Variable DeepFM::ScoreBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const graph::BipartiteGraph* /*visible_graph*/) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  ag::Variable flat = embedder_->EmbedPairsFlat(pairs);  // [B, F*f]
+  ag::Variable fields = ag::Reshape(
+      flat, {batch, embedder_->num_fields(), embedder_->embed_dim()});
+
+  // FM second-order term: 0.5 * Σ_d ((Σ_f v_fd)² - Σ_f v_fd²).
+  ag::Variable square_of_sum = ag::Square(ag::SumAxis(fields, 1));  // [B, f]
+  ag::Variable sum_of_square = ag::SumAxis(ag::Square(fields), 1);  // [B, f]
+  ag::Variable fm_interaction =
+      ag::MulScalar(ag::Sub(square_of_sum, sum_of_square), 0.5f);
+  ag::Variable fm_logit =
+      ag::Reshape(ag::SumAxis(fm_interaction, 1), {batch, 1});
+
+  ag::Variable logits = ag::Add(
+      ag::Add(first_order_->Forward(flat), fm_logit), deep_->Forward(flat));
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+}  // namespace baselines
+}  // namespace hire

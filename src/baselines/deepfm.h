@@ -1,0 +1,39 @@
+#ifndef HIRE_BASELINES_DEEPFM_H_
+#define HIRE_BASELINES_DEEPFM_H_
+
+#include <memory>
+
+#include "baselines/feature_embedder.h"
+#include "baselines/pointwise_model.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace hire {
+namespace baselines {
+
+/// DeepFM (Guo et al. 2017): a factorization machine over the field
+/// embeddings (first-order linear term plus pairwise dot-product term
+/// computed with the 0.5 * ((Σv)² - Σv²) identity) combined with a deep MLP
+/// sharing the same embeddings.
+class DeepFM : public PointwiseModel {
+ public:
+  DeepFM(const data::Dataset* dataset, int64_t embed_dim, uint64_t seed);
+
+  ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) override;
+
+  std::string name() const override { return "DeepFM"; }
+
+ private:
+  float rating_scale_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> first_order_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_DEEPFM_H_

@@ -1,0 +1,76 @@
+#include "baselines/feature_embedder.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+FeatureEmbedder::FeatureEmbedder(const data::Dataset* dataset,
+                                 int64_t embed_dim, Rng* rng)
+    : dataset_(dataset), embed_dim_(embed_dim) {
+  HIRE_CHECK(dataset_ != nullptr);
+  HIRE_CHECK_GT(embed_dim_, 0);
+  for (const data::AttributeSchema& attribute : dataset_->user_schema()) {
+    user_embeddings_.push_back(std::make_unique<nn::Embedding>(
+        attribute.num_categories, embed_dim_, rng));
+    RegisterSubmodule("user_" + attribute.name, user_embeddings_.back().get());
+  }
+  for (const data::AttributeSchema& attribute : dataset_->item_schema()) {
+    item_embeddings_.push_back(std::make_unique<nn::Embedding>(
+        attribute.num_categories, embed_dim_, rng));
+    RegisterSubmodule("item_" + attribute.name, item_embeddings_.back().get());
+  }
+}
+
+ag::Variable FeatureEmbedder::EmbedUsers(
+    const std::vector<int64_t>& users) const {
+  HIRE_CHECK(!users.empty());
+  std::vector<ag::Variable> parts;
+  parts.reserve(user_embeddings_.size());
+  for (size_t a = 0; a < user_embeddings_.size(); ++a) {
+    std::vector<int64_t> indices(users.size());
+    for (size_t b = 0; b < users.size(); ++b) {
+      indices[b] = dataset_->user_attributes(users[b])[a];
+    }
+    parts.push_back(user_embeddings_[a]->Forward(indices));
+  }
+  return parts.size() == 1 ? parts[0] : ag::Concat(parts, /*axis=*/1);
+}
+
+ag::Variable FeatureEmbedder::EmbedItems(
+    const std::vector<int64_t>& items) const {
+  HIRE_CHECK(!items.empty());
+  std::vector<ag::Variable> parts;
+  parts.reserve(item_embeddings_.size());
+  for (size_t a = 0; a < item_embeddings_.size(); ++a) {
+    std::vector<int64_t> indices(items.size());
+    for (size_t b = 0; b < items.size(); ++b) {
+      indices[b] = dataset_->item_attributes(items[b])[a];
+    }
+    parts.push_back(item_embeddings_[a]->Forward(indices));
+  }
+  return parts.size() == 1 ? parts[0] : ag::Concat(parts, /*axis=*/1);
+}
+
+ag::Variable FeatureEmbedder::EmbedPairsFlat(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) const {
+  HIRE_CHECK(!pairs.empty());
+  std::vector<int64_t> users(pairs.size());
+  std::vector<int64_t> items(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    users[b] = pairs[b].first;
+    items[b] = pairs[b].second;
+  }
+  return ag::Concat({EmbedUsers(users), EmbedItems(items)}, /*axis=*/1);
+}
+
+ag::Variable FeatureEmbedder::EmbedPairsFields(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) const {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  ag::Variable flat = EmbedPairsFlat(pairs);
+  return ag::Reshape(flat, {batch, num_fields(), embed_dim_});
+}
+
+}  // namespace baselines
+}  // namespace hire

@@ -1,0 +1,65 @@
+#ifndef HIRE_BASELINES_FEATURE_EMBEDDER_H_
+#define HIRE_BASELINES_FEATURE_EMBEDDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "nn/embedding.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace baselines {
+
+/// Shared categorical feature encoder for the CF baselines: one embedding
+/// table per user/item attribute column (field), mirroring the sparse
+/// feature handling of NeuMF/Wide&Deep/DeepFM/AFN.
+class FeatureEmbedder : public nn::Module {
+ public:
+  FeatureEmbedder(const data::Dataset* dataset, int64_t embed_dim, Rng* rng);
+
+  /// Concatenated field embeddings per pair: [B, (h_u + h_i) * f].
+  ag::Variable EmbedPairsFlat(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) const;
+
+  /// Stacked field embeddings per pair: [B, h_u + h_i, f] (for FM/AFN).
+  ag::Variable EmbedPairsFields(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) const;
+
+  /// User-side embeddings only: [B, h_u * f].
+  ag::Variable EmbedUsers(const std::vector<int64_t>& users) const;
+
+  /// Item-side embeddings only: [B, h_i * f].
+  ag::Variable EmbedItems(const std::vector<int64_t>& items) const;
+
+  int64_t embed_dim() const { return embed_dim_; }
+  int64_t num_user_fields() const {
+    return static_cast<int64_t>(user_embeddings_.size());
+  }
+  int64_t num_item_fields() const {
+    return static_cast<int64_t>(item_embeddings_.size());
+  }
+  int64_t num_fields() const {
+    return num_user_fields() + num_item_fields();
+  }
+  int64_t user_dim() const { return num_user_fields() * embed_dim_; }
+  int64_t item_dim() const { return num_item_fields() * embed_dim_; }
+  int64_t pair_dim() const { return num_fields() * embed_dim_; }
+
+  const data::Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const data::Dataset* dataset_;
+  int64_t embed_dim_;
+  std::vector<std::unique_ptr<nn::Embedding>> user_embeddings_;
+  std::vector<std::unique_ptr<nn::Embedding>> item_embeddings_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_FEATURE_EMBEDDER_H_

@@ -1,0 +1,126 @@
+#include "baselines/graphrec_lite.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+GraphRecLite::GraphRecLite(const data::Dataset* dataset, int64_t embed_dim,
+                           int max_neighbors, uint64_t seed)
+    : dataset_(dataset),
+      max_neighbors_(max_neighbors),
+      neighbor_rng_(seed ^ 0xBEEF) {
+  HIRE_CHECK(dataset != nullptr);
+  HIRE_CHECK_GT(max_neighbors_, 0);
+  rating_scale_ = dataset->max_rating();
+  Rng rng(seed);
+
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset, embed_dim, &rng);
+  RegisterSubmodule("embedder", embedder_.get());
+
+  // User representation: own attrs + item-space aggregation + social-space
+  // aggregation.
+  const int64_t user_in =
+      embedder_->user_dim() + embedder_->item_dim() + embedder_->user_dim();
+  user_fuse_ = std::make_unique<nn::Linear>(user_in, embed_dim * 2, &rng);
+  RegisterSubmodule("user_fuse", user_fuse_.get());
+
+  // Item representation: own attrs + user-space aggregation.
+  const int64_t item_in = embedder_->item_dim() + embedder_->user_dim();
+  item_fuse_ = std::make_unique<nn::Linear>(item_in, embed_dim * 2, &rng);
+  RegisterSubmodule("item_fuse", item_fuse_.get());
+
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embed_dim * 4, embed_dim * 2, 1},
+      nn::Activation::kRelu, &rng);
+  RegisterSubmodule("head", head_.get());
+}
+
+ag::Variable GraphRecLite::ScoreBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const graph::BipartiteGraph* visible_graph) {
+  HIRE_CHECK(visible_graph != nullptr)
+      << "GraphRecLite needs the rating graph";
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+
+  std::vector<int64_t> users(pairs.size());
+  std::vector<int64_t> items(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    users[b] = pairs[b].first;
+    items[b] = pairs[b].second;
+  }
+
+  // Collect capped neighbor lists with segment ids per batch row.
+  auto cap = [&](std::vector<int64_t> neighbors) {
+    if (static_cast<int>(neighbors.size()) > max_neighbors_) {
+      neighbor_rng_.Shuffle(&neighbors);
+      neighbors.resize(static_cast<size_t>(max_neighbors_));
+    }
+    return neighbors;
+  };
+
+  std::vector<int64_t> rated_items;       // item ids rated by batch users
+  std::vector<int64_t> rated_segments;    // owning batch row
+  std::vector<int64_t> friend_users;      // friend ids of batch users
+  std::vector<int64_t> friend_segments;
+  std::vector<int64_t> rater_users;       // users who rated batch items
+  std::vector<int64_t> rater_segments;
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t item :
+         cap(visible_graph->ItemsOfUser(users[static_cast<size_t>(b)]))) {
+      rated_items.push_back(item);
+      rated_segments.push_back(b);
+    }
+    for (int64_t friend_id :
+         cap(dataset_->friends(users[static_cast<size_t>(b)]))) {
+      friend_users.push_back(friend_id);
+      friend_segments.push_back(b);
+    }
+    for (int64_t rater :
+         cap(visible_graph->UsersOfItem(items[static_cast<size_t>(b)]))) {
+      rater_users.push_back(rater);
+      rater_segments.push_back(b);
+    }
+  }
+
+  ag::Variable user_self = embedder_->EmbedUsers(users);  // [B, du]
+  ag::Variable item_self = embedder_->EmbedItems(items);  // [B, di]
+
+  auto aggregate = [&](const std::vector<int64_t>& entities,
+                       const std::vector<int64_t>& segments, bool is_user,
+                       int64_t dim) {
+    if (entities.empty()) {
+      return ag::Variable(Tensor::Zeros({batch, dim}), false);
+    }
+    ag::Variable embedded =
+        is_user ? embedder_->EmbedUsers(entities) : embedder_->EmbedItems(entities);
+    return ag::SegmentMean(embedded, segments, batch);
+  };
+
+  ag::Variable item_space =
+      aggregate(rated_items, rated_segments, /*is_user=*/false,
+                embedder_->item_dim());
+  ag::Variable social_space =
+      aggregate(friend_users, friend_segments, /*is_user=*/true,
+                embedder_->user_dim());
+  ag::Variable user_space =
+      aggregate(rater_users, rater_segments, /*is_user=*/true,
+                embedder_->user_dim());
+
+  ag::Variable user_representation = ag::Relu(user_fuse_->Forward(
+      ag::Concat({user_self, item_space, social_space}, /*axis=*/1)));
+  ag::Variable item_representation = ag::Relu(item_fuse_->Forward(
+      ag::Concat({item_self, user_space}, /*axis=*/1)));
+
+  ag::Variable logits = head_->Forward(
+      ag::Concat({user_representation, item_representation}, /*axis=*/1));
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+}  // namespace baselines
+}  // namespace hire

@@ -1,0 +1,50 @@
+#ifndef HIRE_BASELINES_GRAPHREC_LITE_H_
+#define HIRE_BASELINES_GRAPHREC_LITE_H_
+
+#include <memory>
+
+#include "baselines/feature_embedder.h"
+#include "baselines/pointwise_model.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace hire {
+namespace baselines {
+
+/// GraphRec-style social recommender (Fan et al. 2019), reduced to one
+/// aggregation layer per space:
+///  - item-space user modelling: mean of the embeddings of items the user
+///    rated in the visible graph;
+///  - social-space user modelling: mean of friends' base embeddings;
+///  - user-space item modelling: mean of the embeddings of users who rated
+///    the item.
+/// The aggregated representations plus the raw attribute embeddings feed an
+/// MLP rating head. Only applicable to datasets with a social network
+/// (Douban in the paper).
+class GraphRecLite : public PointwiseModel {
+ public:
+  GraphRecLite(const data::Dataset* dataset, int64_t embed_dim,
+               int max_neighbors, uint64_t seed);
+
+  ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) override;
+
+  std::string name() const override { return "GraphRec"; }
+
+ private:
+  const data::Dataset* dataset_;
+  float rating_scale_;
+  int max_neighbors_;
+  Rng neighbor_rng_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> user_fuse_;
+  std::unique_ptr<nn::Linear> item_fuse_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_GRAPHREC_LITE_H_

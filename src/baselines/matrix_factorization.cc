@@ -1,0 +1,131 @@
+#include "baselines/matrix_factorization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+MatrixFactorization::MatrixFactorization(const data::Dataset* dataset,
+                                         const MfConfig& config)
+    : dataset_(dataset), config_(config) {
+  HIRE_CHECK(dataset_ != nullptr);
+  HIRE_CHECK_GT(config_.latent_dim, 0);
+  Rng rng(config_.seed);
+  const size_t user_size =
+      static_cast<size_t>(dataset_->num_users() * config_.latent_dim);
+  const size_t item_size =
+      static_cast<size_t>(dataset_->num_items() * config_.latent_dim);
+  user_factors_.resize(user_size);
+  item_factors_.resize(item_size);
+  const float scale = 0.1f / std::sqrt(static_cast<float>(config_.latent_dim));
+  for (float& value : user_factors_) {
+    value = static_cast<float>(rng.Normal(0.0, scale));
+  }
+  for (float& value : item_factors_) {
+    value = static_cast<float>(rng.Normal(0.0, scale));
+  }
+  user_bias_.assign(static_cast<size_t>(dataset_->num_users()), 0.0f);
+  item_bias_.assign(static_cast<size_t>(dataset_->num_items()), 0.0f);
+}
+
+void MatrixFactorization::Fit(const std::vector<data::Rating>& train_ratings) {
+  HIRE_CHECK(!train_ratings.empty());
+  double total = 0.0;
+  for (const data::Rating& rating : train_ratings) total += rating.value;
+  global_mean_ =
+      static_cast<float>(total / static_cast<double>(train_ratings.size()));
+
+  Rng rng(config_.seed ^ 0xFACE);
+  std::vector<size_t> order(train_ratings.size());
+  for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+
+  const int d = config_.latent_dim;
+  const float lr = config_.learning_rate;
+  const float reg = config_.regularization;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t index : order) {
+      const data::Rating& rating = train_ratings[index];
+      float* p = user_factors_.data() + rating.user * d;
+      float* q = item_factors_.data() + rating.item * d;
+      float dot = 0.0f;
+      for (int k = 0; k < d; ++k) dot += p[k] * q[k];
+      const float error = rating.value -
+                          (global_mean_ +
+                           user_bias_[static_cast<size_t>(rating.user)] +
+                           item_bias_[static_cast<size_t>(rating.item)] + dot);
+      user_bias_[static_cast<size_t>(rating.user)] +=
+          lr * (error - reg * user_bias_[static_cast<size_t>(rating.user)]);
+      item_bias_[static_cast<size_t>(rating.item)] +=
+          lr * (error - reg * item_bias_[static_cast<size_t>(rating.item)]);
+      for (int k = 0; k < d; ++k) {
+        const float pk = p[k];
+        p[k] += lr * (error * q[k] - reg * pk);
+        q[k] += lr * (error * pk - reg * q[k]);
+      }
+    }
+  }
+}
+
+float MatrixFactorization::Predict(int64_t user, int64_t item) const {
+  HIRE_CHECK(user >= 0 && user < dataset_->num_users());
+  HIRE_CHECK(item >= 0 && item < dataset_->num_items());
+  const float* p = user_factors_.data() + user * config_.latent_dim;
+  const float* q = item_factors_.data() + item * config_.latent_dim;
+  float dot = 0.0f;
+  for (int k = 0; k < config_.latent_dim; ++k) dot += p[k] * q[k];
+  const float raw = global_mean_ + user_bias_[static_cast<size_t>(user)] +
+                    item_bias_[static_cast<size_t>(item)] + dot;
+  return std::clamp(raw, dataset_->min_rating(), dataset_->max_rating());
+}
+
+std::vector<float> MatrixFactorization::PredictForUser(
+    int64_t user, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& visible_graph) {
+  // Fold in the target user's visible ratings: a few SGD steps on a local
+  // copy of the user's bias and factors against the fixed item factors.
+  float local_bias = user_bias_[static_cast<size_t>(user)];
+  std::vector<float> local_factors(
+      user_factors_.begin() + user * config_.latent_dim,
+      user_factors_.begin() + (user + 1) * config_.latent_dim);
+
+  const auto& support_items = visible_graph.ItemsOfUser(user);
+  const int d = config_.latent_dim;
+  const float lr = config_.learning_rate;
+  const float reg = config_.regularization;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (int64_t item : support_items) {
+      const float* q = item_factors_.data() + item * config_.latent_dim;
+      float dot = 0.0f;
+      for (int k = 0; k < d; ++k) dot += local_factors[(size_t)k] * q[k];
+      const float error =
+          *visible_graph.GetRating(user, item) -
+          (global_mean_ + local_bias +
+           item_bias_[static_cast<size_t>(item)] + dot);
+      local_bias += lr * (error - reg * local_bias);
+      for (int k = 0; k < d; ++k) {
+        local_factors[(size_t)k] +=
+            lr * (error * q[k] - reg * local_factors[(size_t)k]);
+      }
+    }
+  }
+
+  std::vector<float> out;
+  out.reserve(items.size());
+  for (int64_t item : items) {
+    const float* q = item_factors_.data() + item * config_.latent_dim;
+    float dot = 0.0f;
+    for (int k = 0; k < d; ++k) dot += local_factors[(size_t)k] * q[k];
+    const float raw = global_mean_ + local_bias +
+                      item_bias_[static_cast<size_t>(item)] + dot;
+    out.push_back(std::clamp(raw, dataset_->min_rating(),
+                             dataset_->max_rating()));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace hire

@@ -1,0 +1,60 @@
+#ifndef HIRE_BASELINES_MATRIX_FACTORIZATION_H_
+#define HIRE_BASELINES_MATRIX_FACTORIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "data/dataset.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace baselines {
+
+/// Training hyper-parameters for classic matrix factorization.
+struct MfConfig {
+  int latent_dim = 16;
+  int epochs = 20;
+  float learning_rate = 0.02f;
+  float regularization = 0.05f;
+  uint64_t seed = 53;
+};
+
+/// Biased matrix factorization (Koren et al. 2009) trained with plain SGD:
+///   r_hat(u, i) = mu + b_u + b_i + p_u . q_i
+/// The classical non-neural CF reference. Cold entities have untrained
+/// factors, so it degrades exactly the way the paper argues CF does in
+/// cold-start scenarios — unless test-time support ratings are folded in,
+/// which PredictForUser does for the target user (a standard folding-in
+/// step: solve the user's factors against the visible ratings).
+class MatrixFactorization : public core::RatingPredictor {
+ public:
+  MatrixFactorization(const data::Dataset* dataset, const MfConfig& config);
+
+  /// Runs SGD over the observed training ratings.
+  void Fit(const std::vector<data::Rating>& train_ratings);
+
+  // core::RatingPredictor:
+  std::string name() const override { return "MF"; }
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+  /// Raw model prediction without test-time folding-in.
+  float Predict(int64_t user, int64_t item) const;
+
+ private:
+  const data::Dataset* dataset_;
+  MfConfig config_;
+  float global_mean_ = 0.0f;
+  std::vector<float> user_bias_;
+  std::vector<float> item_bias_;
+  std::vector<float> user_factors_;  // [num_users * latent_dim]
+  std::vector<float> item_factors_;  // [num_items * latent_dim]
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_MATRIX_FACTORIZATION_H_

@@ -1,0 +1,197 @@
+#include "baselines/melu_fo.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "autograd/ops.h"
+#include "optim/adam.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace hire {
+namespace baselines {
+
+MeLUFO::MeLUFO(const data::Dataset* dataset, int64_t embed_dim,
+               const MeLUConfig& config)
+    : dataset_(dataset), config_(config), rng_(config.seed) {
+  HIRE_CHECK(dataset_ != nullptr);
+  rating_scale_ = dataset_->max_rating();
+  Rng init_rng = rng_.Fork(1);
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset_, embed_dim,
+                                                &init_rng);
+  RegisterSubmodule("embedder", embedder_.get());
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedder_->pair_dim(), 4 * embed_dim,
+                           2 * embed_dim, 1},
+      nn::Activation::kRelu, &init_rng);
+  RegisterSubmodule("head", head_.get());
+}
+
+ag::Variable MeLUFO::ScorePairs(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  ag::Variable features = embedder_->EmbedPairsFlat(pairs);
+  ag::Variable logits = head_->Forward(features);
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+void MeLUFO::InnerStep(const std::vector<data::Rating>& support) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  std::vector<float> targets;
+  pairs.reserve(support.size());
+  targets.reserve(support.size());
+  for (const data::Rating& rating : support) {
+    pairs.emplace_back(rating.user, rating.item);
+    targets.push_back(rating.value);
+  }
+  ZeroGrad();
+  ag::Variable loss =
+      ag::MSE(ScorePairs(pairs), Tensor::FromVector(std::move(targets)));
+  loss.Backward();
+  for (ag::Variable& parameter : Parameters()) {
+    if (!parameter.has_grad()) continue;
+    Tensor& value = parameter.mutable_value();
+    const Tensor& grad = parameter.grad();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      value.flat(i) -= config_.inner_learning_rate * grad.flat(i);
+    }
+  }
+  ZeroGrad();
+}
+
+std::vector<Tensor> MeLUFO::SnapshotParameters() const {
+  std::vector<Tensor> snapshot;
+  for (const ag::Variable& parameter : Parameters()) {
+    snapshot.push_back(parameter.value());
+  }
+  return snapshot;
+}
+
+void MeLUFO::RestoreParameters(const std::vector<Tensor>& snapshot) {
+  std::vector<ag::Variable> parameters = Parameters();
+  HIRE_CHECK_EQ(parameters.size(), snapshot.size());
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    parameters[p].mutable_value() = snapshot[p];
+  }
+}
+
+void MeLUFO::MetaTrain(const std::vector<data::Rating>& train_ratings) {
+  // Build per-user tasks.
+  std::unordered_map<int64_t, std::vector<data::Rating>> by_user;
+  for (const data::Rating& rating : train_ratings) {
+    by_user[rating.user].push_back(rating);
+  }
+  std::vector<std::vector<data::Rating>> tasks;
+  for (auto& [user, ratings] : by_user) {
+    if (static_cast<int>(ratings.size()) >= config_.min_task_ratings) {
+      tasks.push_back(std::move(ratings));
+    }
+  }
+  HIRE_CHECK(!tasks.empty()) << "no user has enough ratings to form a task";
+
+  SetTraining(true);
+  std::vector<ag::Variable> parameters = Parameters();
+  optim::AdamConfig adam_config;
+  adam_config.learning_rate = config_.meta_learning_rate;
+  optim::Adam meta_optimizer(parameters, adam_config);
+
+  for (int64_t iteration = 0; iteration < config_.meta_iterations;
+       ++iteration) {
+    // Accumulate first-order meta-gradients over a batch of tasks.
+    std::vector<Tensor> meta_grads;
+    meta_grads.reserve(parameters.size());
+    for (const ag::Variable& parameter : parameters) {
+      meta_grads.push_back(Tensor::Zeros(parameter.shape()));
+    }
+
+    float batch_query_loss = 0.0f;
+    for (int t = 0; t < config_.tasks_per_batch; ++t) {
+      std::vector<data::Rating> task = tasks[static_cast<size_t>(
+          rng_.UniformInt(static_cast<int64_t>(tasks.size())))];
+      rng_.Shuffle(&task);
+      const size_t support_count = std::max<size_t>(
+          1, static_cast<size_t>(config_.support_fraction *
+                                 static_cast<double>(task.size())));
+      const std::vector<data::Rating> support(
+          task.begin(), task.begin() + static_cast<int64_t>(support_count));
+      const std::vector<data::Rating> query(
+          task.begin() + static_cast<int64_t>(support_count), task.end());
+      if (query.empty()) continue;
+
+      const std::vector<Tensor> snapshot = SnapshotParameters();
+
+      // Inner adaptation on the support set.
+      for (int s = 0; s < config_.inner_steps; ++s) InnerStep(support);
+
+      // Query gradient at the adapted parameters (FOMAML meta-gradient).
+      std::vector<std::pair<int64_t, int64_t>> pairs;
+      std::vector<float> targets;
+      for (const data::Rating& rating : query) {
+        pairs.emplace_back(rating.user, rating.item);
+        targets.push_back(rating.value);
+      }
+      ZeroGrad();
+      ag::Variable loss =
+          ag::MSE(ScorePairs(pairs), Tensor::FromVector(std::move(targets)));
+      loss.Backward();
+      batch_query_loss += loss.value().flat(0);
+
+      for (size_t p = 0; p < parameters.size(); ++p) {
+        if (!parameters[p].has_grad()) continue;
+        const Tensor& grad = parameters[p].grad();
+        for (int64_t i = 0; i < grad.size(); ++i) {
+          meta_grads[p].flat(i) +=
+              grad.flat(i) / static_cast<float>(config_.tasks_per_batch);
+        }
+      }
+      RestoreParameters(snapshot);
+      ZeroGrad();
+    }
+
+    // Inject accumulated meta-gradients and take the meta step.
+    for (size_t p = 0; p < parameters.size(); ++p) {
+      parameters[p].ZeroGrad();
+      parameters[p].impl()->AccumulateGrad(meta_grads[p]);
+    }
+    meta_optimizer.Step();
+
+    if (config_.log_every > 0 && (iteration + 1) % config_.log_every == 0) {
+      HIRE_LOG(Info) << "MeLU-FO iteration " << (iteration + 1) << "/"
+                     << config_.meta_iterations << " query loss "
+                     << batch_query_loss / config_.tasks_per_batch;
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<float> MeLUFO::PredictForUser(
+    int64_t user, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& visible_graph) {
+  // Test-time adaptation on the cold user's visible (support) ratings.
+  std::vector<data::Rating> support;
+  for (int64_t item : visible_graph.ItemsOfUser(user)) {
+    support.push_back(
+        data::Rating{user, item, *visible_graph.GetRating(user, item)});
+    if (static_cast<int>(support.size()) >= config_.max_adapt_ratings) break;
+  }
+
+  const std::vector<Tensor> snapshot = SnapshotParameters();
+  if (!support.empty()) {
+    for (int s = 0; s < config_.inner_steps; ++s) InnerStep(support);
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(items.size());
+  for (int64_t item : items) pairs.emplace_back(user, item);
+  const ag::Variable predicted = ScorePairs(pairs);
+  std::vector<float> out(items.size());
+  for (size_t j = 0; j < items.size(); ++j) {
+    out[j] = predicted.value().flat(static_cast<int64_t>(j));
+  }
+  RestoreParameters(snapshot);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace hire

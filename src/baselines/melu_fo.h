@@ -1,0 +1,81 @@
+#ifndef HIRE_BASELINES_MELU_FO_H_
+#define HIRE_BASELINES_MELU_FO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/feature_embedder.h"
+#include "core/evaluation.h"
+#include "data/dataset.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace baselines {
+
+/// Meta-training hyper-parameters for MeLUFO.
+struct MeLUConfig {
+  int64_t meta_iterations = 150;
+  /// Tasks (users) per meta-batch.
+  int tasks_per_batch = 4;
+  /// Inner-loop SGD steps on a task's support set.
+  int inner_steps = 3;
+  float inner_learning_rate = 0.05f;
+  float meta_learning_rate = 1e-3f;
+  /// Users need at least this many ratings to form a task.
+  int min_task_ratings = 5;
+  /// Share of a task's ratings used as support (rest is query), mirroring
+  /// the evaluation protocol's 10%/90%.
+  double support_fraction = 0.1;
+  /// Cap on support ratings used during test-time adaptation.
+  int max_adapt_ratings = 24;
+  uint64_t seed = 31;
+  int64_t log_every = 0;
+};
+
+/// MeLU-style meta-learned preference estimator (Lee et al. 2019) with
+/// first-order MAML (FOMAML): the user-preference MLP is meta-trained so a
+/// few SGD steps on a cold user's support ratings personalise it. The
+/// second-order MAML term is dropped — the documented approximation that
+/// keeps the meta-gradient computable without differentiating through the
+/// optimiser.
+class MeLUFO : public nn::Module, public core::RatingPredictor {
+ public:
+  MeLUFO(const data::Dataset* dataset, int64_t embed_dim,
+         const MeLUConfig& config);
+
+  /// Meta-trains over per-user tasks drawn from `train_ratings`.
+  void MetaTrain(const std::vector<data::Rating>& train_ratings);
+
+  // core::RatingPredictor:
+  std::string name() const override { return "MeLU-FO"; }
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+ private:
+  ag::Variable ScorePairs(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+  /// One MSE backward pass + in-place SGD update on the current parameters.
+  void InnerStep(const std::vector<data::Rating>& support);
+
+  std::vector<Tensor> SnapshotParameters() const;
+  void RestoreParameters(const std::vector<Tensor>& snapshot);
+
+  const data::Dataset* dataset_;
+  MeLUConfig config_;
+  float rating_scale_;
+  Rng rng_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_MELU_FO_H_

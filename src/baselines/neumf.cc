@@ -1,0 +1,62 @@
+#include "baselines/neumf.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+NeuMF::NeuMF(const data::Dataset* dataset, int64_t embed_dim, uint64_t seed) {
+  HIRE_CHECK(dataset != nullptr);
+  rating_scale_ = dataset->max_rating();
+  Rng rng(seed);
+
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset, embed_dim, &rng);
+  RegisterSubmodule("embedder", embedder_.get());
+
+  const int64_t gmf_dim = embed_dim;
+  user_projection_ =
+      std::make_unique<nn::Linear>(embedder_->user_dim(), gmf_dim, &rng);
+  item_projection_ =
+      std::make_unique<nn::Linear>(embedder_->item_dim(), gmf_dim, &rng);
+  RegisterSubmodule("user_projection", user_projection_.get());
+  RegisterSubmodule("item_projection", item_projection_.get());
+
+  mlp_branch_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedder_->pair_dim(), 2 * embed_dim, embed_dim},
+      nn::Activation::kRelu, &rng);
+  RegisterSubmodule("mlp", mlp_branch_.get());
+
+  fusion_ = std::make_unique<nn::Linear>(gmf_dim + embed_dim, 1, &rng);
+  RegisterSubmodule("fusion", fusion_.get());
+}
+
+ag::Variable NeuMF::ScoreBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const graph::BipartiteGraph* /*visible_graph*/) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  std::vector<int64_t> users(pairs.size());
+  std::vector<int64_t> items(pairs.size());
+  for (size_t b = 0; b < pairs.size(); ++b) {
+    users[b] = pairs[b].first;
+    items[b] = pairs[b].second;
+  }
+
+  ag::Variable user_features = embedder_->EmbedUsers(users);
+  ag::Variable item_features = embedder_->EmbedItems(items);
+
+  // GMF branch: elementwise interaction of projected representations.
+  ag::Variable gmf = ag::Mul(user_projection_->Forward(user_features),
+                             item_projection_->Forward(item_features));
+
+  // MLP branch over the concatenated raw features.
+  ag::Variable mlp = mlp_branch_->Forward(
+      ag::Concat({user_features, item_features}, /*axis=*/1));
+
+  ag::Variable logits = fusion_->Forward(ag::Concat({gmf, mlp}, /*axis=*/1));
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+}  // namespace baselines
+}  // namespace hire

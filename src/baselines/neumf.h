@@ -1,0 +1,42 @@
+#ifndef HIRE_BASELINES_NEUMF_H_
+#define HIRE_BASELINES_NEUMF_H_
+
+#include <memory>
+
+#include "baselines/feature_embedder.h"
+#include "baselines/pointwise_model.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace baselines {
+
+/// Neural Collaborative Filtering (He et al. 2017), feature-based variant:
+/// a GMF branch (elementwise product of user and item representations) and
+/// an MLP branch over the concatenated features, fused by a final linear
+/// layer with sigmoid output scaled to the rating range.
+class NeuMF : public PointwiseModel {
+ public:
+  NeuMF(const data::Dataset* dataset, int64_t embed_dim, uint64_t seed);
+
+  ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) override;
+
+  std::string name() const override { return "NeuMF"; }
+
+ private:
+  float rating_scale_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> user_projection_;  // user feats -> gmf dim
+  std::unique_ptr<nn::Linear> item_projection_;  // item feats -> gmf dim
+  std::unique_ptr<nn::Mlp> mlp_branch_;
+  std::unique_ptr<nn::Linear> fusion_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_NEUMF_H_

@@ -1,0 +1,33 @@
+#ifndef HIRE_BASELINES_POINTWISE_MODEL_H_
+#define HIRE_BASELINES_POINTWISE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/bipartite_graph.h"
+#include "nn/module.h"
+
+namespace hire {
+namespace baselines {
+
+/// Base class for pointwise rating regressors (the neural CF baselines and
+/// GraphRecLite): given a batch of (user, item) pairs they produce predicted
+/// ratings. Models that exploit graph structure (GraphRecLite) read the
+/// optional visibility graph; pure feature models ignore it.
+class PointwiseModel : public nn::Module {
+ public:
+  /// Predicted ratings for `pairs`: shape [B].
+  virtual ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_POINTWISE_MODEL_H_

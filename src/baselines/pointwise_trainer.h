@@ -1,0 +1,53 @@
+#ifndef HIRE_BASELINES_POINTWISE_TRAINER_H_
+#define HIRE_BASELINES_POINTWISE_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/pointwise_model.h"
+#include "core/evaluation.h"
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+
+namespace hire {
+namespace baselines {
+
+/// Training configuration shared by the pointwise baselines.
+struct PointwiseTrainConfig {
+  int64_t num_steps = 400;
+  int64_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  float weight_decay = 0.0f;
+  uint64_t seed = 11;
+  int64_t log_every = 0;
+};
+
+/// Fits a pointwise model on the observed training ratings with Adam + MSE.
+/// `graph` (built over the same ratings) is forwarded to graph-aware models.
+/// Returns the final mini-batch loss.
+float FitPointwise(PointwiseModel* model,
+                   const std::vector<data::Rating>& train_ratings,
+                   const graph::BipartiteGraph* graph,
+                   const PointwiseTrainConfig& config);
+
+/// RatingPredictor adapter running a trained pointwise model through the
+/// cold-start evaluation protocol.
+class PointwisePredictor : public core::RatingPredictor {
+ public:
+  explicit PointwisePredictor(PointwiseModel* model);
+
+  std::string name() const override;
+
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+ private:
+  PointwiseModel* model_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_POINTWISE_TRAINER_H_

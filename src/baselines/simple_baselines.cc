@@ -1,0 +1,144 @@
+#include "baselines/simple_baselines.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+namespace {
+
+std::pair<std::unordered_map<int64_t, float>, float> ComputeItemMeans(
+    const std::vector<data::Rating>& ratings) {
+  std::unordered_map<int64_t, double> sums;
+  std::unordered_map<int64_t, int64_t> counts;
+  double global_sum = 0.0;
+  for (const data::Rating& rating : ratings) {
+    sums[rating.item] += rating.value;
+    ++counts[rating.item];
+    global_sum += rating.value;
+  }
+  std::unordered_map<int64_t, float> means;
+  means.reserve(sums.size());
+  for (const auto& [item, sum] : sums) {
+    means[item] = static_cast<float>(sum / counts[item]);
+  }
+  const float global_mean =
+      ratings.empty() ? 0.0f
+                      : static_cast<float>(global_sum /
+                                           static_cast<double>(ratings.size()));
+  return {std::move(means), global_mean};
+}
+
+}  // namespace
+
+PopularityBaseline::PopularityBaseline(
+    const data::Dataset* dataset,
+    const std::vector<data::Rating>& train_ratings) {
+  HIRE_CHECK(dataset != nullptr);
+  auto [means, global] = ComputeItemMeans(train_ratings);
+  item_means_ = std::move(means);
+  global_mean_ = global;
+}
+
+std::vector<float> PopularityBaseline::PredictForUser(
+    int64_t /*user*/, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& /*visible_graph*/) {
+  std::vector<float> out;
+  out.reserve(items.size());
+  for (int64_t item : items) {
+    const auto it = item_means_.find(item);
+    out.push_back(it != item_means_.end() ? it->second : global_mean_);
+  }
+  return out;
+}
+
+ItemKnnBaseline::ItemKnnBaseline(
+    const data::Dataset* dataset,
+    const std::vector<data::Rating>& train_ratings)
+    : dataset_(dataset) {
+  HIRE_CHECK(dataset_ != nullptr);
+  item_ratings_.assign(static_cast<size_t>(dataset_->num_items()), {});
+  for (const data::Rating& rating : train_ratings) {
+    item_ratings_[static_cast<size_t>(rating.item)][rating.user] =
+        rating.value;
+  }
+  auto [means, global] = ComputeItemMeans(train_ratings);
+  item_means_ = std::move(means);
+  global_mean_ = global;
+}
+
+double ItemKnnBaseline::Similarity(int64_t item_a, int64_t item_b) const {
+  const auto& ratings_a = item_ratings_[static_cast<size_t>(item_a)];
+  const auto& ratings_b = item_ratings_[static_cast<size_t>(item_b)];
+
+  // Cosine over co-rated users.
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  const auto& smaller = ratings_a.size() <= ratings_b.size() ? ratings_a
+                                                             : ratings_b;
+  const auto& larger = ratings_a.size() <= ratings_b.size() ? ratings_b
+                                                            : ratings_a;
+  for (const auto& [user, value] : smaller) {
+    const auto it = larger.find(user);
+    if (it != larger.end()) dot += value * it->second;
+  }
+  for (const auto& [user, value] : ratings_a) norm_a += value * value;
+  for (const auto& [user, value] : ratings_b) norm_b += value * value;
+  if (dot > 0.0 && norm_a > 0.0 && norm_b > 0.0) {
+    return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  }
+
+  // Cold-item backoff: attribute match fraction.
+  const auto& attrs_a = dataset_->item_attributes(item_a);
+  const auto& attrs_b = dataset_->item_attributes(item_b);
+  int64_t matches = 0;
+  for (size_t a = 0; a < attrs_a.size(); ++a) {
+    if (attrs_a[a] == attrs_b[a]) ++matches;
+  }
+  return 0.25 * static_cast<double>(matches) /
+         static_cast<double>(attrs_a.size());
+}
+
+std::vector<float> ItemKnnBaseline::PredictForUser(
+    int64_t user, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& visible_graph) {
+  // The user's visible ratings are the evidence base.
+  std::vector<std::pair<int64_t, float>> evidence;
+  for (int64_t item : visible_graph.ItemsOfUser(user)) {
+    evidence.emplace_back(item, *visible_graph.GetRating(user, item));
+  }
+
+  std::vector<float> out;
+  out.reserve(items.size());
+  for (int64_t target : items) {
+    const auto mean_it = item_means_.find(target);
+    const float fallback =
+        mean_it != item_means_.end() ? mean_it->second : global_mean_;
+    if (evidence.empty()) {
+      out.push_back(fallback);
+      continue;
+    }
+    double weighted = 0.0;
+    double weight_total = 0.0;
+    for (const auto& [item, value] : evidence) {
+      if (item == target) continue;
+      const double similarity = Similarity(target, item);
+      weighted += similarity * value;
+      weight_total += std::fabs(similarity);
+    }
+    if (weight_total > 1e-9) {
+      // Blend the neighborhood estimate with the item prior.
+      out.push_back(static_cast<float>(0.8 * weighted / weight_total +
+                                       0.2 * fallback));
+    } else {
+      out.push_back(fallback);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace hire

@@ -1,0 +1,61 @@
+#ifndef HIRE_BASELINES_SIMPLE_BASELINES_H_
+#define HIRE_BASELINES_SIMPLE_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "data/dataset.h"
+
+namespace hire {
+namespace baselines {
+
+/// Non-parametric reference: predicts an item's mean training rating
+/// (global mean for unseen items). Any learning model should beat this.
+class PopularityBaseline : public core::RatingPredictor {
+ public:
+  PopularityBaseline(const data::Dataset* dataset,
+                     const std::vector<data::Rating>& train_ratings);
+
+  std::string name() const override { return "Popularity"; }
+
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+ private:
+  std::unordered_map<int64_t, float> item_means_;
+  float global_mean_ = 0.0f;
+};
+
+/// Classic item-based collaborative filtering: predicts a user's rating on
+/// item i as the similarity-weighted average of the user's visible ratings,
+/// where item-item similarity is the cosine over co-rater rating vectors
+/// from training, backed off to attribute match fraction for cold items.
+class ItemKnnBaseline : public core::RatingPredictor {
+ public:
+  ItemKnnBaseline(const data::Dataset* dataset,
+                  const std::vector<data::Rating>& train_ratings);
+
+  std::string name() const override { return "ItemKNN"; }
+
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+ private:
+  double Similarity(int64_t item_a, int64_t item_b) const;
+
+  const data::Dataset* dataset_;
+  /// item -> (user -> rating) from training.
+  std::vector<std::unordered_map<int64_t, float>> item_ratings_;
+  std::unordered_map<int64_t, float> item_means_;
+  float global_mean_ = 0.0f;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_SIMPLE_BASELINES_H_

@@ -1,0 +1,157 @@
+#include "baselines/tanp_lite.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "autograd/ops.h"
+#include "optim/adam.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace hire {
+namespace baselines {
+
+TaNPLite::TaNPLite(const data::Dataset* dataset, int64_t embed_dim,
+                   const TaNPConfig& config)
+    : dataset_(dataset), config_(config), rng_(config.seed) {
+  HIRE_CHECK(dataset_ != nullptr);
+  rating_scale_ = dataset_->max_rating();
+  task_dim_ = 2 * embed_dim;
+  Rng init_rng = rng_.Fork(1);
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset_, embed_dim,
+                                                &init_rng);
+  RegisterSubmodule("embedder", embedder_.get());
+  support_encoder_ = std::make_unique<nn::Linear>(
+      embedder_->pair_dim() + 1, task_dim_, &init_rng);
+  RegisterSubmodule("support_encoder", support_encoder_.get());
+  decoder_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedder_->pair_dim() + task_dim_, 4 * embed_dim,
+                           2 * embed_dim, 1},
+      nn::Activation::kRelu, &init_rng);
+  RegisterSubmodule("decoder", decoder_.get());
+}
+
+ag::Variable TaNPLite::EncodeSupport(
+    const std::vector<data::Rating>& support) {
+  if (support.empty()) {
+    return ag::Variable(Tensor::Zeros({1, task_dim_}), false);
+  }
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  Tensor values({static_cast<int64_t>(support.size()), 1});
+  for (size_t s = 0; s < support.size(); ++s) {
+    pairs.emplace_back(support[s].user, support[s].item);
+    values.at(static_cast<int64_t>(s), 0) =
+        support[s].value / rating_scale_;
+  }
+  ag::Variable features = embedder_->EmbedPairsFlat(pairs);
+  ag::Variable with_ratings =
+      ag::Concat({features, ag::Variable(values, false)}, /*axis=*/1);
+  ag::Variable encoded =
+      ag::Relu(support_encoder_->Forward(with_ratings));  // [S, task_dim]
+  // Mean pooling over the support set (permutation invariant).
+  const std::vector<int64_t> segments(support.size(), 0);
+  return ag::SegmentMean(encoded, segments, /*num_segments=*/1);
+}
+
+ag::Variable TaNPLite::DecodeQueries(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const ag::Variable& task_embedding) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  ag::Variable features = embedder_->EmbedPairsFlat(pairs);  // [B, pair_dim]
+  // Tile the task embedding [1, d] across the batch.
+  ag::Variable tiled = ag::Reshape(
+      ag::BroadcastUsers(task_embedding, batch), {batch, task_dim_});
+  ag::Variable logits =
+      decoder_->Forward(ag::Concat({features, tiled}, /*axis=*/1));
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+void TaNPLite::MetaTrain(const std::vector<data::Rating>& train_ratings) {
+  std::unordered_map<int64_t, std::vector<data::Rating>> by_user;
+  for (const data::Rating& rating : train_ratings) {
+    by_user[rating.user].push_back(rating);
+  }
+  std::vector<std::vector<data::Rating>> tasks;
+  for (auto& [user, ratings] : by_user) {
+    if (static_cast<int>(ratings.size()) >= config_.min_task_ratings) {
+      tasks.push_back(std::move(ratings));
+    }
+  }
+  HIRE_CHECK(!tasks.empty()) << "no user has enough ratings to form a task";
+
+  SetTraining(true);
+  optim::AdamConfig adam_config;
+  adam_config.learning_rate = config_.learning_rate;
+  optim::Adam optimizer(Parameters(), adam_config);
+
+  for (int64_t iteration = 0; iteration < config_.meta_iterations;
+       ++iteration) {
+    optimizer.ZeroGrad();
+    ag::Variable batch_loss;
+    for (int t = 0; t < config_.tasks_per_batch; ++t) {
+      std::vector<data::Rating> task = tasks[static_cast<size_t>(
+          rng_.UniformInt(static_cast<int64_t>(tasks.size())))];
+      rng_.Shuffle(&task);
+      const size_t support_count = std::max<size_t>(
+          1, static_cast<size_t>(config_.support_fraction *
+                                 static_cast<double>(task.size())));
+      const std::vector<data::Rating> support(
+          task.begin(), task.begin() + static_cast<int64_t>(support_count));
+      const std::vector<data::Rating> query(
+          task.begin() + static_cast<int64_t>(support_count), task.end());
+      if (query.empty()) continue;
+
+      ag::Variable task_embedding = EncodeSupport(support);
+      std::vector<std::pair<int64_t, int64_t>> pairs;
+      std::vector<float> targets;
+      for (const data::Rating& rating : query) {
+        pairs.emplace_back(rating.user, rating.item);
+        targets.push_back(rating.value);
+      }
+      ag::Variable loss = ag::MSE(DecodeQueries(pairs, task_embedding),
+                                  Tensor::FromVector(std::move(targets)));
+      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+    }
+    if (!batch_loss.defined()) continue;
+    batch_loss = ag::MulScalar(
+        batch_loss, 1.0f / static_cast<float>(config_.tasks_per_batch));
+    batch_loss.Backward();
+    optimizer.Step();
+
+    if (config_.log_every > 0 && (iteration + 1) % config_.log_every == 0) {
+      HIRE_LOG(Info) << "TaNP-lite iteration " << (iteration + 1) << "/"
+                     << config_.meta_iterations << " loss "
+                     << batch_loss.value().flat(0);
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<float> TaNPLite::PredictForUser(
+    int64_t user, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& visible_graph) {
+  // Amortized adaptation: encode the user's visible ratings, no gradients.
+  std::vector<data::Rating> support;
+  for (int64_t item : visible_graph.ItemsOfUser(user)) {
+    support.push_back(
+        data::Rating{user, item, *visible_graph.GetRating(user, item)});
+    if (static_cast<int>(support.size()) >= config_.max_support_ratings) {
+      break;
+    }
+  }
+  ag::Variable task_embedding = EncodeSupport(support);
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(items.size());
+  for (int64_t item : items) pairs.emplace_back(user, item);
+  const ag::Variable predicted = DecodeQueries(pairs, task_embedding);
+  std::vector<float> out(items.size());
+  for (size_t j = 0; j < items.size(); ++j) {
+    out[j] = predicted.value().flat(static_cast<int64_t>(j));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace hire

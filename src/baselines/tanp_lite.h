@@ -1,0 +1,79 @@
+#ifndef HIRE_BASELINES_TANP_LITE_H_
+#define HIRE_BASELINES_TANP_LITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/feature_embedder.h"
+#include "core/evaluation.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace hire {
+namespace baselines {
+
+/// Training hyper-parameters for TaNPLite.
+struct TaNPConfig {
+  int64_t meta_iterations = 300;
+  int tasks_per_batch = 4;
+  /// Share of a task's ratings forming the support set.
+  double support_fraction = 0.1;
+  int min_task_ratings = 5;
+  /// Cap on support ratings encoded at test time.
+  int max_support_ratings = 32;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 47;
+  int64_t log_every = 0;
+};
+
+/// TaNP-style task-adaptive neural process (Lin et al. 2021), reduced to its
+/// deterministic path: a set encoder maps a user's support ratings
+/// (pair features ++ rating value) to a task embedding by mean pooling, and
+/// the decoder predicts query ratings conditioned on [pair features || task
+/// embedding]. Adaptation is *amortized* — unlike MAML-style baselines, no
+/// test-time gradient steps are needed, which is TaNP's selling point.
+class TaNPLite : public nn::Module, public core::RatingPredictor {
+ public:
+  TaNPLite(const data::Dataset* dataset, int64_t embed_dim,
+           const TaNPConfig& config);
+
+  /// Meta-trains over per-user tasks from `train_ratings`: each task is
+  /// split into support/query; the loss is the query MSE given the task
+  /// embedding encoded from the support.
+  void MetaTrain(const std::vector<data::Rating>& train_ratings);
+
+  // core::RatingPredictor:
+  std::string name() const override { return "TaNP-lite"; }
+  std::vector<float> PredictForUser(
+      int64_t user, const std::vector<int64_t>& items,
+      const graph::BipartiteGraph& visible_graph) override;
+
+ private:
+  /// Encodes a support set into a task embedding [1, task_dim]; an empty
+  /// support yields the zero embedding (pure prior).
+  ag::Variable EncodeSupport(const std::vector<data::Rating>& support);
+
+  /// Decodes ratings for pairs given a task embedding.
+  ag::Variable DecodeQueries(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const ag::Variable& task_embedding);
+
+  const data::Dataset* dataset_;
+  TaNPConfig config_;
+  float rating_scale_;
+  int64_t task_dim_;
+  Rng rng_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> support_encoder_;  // [pair_dim + 1] -> task_dim
+  std::unique_ptr<nn::Mlp> decoder_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_TANP_LITE_H_

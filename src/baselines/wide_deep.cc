@@ -1,0 +1,39 @@
+#include "baselines/wide_deep.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+
+WideDeep::WideDeep(const data::Dataset* dataset, int64_t embed_dim,
+                   uint64_t seed) {
+  HIRE_CHECK(dataset != nullptr);
+  rating_scale_ = dataset->max_rating();
+  Rng rng(seed);
+
+  embedder_ = std::make_unique<FeatureEmbedder>(dataset, embed_dim, &rng);
+  RegisterSubmodule("embedder", embedder_.get());
+
+  wide_ = std::make_unique<nn::Linear>(embedder_->pair_dim(), 1, &rng);
+  RegisterSubmodule("wide", wide_.get());
+
+  deep_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedder_->pair_dim(), 2 * embed_dim, embed_dim, 1},
+      nn::Activation::kRelu, &rng);
+  RegisterSubmodule("deep", deep_.get());
+}
+
+ag::Variable WideDeep::ScoreBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const graph::BipartiteGraph* /*visible_graph*/) {
+  const int64_t batch = static_cast<int64_t>(pairs.size());
+  ag::Variable features = embedder_->EmbedPairsFlat(pairs);
+  ag::Variable logits =
+      ag::Add(wide_->Forward(features), deep_->Forward(features));
+  return ag::Reshape(ag::MulScalar(ag::Sigmoid(logits), rating_scale_),
+                     {batch});
+}
+
+}  // namespace baselines
+}  // namespace hire

@@ -1,0 +1,39 @@
+#ifndef HIRE_BASELINES_WIDE_DEEP_H_
+#define HIRE_BASELINES_WIDE_DEEP_H_
+
+#include <memory>
+
+#include "baselines/feature_embedder.h"
+#include "baselines/pointwise_model.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace hire {
+namespace baselines {
+
+/// Wide & Deep (Cheng et al. 2016): a wide linear model over the sparse
+/// features (realised as a linear map over the field embeddings, which is a
+/// linear function of the underlying one-hots) plus a deep MLP, summed into
+/// a single logit.
+class WideDeep : public PointwiseModel {
+ public:
+  WideDeep(const data::Dataset* dataset, int64_t embed_dim, uint64_t seed);
+
+  ag::Variable ScoreBatch(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const graph::BipartiteGraph* visible_graph) override;
+
+  std::string name() const override { return "Wide&Deep"; }
+
+ private:
+  float rating_scale_;
+  std::unique_ptr<FeatureEmbedder> embedder_;
+  std::unique_ptr<nn::Linear> wide_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace baselines
+}  // namespace hire
+
+#endif  // HIRE_BASELINES_WIDE_DEEP_H_

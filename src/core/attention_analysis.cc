@@ -1,0 +1,92 @@
+#include "core/attention_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace core {
+
+Tensor AverageHeads(const Tensor& captured, int64_t batch_index) {
+  HIRE_CHECK_EQ(captured.dim(), 4)
+      << "expected captured attention [B, l, t, t], got "
+      << captured.ShapeString();
+  HIRE_CHECK(batch_index >= 0 && batch_index < captured.shape(0))
+      << "batch index " << batch_index;
+  const int64_t heads = captured.shape(1);
+  const int64_t tokens = captured.shape(2);
+  HIRE_CHECK_EQ(captured.shape(3), tokens);
+
+  Tensor out({tokens, tokens});
+  const float inverse_heads = 1.0f / static_cast<float>(heads);
+  for (int64_t h = 0; h < heads; ++h) {
+    for (int64_t i = 0; i < tokens; ++i) {
+      for (int64_t j = 0; j < tokens; ++j) {
+        out.at(i, j) += captured.at(batch_index, h, i, j) * inverse_heads;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AttentionEdge> TopAttentionEdges(const Tensor& attention,
+                                             int64_t top_k) {
+  HIRE_CHECK_EQ(attention.dim(), 2);
+  HIRE_CHECK_EQ(attention.shape(0), attention.shape(1));
+  HIRE_CHECK_GT(top_k, 0);
+  const int64_t tokens = attention.shape(0);
+
+  std::vector<AttentionEdge> edges;
+  edges.reserve(static_cast<size_t>(tokens * (tokens - 1)));
+  for (int64_t i = 0; i < tokens; ++i) {
+    for (int64_t j = 0; j < tokens; ++j) {
+      if (i == j) continue;
+      edges.push_back(AttentionEdge{i, j, attention.at(i, j)});
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const AttentionEdge& a, const AttentionEdge& b) {
+                     return a.weight > b.weight;
+                   });
+  if (static_cast<int64_t>(edges.size()) > top_k) {
+    edges.resize(static_cast<size_t>(top_k));
+  }
+  return edges;
+}
+
+std::string RenderHeatmap(const Tensor& attention) {
+  HIRE_CHECK_EQ(attention.dim(), 2);
+  static const char kShades[] = " .:-=+*#%@";
+  float max_value = 1e-9f;
+  for (int64_t i = 0; i < attention.size(); ++i) {
+    max_value = std::max(max_value, attention.flat(i));
+  }
+  std::ostringstream out;
+  for (int64_t i = 0; i < attention.shape(0); ++i) {
+    for (int64_t j = 0; j < attention.shape(1); ++j) {
+      const int shade = std::min<int>(
+          9, static_cast<int>(attention.at(i, j) / max_value * 9.99f));
+      out << kShades[shade] << kShades[shade];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+float MaxRowSumDeviation(const Tensor& attention) {
+  HIRE_CHECK_EQ(attention.dim(), 2);
+  float worst = 0.0f;
+  for (int64_t i = 0; i < attention.shape(0); ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < attention.shape(1); ++j) {
+      row += attention.at(i, j);
+    }
+    worst = std::max(worst, std::fabs(row - 1.0f));
+  }
+  return worst;
+}
+
+}  // namespace core
+}  // namespace hire

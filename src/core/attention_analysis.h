@@ -1,0 +1,46 @@
+#ifndef HIRE_CORE_ATTENTION_ANALYSIS_H_
+#define HIRE_CORE_ATTENTION_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace core {
+
+/// Utilities for inspecting captured attention weights (the paper's Fig. 9
+/// case study). Captured tensors have shape [B, l, t, t]: batch of views,
+/// l heads, t x t attention weights.
+
+/// Averages the attention weights over heads for one batch view:
+/// [B, l, t, t] at `batch_index` -> [t, t].
+Tensor AverageHeads(const Tensor& captured, int64_t batch_index);
+
+/// One directed attention edge i -> j with its (head-averaged) weight.
+struct AttentionEdge {
+  int64_t from = 0;
+  int64_t to = 0;
+  float weight = 0.0f;
+};
+
+/// The `top_k` strongest off-diagonal edges of a [t, t] attention matrix,
+/// sorted by descending weight. Ties resolve by (from, to) order, so the
+/// result is deterministic.
+std::vector<AttentionEdge> TopAttentionEdges(const Tensor& attention,
+                                             int64_t top_k);
+
+/// Renders a [t, t] attention matrix as an ASCII heatmap (rows of glyphs
+/// from light to dark), normalised by the matrix maximum. Useful for
+/// terminal-based case studies.
+std::string RenderHeatmap(const Tensor& attention);
+
+/// Row-stochasticity check: returns the maximum |row sum - 1| over all
+/// rows; a correctly captured softmax matrix stays within float epsilon.
+float MaxRowSumDeviation(const Tensor& attention);
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_ATTENTION_ANALYSIS_H_

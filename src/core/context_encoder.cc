@@ -1,0 +1,123 @@
+#include "core/context_encoder.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace core {
+
+ContextEncoder::ContextEncoder(const data::Dataset* dataset,
+                               int64_t attr_embed_dim, Rng* rng)
+    : dataset_(dataset), attr_embed_dim_(attr_embed_dim) {
+  HIRE_CHECK(dataset_ != nullptr);
+  HIRE_CHECK_GT(attr_embed_dim_, 0);
+
+  const auto& user_schema = dataset_->user_schema();
+  const auto& item_schema = dataset_->item_schema();
+  num_attribute_slots_ = static_cast<int64_t>(user_schema.size()) +
+                         static_cast<int64_t>(item_schema.size()) + 1;
+
+  for (size_t a = 0; a < user_schema.size(); ++a) {
+    user_attribute_embeddings_.push_back(std::make_unique<nn::Embedding>(
+        user_schema[a].num_categories, attr_embed_dim_, rng));
+    RegisterSubmodule("user_" + user_schema[a].name,
+                      user_attribute_embeddings_.back().get());
+  }
+  for (size_t a = 0; a < item_schema.size(); ++a) {
+    item_attribute_embeddings_.push_back(std::make_unique<nn::Embedding>(
+        item_schema[a].num_categories, attr_embed_dim_, rng));
+    RegisterSubmodule("item_" + item_schema[a].name,
+                      item_attribute_embeddings_.back().get());
+  }
+  if (dataset_->continuous_ratings()) {
+    rating_projection_ =
+        std::make_unique<nn::Linear>(1, attr_embed_dim_, rng);
+    RegisterSubmodule("rating", rating_projection_.get());
+  } else {
+    rating_embedding_ = std::make_unique<nn::Embedding>(
+        dataset_->NumRatingLevels(), attr_embed_dim_, rng);
+    RegisterSubmodule("rating", rating_embedding_.get());
+  }
+}
+
+ag::Variable ContextEncoder::Encode(
+    const graph::PredictionContext& context) const {
+  const int64_t n = context.num_users();
+  const int64_t m = context.num_items();
+  HIRE_CHECK_GT(n, 0);
+  HIRE_CHECK_GT(m, 0);
+
+  // x_u = [f_U^1(e_u^1) || ... || f_U^{h_u}(e_u^{h_u})]  (Eq. 7): [n, h_u*f].
+  std::vector<ag::Variable> user_parts;
+  user_parts.reserve(user_attribute_embeddings_.size());
+  for (size_t a = 0; a < user_attribute_embeddings_.size(); ++a) {
+    std::vector<int64_t> indices(static_cast<size_t>(n));
+    for (int64_t k = 0; k < n; ++k) {
+      indices[static_cast<size_t>(k)] =
+          dataset_->user_attributes(context.users[static_cast<size_t>(k)])[a];
+    }
+    user_parts.push_back(user_attribute_embeddings_[a]->Forward(indices));
+  }
+  ag::Variable user_features = user_parts.size() == 1
+                                   ? user_parts[0]
+                                   : ag::Concat(user_parts, /*axis=*/1);
+
+  // x_i (Eq. 8): [m, h_i*f].
+  std::vector<ag::Variable> item_parts;
+  item_parts.reserve(item_attribute_embeddings_.size());
+  for (size_t a = 0; a < item_attribute_embeddings_.size(); ++a) {
+    std::vector<int64_t> indices(static_cast<size_t>(m));
+    for (int64_t j = 0; j < m; ++j) {
+      indices[static_cast<size_t>(j)] =
+          dataset_->item_attributes(context.items[static_cast<size_t>(j)])[a];
+    }
+    item_parts.push_back(item_attribute_embeddings_[a]->Forward(indices));
+  }
+  ag::Variable item_features = item_parts.size() == 1
+                                   ? item_parts[0]
+                                   : ag::Concat(item_parts, /*axis=*/1);
+
+  // x_r (Eq. 9): [n*m, f]; masked cells become zero vectors.
+  ag::Variable rating_features;
+  if (dataset_->continuous_ratings()) {
+    // Linear map of the normalised scalar; masked rows zeroed by an
+    // elementwise product with the (constant) expanded visibility mask.
+    Tensor scalars({n * m, 1});
+    Tensor mask({n * m, attr_embed_dim_});
+    for (int64_t k = 0; k < n; ++k) {
+      for (int64_t j = 0; j < m; ++j) {
+        if (context.observed_mask.at(k, j) > 0.0f) {
+          scalars.at(k * m + j, 0) =
+              dataset_->NormalizeRating(context.observed_ratings.at(k, j));
+          for (int64_t c = 0; c < attr_embed_dim_; ++c) {
+            mask.at(k * m + j, c) = 1.0f;
+          }
+        }
+      }
+    }
+    rating_features =
+        ag::Mul(rating_projection_->Forward(ag::Variable(scalars, false)),
+                ag::Variable(mask, false));
+    rating_features = ag::Reshape(rating_features, {n, m, attr_embed_dim_});
+  } else {
+    std::vector<int64_t> rating_indices(static_cast<size_t>(n * m), -1);
+    for (int64_t k = 0; k < n; ++k) {
+      for (int64_t j = 0; j < m; ++j) {
+        if (context.observed_mask.at(k, j) > 0.0f) {
+          rating_indices[static_cast<size_t>(k * m + j)] =
+              dataset_->RatingToLevel(context.observed_ratings.at(k, j));
+        }
+      }
+    }
+    rating_features = ag::Reshape(rating_embedding_->Forward(rating_indices),
+                                  {n, m, attr_embed_dim_});
+  }
+
+  // H[k, j, :] = [x_{u_k} || x_{i_j} || x_r]  (Eq. 6): [n, m, e].
+  ag::Variable user_block = ag::BroadcastUsers(user_features, m);
+  ag::Variable item_block = ag::BroadcastItems(item_features, n);
+  return ag::Concat({user_block, item_block, rating_features}, /*axis=*/2);
+}
+
+}  // namespace core
+}  // namespace hire

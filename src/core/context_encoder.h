@@ -1,0 +1,65 @@
+#ifndef HIRE_CORE_CONTEXT_ENCODER_H_
+#define HIRE_CORE_CONTEXT_ENCODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "graph/context_builder.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace core {
+
+/// Builds the initial context embedding H ∈ R^{n x m x e} (paper Eq. 6-9).
+///
+/// Every categorical user attribute k has its own transform f_U^k, every
+/// item attribute its f_I^k, and ratings have f_R; all are realised as
+/// embedding tables (one-hot times weight matrix == row lookup). The cell
+/// (k, j) concatenates [x_{u_k} || x_{i_j} || x_r], so
+/// e = (h_u + h_i + 1) * f. Masked ratings contribute a zero vector.
+///
+/// Datasets with continuous rating scales (Dataset::continuous_ratings)
+/// use the paper's sketched extension: f_R becomes a linear map of the
+/// normalised scalar rating instead of a level lookup.
+class ContextEncoder : public nn::Module {
+ public:
+  /// `dataset` supplies schemas and attribute values; it must outlive the
+  /// encoder.
+  ContextEncoder(const data::Dataset* dataset, int64_t attr_embed_dim,
+                 Rng* rng);
+
+  /// Encodes a prediction context into H: [n, m, e].
+  ag::Variable Encode(const graph::PredictionContext& context) const;
+
+  /// Number of attribute slots h = h_u + h_i + 1 (the +1 is the rating).
+  int64_t num_attribute_slots() const { return num_attribute_slots_; }
+
+  /// f: per-attribute embedding width.
+  int64_t attr_embed_dim() const { return attr_embed_dim_; }
+
+  /// e = h * f: per-cell embedding width.
+  int64_t cell_embed_dim() const {
+    return num_attribute_slots_ * attr_embed_dim_;
+  }
+
+ private:
+  const data::Dataset* dataset_;
+  int64_t attr_embed_dim_;
+  int64_t num_attribute_slots_;
+  std::vector<std::unique_ptr<nn::Embedding>> user_attribute_embeddings_;
+  std::vector<std::unique_ptr<nn::Embedding>> item_attribute_embeddings_;
+  /// Discrete scales: level lookup table. Continuous scales: linear map.
+  std::unique_ptr<nn::Embedding> rating_embedding_;
+  std::unique_ptr<nn::Linear> rating_projection_;
+};
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_CONTEXT_ENCODER_H_

@@ -1,0 +1,183 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/context_builder.h"
+#include "utils/check.h"
+#include "utils/stopwatch.h"
+
+namespace hire {
+namespace core {
+
+HirePredictor::HirePredictor(HireModel* model,
+                             const graph::ContextSampler* sampler,
+                             int64_t context_users, int64_t context_items,
+                             uint64_t seed, double context_visible_fraction)
+    : model_(model),
+      sampler_(sampler),
+      context_users_(context_users),
+      context_items_(context_items),
+      context_visible_fraction_(context_visible_fraction),
+      rng_(seed) {
+  HIRE_CHECK(model_ != nullptr);
+  HIRE_CHECK(sampler_ != nullptr);
+  HIRE_CHECK_GT(context_users_, 0);
+  HIRE_CHECK_GT(context_items_, 0);
+  HIRE_CHECK(context_visible_fraction_ > 0.0 &&
+             context_visible_fraction_ <= 1.0);
+}
+
+std::vector<float> HirePredictor::PredictForUser(
+    int64_t user, const std::vector<int64_t>& items,
+    const graph::BipartiteGraph& visible_graph) {
+  std::vector<float> predictions;
+  predictions.reserve(items.size());
+
+  // Reserve part of the item budget for the cold user's own visible
+  // (support) items: they carry the collaborative evidence HIRE's user row
+  // needs. The remaining capacity processes query items in chunks.
+  const std::vector<int64_t>& support_items = visible_graph.ItemsOfUser(user);
+  const int64_t support_reserve = std::min<int64_t>(
+      static_cast<int64_t>(support_items.size()), context_items_ / 2);
+  const int64_t chunk_capacity =
+      std::max<int64_t>(1, context_items_ - support_reserve);
+
+  for (size_t begin = 0; begin < items.size();
+       begin += static_cast<size_t>(chunk_capacity)) {
+    const size_t end =
+        std::min(items.size(), begin + static_cast<size_t>(chunk_capacity));
+    const std::vector<int64_t> chunk(items.begin() + begin,
+                                     items.begin() + end);
+
+    // Seed with the query chunk first (so predictions line up with the
+    // leading columns), then the support items.
+    std::vector<int64_t> seed_items = chunk;
+    for (int64_t support : support_items) {
+      if (static_cast<int64_t>(seed_items.size()) >=
+          static_cast<int64_t>(chunk.size()) + support_reserve) {
+        break;
+      }
+      seed_items.push_back(support);
+    }
+
+    graph::ContextSelection selection =
+        sampler_->Sample(visible_graph, {user}, seed_items, context_users_,
+                         context_items_, &rng_);
+    graph::PredictionContext context =
+        graph::AssembleContext(visible_graph, std::move(selection));
+
+    // Thin the context's observed ratings to the training density (the
+    // paper keeps 10% visible at test time as well). The target user's
+    // support row is always preserved.
+    if (context_visible_fraction_ < 1.0) {
+      std::vector<int64_t> other_cells;
+      for (int64_t flat = 0; flat < context.observed_mask.size(); ++flat) {
+        const int64_t row = flat / context.num_items();
+        if (row == 0) continue;  // target user's row
+        if (context.observed_mask.flat(flat) > 0.0f) {
+          other_cells.push_back(flat);
+        }
+      }
+      rng_.Shuffle(&other_cells);
+      const size_t keep = static_cast<size_t>(
+          context_visible_fraction_ * static_cast<double>(other_cells.size()));
+      for (size_t c = keep; c < other_cells.size(); ++c) {
+        context.observed_mask.flat(other_cells[c]) = 0.0f;
+        context.observed_ratings.flat(other_cells[c]) = 0.0f;
+      }
+    }
+
+    const Tensor predicted = model_->Predict(context);
+
+    // The seed user is the first row; seed items are the first columns
+    // (samplers preserve seed order).
+    HIRE_CHECK_EQ(context.users[0], user);
+    for (size_t j = 0; j < chunk.size(); ++j) {
+      HIRE_CHECK_EQ(context.items[j], chunk[j]);
+      predictions.push_back(predicted.at(0, static_cast<int64_t>(j)));
+    }
+  }
+  return predictions;
+}
+
+EvalResult EvaluateColdStart(RatingPredictor* predictor,
+                             const data::Dataset& dataset,
+                             const data::ColdStartSplit& split,
+                             const EvalConfig& config) {
+  HIRE_CHECK(predictor != nullptr);
+  HIRE_CHECK(config.support_fraction >= 0.0 && config.support_fraction < 1.0);
+  Rng rng(config.seed);
+
+  // Reveal support_fraction of the test ratings as context input; the rest
+  // are prediction queries.
+  std::vector<data::Rating> shuffled = split.test_ratings;
+  rng.Shuffle(&shuffled);
+  const size_t support_count = static_cast<size_t>(
+      config.support_fraction * static_cast<double>(shuffled.size()));
+
+  std::vector<data::Rating> visible_ratings = split.train_ratings;
+  visible_ratings.insert(visible_ratings.end(), shuffled.begin(),
+                         shuffled.begin() + static_cast<int64_t>(support_count));
+  const graph::BipartiteGraph visible_graph(
+      dataset.num_users(), dataset.num_items(), visible_ratings);
+
+  // Group query ratings by user.
+  std::unordered_map<int64_t, std::vector<data::Rating>> queries_by_user;
+  for (size_t r = support_count; r < shuffled.size(); ++r) {
+    queries_by_user[shuffled[r].user].push_back(shuffled[r]);
+  }
+
+  std::vector<int64_t> eval_users;
+  for (const auto& [user, ratings] : queries_by_user) {
+    if (static_cast<int>(ratings.size()) >= config.min_query_items) {
+      eval_users.push_back(user);
+    }
+  }
+  std::sort(eval_users.begin(), eval_users.end());
+  rng.Shuffle(&eval_users);
+  if (config.max_eval_users > 0 &&
+      static_cast<int64_t>(eval_users.size()) > config.max_eval_users) {
+    eval_users.resize(static_cast<size_t>(config.max_eval_users));
+  }
+  HIRE_CHECK(!eval_users.empty())
+      << "no user has >= " << config.min_query_items
+      << " query ratings; shrink min_query_items or enlarge the dataset";
+
+  const float threshold = dataset.RelevanceThreshold();
+  std::map<int, std::vector<metrics::RankingMetrics>> per_user;
+  EvalResult result;
+  Stopwatch stopwatch;
+
+  for (int64_t user : eval_users) {
+    const auto& ratings = queries_by_user[user];
+    std::vector<int64_t> items;
+    std::vector<float> actual;
+    items.reserve(ratings.size());
+    actual.reserve(ratings.size());
+    for (const data::Rating& rating : ratings) {
+      items.push_back(rating.item);
+      actual.push_back(rating.value);
+    }
+
+    stopwatch.Reset();
+    const std::vector<float> predicted =
+        predictor->PredictForUser(user, items, visible_graph);
+    result.predict_seconds += stopwatch.ElapsedSeconds();
+    HIRE_CHECK_EQ(predicted.size(), items.size());
+
+    for (int k : config.top_ks) {
+      per_user[k].push_back(
+          metrics::ComputeRankingMetrics(predicted, actual, k, threshold));
+    }
+    ++result.num_lists;
+  }
+
+  for (const auto& [k, metrics_list] : per_user) {
+    result.by_k[k] = metrics::AverageMetrics(metrics_list);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace hire

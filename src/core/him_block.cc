@@ -1,0 +1,143 @@
+#include "core/him_block.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace core {
+
+HimBlock::HimBlock(const HireConfig& config, int64_t cell_embed_dim,
+                   int64_t num_attribute_slots, Rng* rng)
+    : config_(config),
+      cell_embed_dim_(cell_embed_dim),
+      num_attribute_slots_(num_attribute_slots),
+      attr_embed_dim_(config.attr_embed_dim) {
+  HIRE_CHECK_EQ(cell_embed_dim_, num_attribute_slots_ * attr_embed_dim_)
+      << "e must equal h * f";
+
+  if (config_.use_user_attention) {
+    nn::MhsaConfig mhsa;
+    mhsa.embed_dim = cell_embed_dim_;
+    mhsa.num_heads = config_.num_heads;
+    mhsa.head_dim = config_.head_dim;
+    user_attention_ = std::make_unique<nn::MultiHeadSelfAttention>(mhsa, rng);
+    RegisterSubmodule("mbu", user_attention_.get());
+    if (config_.use_layer_norm) {
+      user_norm_ = std::make_unique<nn::LayerNorm>(cell_embed_dim_);
+      RegisterSubmodule("mbu_norm", user_norm_.get());
+    }
+  }
+  if (config_.use_item_attention) {
+    nn::MhsaConfig mhsa;
+    mhsa.embed_dim = cell_embed_dim_;
+    mhsa.num_heads = config_.num_heads;
+    mhsa.head_dim = config_.head_dim;
+    item_attention_ = std::make_unique<nn::MultiHeadSelfAttention>(mhsa, rng);
+    RegisterSubmodule("mbi", item_attention_.get());
+    if (config_.use_layer_norm) {
+      item_norm_ = std::make_unique<nn::LayerNorm>(cell_embed_dim_);
+      RegisterSubmodule("mbi_norm", item_norm_.get());
+    }
+  }
+  if (config_.use_attr_attention) {
+    nn::MhsaConfig mhsa;
+    mhsa.embed_dim = attr_embed_dim_;
+    mhsa.num_heads = config_.num_heads;
+    // Attribute tokens are f-dimensional; derive a per-head width that
+    // keeps the layer small.
+    mhsa.head_dim =
+        std::max<int64_t>(1, attr_embed_dim_ / config_.num_heads);
+    attribute_attention_ =
+        std::make_unique<nn::MultiHeadSelfAttention>(mhsa, rng);
+    RegisterSubmodule("mba", attribute_attention_.get());
+    if (config_.use_layer_norm) {
+      attribute_norm_ = std::make_unique<nn::LayerNorm>(cell_embed_dim_);
+      RegisterSubmodule("mba_norm", attribute_norm_.get());
+    }
+  }
+}
+
+ag::Variable HimBlock::Forward(const ag::Variable& h, Rng* dropout_rng) const {
+  HIRE_CHECK_EQ(h.value().dim(), 3);
+  HIRE_CHECK_EQ(h.value().shape(2), cell_embed_dim_);
+  const int64_t n = h.value().shape(0);
+  const int64_t m = h.value().shape(1);
+
+  auto maybe_dropout = [&](const ag::Variable& x) {
+    return ag::Dropout(x, config_.dropout, training(), dropout_rng);
+  };
+
+  ag::Variable current = h;
+
+  // MBU (Eq. 10-11): each item view H[:, j, :] is a sequence of n user
+  // tokens. Transposing to [m, n, e] makes items the batch axis.
+  if (user_attention_ != nullptr) {
+    ag::Variable views = ag::Permute(current, {1, 0, 2});
+    ag::Variable fused = maybe_dropout(user_attention_->Forward(views));
+    fused = ag::Permute(fused, {1, 0, 2});
+    if (config_.use_residual) fused = ag::Add(current, fused);
+    if (user_norm_ != nullptr) fused = user_norm_->Forward(fused);
+    current = fused;
+  }
+
+  // MBI (Eq. 12-13): each user view H[k, :, :] is a sequence of m item
+  // tokens; users are already the batch axis.
+  if (item_attention_ != nullptr) {
+    ag::Variable fused = maybe_dropout(item_attention_->Forward(current));
+    if (config_.use_residual) fused = ag::Add(current, fused);
+    if (item_norm_ != nullptr) fused = item_norm_->Forward(fused);
+    current = fused;
+  }
+
+  // MBA (Eq. 14-15): each user-item pair view is a sequence of h attribute
+  // tokens of width f.
+  if (attribute_attention_ != nullptr) {
+    ag::Variable views = ag::Reshape(
+        current, {n * m, num_attribute_slots_, attr_embed_dim_});
+    ag::Variable fused = attribute_attention_->Forward(views);
+    fused = maybe_dropout(ag::Reshape(fused, {n, m, cell_embed_dim_}));
+    if (config_.use_residual) fused = ag::Add(current, fused);
+    if (attribute_norm_ != nullptr) fused = attribute_norm_->Forward(fused);
+    current = fused;
+  }
+
+  return current;
+}
+
+void HimBlock::EnableAttentionCapture(bool enable) {
+  if (user_attention_ != nullptr) {
+    user_attention_->EnableAttentionCapture(enable);
+  }
+  if (item_attention_ != nullptr) {
+    item_attention_->EnableAttentionCapture(enable);
+  }
+  if (attribute_attention_ != nullptr) {
+    attribute_attention_->EnableAttentionCapture(enable);
+  }
+}
+
+namespace {
+const Tensor& EmptyTensor() {
+  static const Tensor* kEmpty = new Tensor();
+  return *kEmpty;
+}
+}  // namespace
+
+const Tensor& HimBlock::captured_user_attention() const {
+  return user_attention_ != nullptr ? user_attention_->captured_attention()
+                                    : EmptyTensor();
+}
+
+const Tensor& HimBlock::captured_item_attention() const {
+  return item_attention_ != nullptr ? item_attention_->captured_attention()
+                                    : EmptyTensor();
+}
+
+const Tensor& HimBlock::captured_attribute_attention() const {
+  return attribute_attention_ != nullptr
+             ? attribute_attention_->captured_attention()
+             : EmptyTensor();
+}
+
+}  // namespace core
+}  // namespace hire

@@ -1,0 +1,65 @@
+#ifndef HIRE_CORE_HIM_BLOCK_H_
+#define HIRE_CORE_HIM_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "autograd/variable.h"
+#include "core/hire_config.h"
+#include "nn/layer_norm.h"
+#include "nn/module.h"
+#include "nn/multi_head_self_attention.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace core {
+
+/// Heterogeneous Interaction Module (paper §IV-C): three stacked
+/// parameter-sharing multi-head self-attention layers over a context tensor
+/// H ∈ R^{n x m x e}:
+///
+///  - MBU (Eq. 10-11): attention between the n users, applied in parallel to
+///    each item's embedding view H[:, j, :].
+///  - MBI (Eq. 12-13): attention between the m items, applied in parallel to
+///    each user's embedding view H[k, :, :].
+///  - MBA (Eq. 14-15): attention between the h attribute slots, applied in
+///    parallel to each user-item pair view reshaped to [h, f].
+///
+/// Any subset of the three layers can be disabled (Table VI ablation).
+/// Residual connections and layer norm around each layer are configurable.
+class HimBlock : public nn::Module {
+ public:
+  /// `cell_embed_dim` is e = h * f; `num_attribute_slots` is h.
+  HimBlock(const HireConfig& config, int64_t cell_embed_dim,
+           int64_t num_attribute_slots, Rng* rng);
+
+  /// H: [n, m, e] -> [n, m, e].
+  ag::Variable Forward(const ag::Variable& h, Rng* dropout_rng) const;
+
+  /// Enables retention of attention weights for the case study (Fig. 9).
+  void EnableAttentionCapture(bool enable);
+
+  /// Captured weights, shapes: MBU [m, l, n, n]; MBI [n, l, m, m];
+  /// MBA [n*m, l, h, h]. Empty when capture is off or the layer is disabled.
+  const Tensor& captured_user_attention() const;
+  const Tensor& captured_item_attention() const;
+  const Tensor& captured_attribute_attention() const;
+
+ private:
+  HireConfig config_;
+  int64_t cell_embed_dim_;
+  int64_t num_attribute_slots_;
+  int64_t attr_embed_dim_;
+
+  std::unique_ptr<nn::MultiHeadSelfAttention> user_attention_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> item_attention_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> attribute_attention_;
+  std::unique_ptr<nn::LayerNorm> user_norm_;
+  std::unique_ptr<nn::LayerNorm> item_norm_;
+  std::unique_ptr<nn::LayerNorm> attribute_norm_;
+};
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_HIM_BLOCK_H_

@@ -1,0 +1,46 @@
+#ifndef HIRE_CORE_HIRE_CONFIG_H_
+#define HIRE_CORE_HIRE_CONFIG_H_
+
+#include <cstdint>
+
+namespace hire {
+namespace core {
+
+/// Hyper-parameters of the HIRE model.
+///
+/// Defaults follow the paper's configuration (3 HIM blocks, 8 heads of
+/// hidden dimension 16, f = 16, contexts of 32 users x 32 items, 10% of
+/// observed ratings visible). The CPU-scale benchmark harness overrides the
+/// width parameters downward; every experiment binary prints the
+/// configuration it ran.
+struct HireConfig {
+  /// K: number of stacked Heterogeneous Interaction Modules.
+  int num_him_blocks = 3;
+  /// l: attention heads per MHSA layer.
+  int64_t num_heads = 8;
+  /// d_k = d_v: hidden dimension of each head.
+  int64_t head_dim = 16;
+  /// f: embedding dimension of each attribute (and of ratings).
+  int64_t attr_embed_dim = 16;
+
+  /// Ablation toggles for the three attention layers (Table VI):
+  /// MBU (between users), MBI (between items), MBA (between attributes).
+  bool use_user_attention = true;
+  bool use_item_attention = true;
+  bool use_attr_attention = true;
+
+  /// Residual connections and layer normalisation around each attention
+  /// layer. The paper describes bare MHSA stacks; residual+LN is the
+  /// standard stabilisation for K*3 stacked attention layers and is kept
+  /// configurable (see DESIGN.md).
+  bool use_residual = true;
+  bool use_layer_norm = true;
+
+  /// Dropout on attention-block outputs; 0 disables.
+  float dropout = 0.0f;
+};
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_HIRE_CONFIG_H_

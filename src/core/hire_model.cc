@@ -1,0 +1,72 @@
+#include "core/hire_model.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace core {
+
+HireModel::HireModel(const data::Dataset* dataset, const HireConfig& config,
+                     uint64_t seed)
+    : dataset_(dataset), config_(config), rng_(seed) {
+  HIRE_CHECK(dataset_ != nullptr);
+  HIRE_CHECK_GT(config_.num_him_blocks, 0);
+  rating_scale_ = dataset_->max_rating();
+
+  Rng init_rng = rng_.Fork(/*salt=*/1);
+  encoder_ = std::make_unique<ContextEncoder>(dataset_,
+                                              config_.attr_embed_dim,
+                                              &init_rng);
+  RegisterSubmodule("encoder", encoder_.get());
+
+  for (int k = 0; k < config_.num_him_blocks; ++k) {
+    him_blocks_.push_back(std::make_unique<HimBlock>(
+        config_, encoder_->cell_embed_dim(), encoder_->num_attribute_slots(),
+        &init_rng));
+    RegisterSubmodule("him" + std::to_string(k), him_blocks_.back().get());
+  }
+
+  decoder_ = std::make_unique<nn::Linear>(encoder_->cell_embed_dim(), 1,
+                                          &init_rng);
+  RegisterSubmodule("decoder", decoder_.get());
+}
+
+ag::Variable HireModel::Forward(const graph::PredictionContext& context) {
+  const int64_t n = context.num_users();
+  const int64_t m = context.num_items();
+
+  ag::Variable h = encoder_->Encode(context);
+  for (const auto& him : him_blocks_) {
+    h = him->Forward(h, &rng_);
+  }
+  // R_hat = alpha * sigmoid(g_theta(H^(A)))  (Eq. 16).
+  ag::Variable logits = decoder_->Forward(h);          // [n, m, 1]
+  ag::Variable squashed = ag::Sigmoid(logits);
+  return ag::Reshape(ag::MulScalar(squashed, rating_scale_), {n, m});
+}
+
+Tensor HireModel::Predict(const graph::PredictionContext& context) {
+  const bool was_training = training();
+  SetTraining(false);
+  // Forward on detached parameter copies would be wasteful; instead rely on
+  // ops producing tape nodes and simply never calling Backward. To avoid
+  // tape overhead entirely we run with gradients suppressed by cloning the
+  // output value.
+  ag::Variable prediction = Forward(context);
+  SetTraining(was_training);
+  return prediction.value();
+}
+
+void HireModel::EnableAttentionCapture(bool enable) {
+  for (const auto& him : him_blocks_) {
+    him->EnableAttentionCapture(enable);
+  }
+}
+
+const HimBlock& HireModel::him_block(int index) const {
+  HIRE_CHECK(index >= 0 && index < static_cast<int>(him_blocks_.size()));
+  return *him_blocks_[static_cast<size_t>(index)];
+}
+
+}  // namespace core
+}  // namespace hire

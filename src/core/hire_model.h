@@ -1,0 +1,62 @@
+#ifndef HIRE_CORE_HIRE_MODEL_H_
+#define HIRE_CORE_HIRE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/context_encoder.h"
+#include "core/him_block.h"
+#include "core/hire_config.h"
+#include "data/dataset.h"
+#include "graph/context_builder.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace core {
+
+/// The HIRE model (paper Fig. 3): context encoder -> K HIM blocks ->
+/// sigmoid decoder producing a dense predicted rating matrix
+/// R_hat = alpha * sigmoid(g_theta(H^(A))) (Eq. 16), where alpha is the
+/// dataset's maximum rating.
+///
+/// Property 5.1 (permutation equivariance w.r.t. user and item order) holds
+/// by construction and is verified in tests/core_test.cc.
+class HireModel : public nn::Module {
+ public:
+  /// `dataset` provides schemas/attributes; it must outlive the model.
+  /// `seed` drives parameter initialisation and dropout.
+  HireModel(const data::Dataset* dataset, const HireConfig& config,
+            uint64_t seed);
+
+  /// Differentiable forward pass: predicted rating matrix [n, m].
+  ag::Variable Forward(const graph::PredictionContext& context);
+
+  /// Inference: predicted rating matrix without gradient tracking.
+  Tensor Predict(const graph::PredictionContext& context);
+
+  const HireConfig& config() const { return config_; }
+  const data::Dataset& dataset() const { return *dataset_; }
+
+  /// Attention capture for the Fig. 9 case study; see HimBlock accessors.
+  void EnableAttentionCapture(bool enable);
+  const HimBlock& him_block(int index) const;
+
+ private:
+  const data::Dataset* dataset_;
+  HireConfig config_;
+  Rng rng_;  // dropout stream
+  float rating_scale_;
+
+  std::unique_ptr<ContextEncoder> encoder_;
+  std::vector<std::unique_ptr<HimBlock>> him_blocks_;
+  std::unique_ptr<nn::Linear> decoder_;
+};
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_HIRE_MODEL_H_

@@ -1,0 +1,80 @@
+#include "core/trainer.h"
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "graph/context_builder.h"
+#include "optim/lamb.h"
+#include "optim/lookahead.h"
+#include "optim/lr_scheduler.h"
+#include "optim/optimizer.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+#include "utils/stopwatch.h"
+
+namespace hire {
+namespace core {
+
+TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
+                     const graph::ContextSampler& sampler,
+                     const TrainerConfig& config) {
+  HIRE_CHECK(model != nullptr);
+  HIRE_CHECK_GT(config.num_steps, 0);
+  HIRE_CHECK_GT(config.batch_size, 0);
+
+  Rng rng(config.seed);
+  model->SetTraining(true);
+
+  optim::LambConfig lamb_config;
+  lamb_config.learning_rate = config.base_learning_rate;
+  lamb_config.weight_decay = config.weight_decay;
+  auto lamb = std::make_unique<optim::Lamb>(model->Parameters(), lamb_config);
+  optim::Lookahead optimizer(std::move(lamb), config.lookahead_alpha,
+                             config.lookahead_period);
+  optim::FlatThenCosineSchedule schedule(config.base_learning_rate,
+                                         config.num_steps,
+                                         config.flat_fraction);
+
+  TrainStats stats;
+  stats.step_losses.reserve(static_cast<size_t>(config.num_steps));
+  Stopwatch stopwatch;
+
+  for (int64_t step = 0; step < config.num_steps; ++step) {
+    optimizer.set_learning_rate(schedule.LearningRate(step));
+    optimizer.ZeroGrad();
+
+    // Accumulate the mini-batch loss (line 5-12 of Algorithm 1).
+    ag::Variable batch_loss;
+    for (int64_t b = 0; b < config.batch_size; ++b) {
+      graph::PredictionContext context = graph::BuildTrainingContext(
+          graph, sampler, config.context_users, config.context_items,
+          config.visible_fraction, &rng);
+      ag::Variable prediction = model->Forward(context);
+      ag::Variable loss = ag::MaskedMSE(prediction, context.target_ratings,
+                                        context.target_mask);
+      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+    }
+    batch_loss =
+        ag::MulScalar(batch_loss, 1.0f / static_cast<float>(config.batch_size));
+
+    batch_loss.Backward();
+    optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
+    optimizer.Step();
+
+    const float loss_value = batch_loss.value().flat(0);
+    stats.step_losses.push_back(loss_value);
+    if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+      HIRE_LOG(Info) << "step " << (step + 1) << "/" << config.num_steps
+                     << " loss " << loss_value << " lr "
+                     << optimizer.learning_rate();
+    }
+  }
+
+  stats.final_loss = stats.step_losses.back();
+  stats.train_seconds = stopwatch.ElapsedSeconds();
+  model->SetTraining(false);
+  return stats;
+}
+
+}  // namespace core
+}  // namespace hire

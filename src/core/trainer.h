@@ -1,0 +1,62 @@
+#ifndef HIRE_CORE_TRAINER_H_
+#define HIRE_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hire_model.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+
+namespace hire {
+namespace core {
+
+/// Training hyper-parameters (paper §VI-A implementation details).
+struct TrainerConfig {
+  /// Optimisation steps (each step processes one mini-batch of contexts).
+  int64_t num_steps = 300;
+  /// Contexts per mini-batch (|B| in Algorithm 1).
+  int64_t batch_size = 4;
+  /// n and m: users/items per prediction context.
+  int64_t context_users = 32;
+  int64_t context_items = 32;
+  /// p: fraction of observed ratings left visible; the rest are masked and
+  /// predicted (paper: 10% visible / 90% masked).
+  double visible_fraction = 0.1;
+
+  /// Base learning rate for the flat-then-cosine schedule.
+  float base_learning_rate = 1e-3f;
+  /// Fraction of steps at the flat base rate before cosine annealing.
+  float flat_fraction = 0.7f;
+  /// Global gradient-norm clip.
+  float gradient_clip = 1.0f;
+  /// Lookahead wrapper parameters.
+  float lookahead_alpha = 0.5f;
+  int lookahead_period = 6;
+  /// LAMB weight decay.
+  float weight_decay = 0.0f;
+
+  /// Log the running loss every this many steps (0 disables).
+  int64_t log_every = 0;
+
+  uint64_t seed = 7;
+};
+
+/// Result of a training run.
+struct TrainStats {
+  std::vector<float> step_losses;
+  float final_loss = 0.0f;
+  double train_seconds = 0.0;
+};
+
+/// Trains `model` on contexts sampled from `graph` with `sampler`
+/// (Algorithm 1): LAMB + Lookahead, flat-then-cosine schedule, gradient
+/// clipping, masked-MSE objective.
+TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
+                     const graph::ContextSampler& sampler,
+                     const TrainerConfig& config);
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_TRAINER_H_

@@ -1,0 +1,161 @@
+#include "data/csv_loader.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+#include "utils/check.h"
+#include "utils/string_utils.h"
+
+namespace hire {
+namespace data {
+
+namespace {
+
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+};
+
+CsvTable ReadCsv(const std::string& path, char delimiter, bool has_header) {
+  std::ifstream in(path);
+  HIRE_CHECK(in.is_open()) << "cannot open CSV file '" << path << "'";
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (Trim(line).empty()) continue;
+    table.rows.push_back(Split(line, delimiter));
+  }
+  HIRE_CHECK(!table.rows.empty()) << "CSV file '" << path << "' is empty";
+  return table;
+}
+
+/// Maps raw string ids to dense int64 ids in first-seen order.
+class IdMap {
+ public:
+  int64_t Intern(const std::string& raw) {
+    auto [it, inserted] = map_.emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  int64_t Lookup(const std::string& raw) const {
+    auto it = map_.find(raw);
+    return it == map_.end() ? -1 : it->second;
+  }
+  int64_t size() const { return next_; }
+
+ private:
+  std::unordered_map<std::string, int64_t> map_;
+  int64_t next_ = 0;
+};
+
+}  // namespace
+
+Dataset LoadCsvDataset(const CsvDatasetSpec& spec) {
+  HIRE_CHECK(!spec.ratings_path.empty()) << "ratings_path is required";
+  const CsvTable ratings_csv =
+      ReadCsv(spec.ratings_path, spec.delimiter, spec.has_header);
+
+  IdMap user_ids;
+  IdMap item_ids;
+  struct RawRating {
+    int64_t user;
+    int64_t item;
+    float value;
+  };
+  std::vector<RawRating> raw_ratings;
+  raw_ratings.reserve(ratings_csv.rows.size());
+  for (const auto& row : ratings_csv.rows) {
+    HIRE_CHECK_GE(row.size(), 3u)
+        << "ratings row needs user,item,rating in '" << spec.ratings_path
+        << "'";
+    const int64_t user = user_ids.Intern(Trim(row[0]));
+    const int64_t item = item_ids.Intern(Trim(row[1]));
+    const float value = static_cast<float>(ParseDouble(Trim(row[2])));
+    raw_ratings.push_back(RawRating{user, item, value});
+  }
+
+  // Attribute files: build per-column vocabularies.
+  auto load_attributes =
+      [&](const std::string& path, IdMap* entity_ids, const char* kind)
+      -> std::pair<std::vector<AttributeSchema>,
+                   std::vector<std::vector<int64_t>>> {
+    if (path.empty()) {
+      // Identity attribute fallback.
+      std::vector<AttributeSchema> schema{{"id", entity_ids->size()}};
+      std::vector<std::vector<int64_t>> values(
+          static_cast<size_t>(entity_ids->size()));
+      for (int64_t e = 0; e < entity_ids->size(); ++e) {
+        values[static_cast<size_t>(e)] = {e};
+      }
+      return {schema, values};
+    }
+
+    const CsvTable table = ReadCsv(path, spec.delimiter, spec.has_header);
+    const size_t num_columns = table.rows[0].size();
+    HIRE_CHECK_GE(num_columns, 2u)
+        << kind << " attribute rows need id plus at least one attribute";
+
+    std::vector<IdMap> vocabularies(num_columns - 1);
+    std::vector<std::vector<int64_t>> values(
+        static_cast<size_t>(entity_ids->size()),
+        std::vector<int64_t>(num_columns - 1, 0));
+    std::vector<bool> seen(static_cast<size_t>(entity_ids->size()), false);
+
+    for (const auto& row : table.rows) {
+      HIRE_CHECK_EQ(row.size(), num_columns)
+          << "ragged " << kind << " attribute row";
+      const int64_t entity = entity_ids->Lookup(Trim(row[0]));
+      if (entity < 0) continue;  // entity has no ratings; skip
+      seen[static_cast<size_t>(entity)] = true;
+      for (size_t c = 1; c < num_columns; ++c) {
+        values[static_cast<size_t>(entity)][c - 1] =
+            vocabularies[c - 1].Intern(Trim(row[c]));
+      }
+    }
+
+    std::vector<AttributeSchema> schema;
+    for (size_t c = 0; c + 1 < num_columns; ++c) {
+      // Reserve one extra category for entities missing from the file.
+      schema.push_back(AttributeSchema{
+          kind + std::string("_attr") + std::to_string(c),
+          vocabularies[c].size() + 1});
+    }
+    const int64_t missing_marker = 0;
+    for (int64_t e = 0; e < entity_ids->size(); ++e) {
+      if (!seen[static_cast<size_t>(e)]) {
+        for (size_t c = 0; c + 1 < num_columns; ++c) {
+          values[static_cast<size_t>(e)][c] =
+              schema[c].num_categories - 1 + missing_marker * 0;
+        }
+      }
+    }
+    return {schema, values};
+  };
+
+  auto [user_schema, user_values] =
+      load_attributes(spec.user_attributes_path, &user_ids, "user");
+  auto [item_schema, item_values] =
+      load_attributes(spec.item_attributes_path, &item_ids, "item");
+
+  Dataset dataset(spec.name, user_schema, item_schema, user_ids.size(),
+                  item_ids.size(), spec.min_rating, spec.max_rating);
+  for (int64_t u = 0; u < user_ids.size(); ++u) {
+    dataset.SetUserAttributes(u, user_values[static_cast<size_t>(u)]);
+  }
+  for (int64_t i = 0; i < item_ids.size(); ++i) {
+    dataset.SetItemAttributes(i, item_values[static_cast<size_t>(i)]);
+  }
+  for (const RawRating& rating : raw_ratings) {
+    dataset.AddRating(rating.user, rating.item, rating.value);
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace hire

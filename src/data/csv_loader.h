@@ -1,0 +1,39 @@
+#ifndef HIRE_DATA_CSV_LOADER_H_
+#define HIRE_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace hire {
+namespace data {
+
+/// Describes CSV files holding a real dataset (e.g. the original
+/// MovieLens-1M/Douban/Bookcrossing dumps converted to CSV).
+///
+/// ratings file rows:     user_id,item_id,rating
+/// attribute file rows:   entity_id,attr_1,attr_2,...   (header optional)
+///
+/// Ids may be arbitrary strings; they are densely re-mapped. Attribute
+/// values are treated as categorical strings and vocabulary-encoded.
+struct CsvDatasetSpec {
+  std::string name = "csv";
+  std::string ratings_path;
+  /// Optional; empty => identity attribute per user.
+  std::string user_attributes_path;
+  /// Optional; empty => identity attribute per item.
+  std::string item_attributes_path;
+  char delimiter = ',';
+  bool has_header = true;
+  float min_rating = 1.0f;
+  float max_rating = 5.0f;
+};
+
+/// Loads a Dataset from CSV files; throws hire::CheckError on malformed
+/// input (missing files, bad rows, out-of-range ratings).
+Dataset LoadCsvDataset(const CsvDatasetSpec& spec);
+
+}  // namespace data
+}  // namespace hire
+
+#endif  // HIRE_DATA_CSV_LOADER_H_

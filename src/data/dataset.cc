@@ -1,0 +1,133 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace data {
+
+Dataset::Dataset(std::string name, std::vector<AttributeSchema> user_schema,
+                 std::vector<AttributeSchema> item_schema, int64_t num_users,
+                 int64_t num_items, float min_rating, float max_rating,
+                 bool continuous_ratings)
+    : name_(std::move(name)),
+      user_schema_(std::move(user_schema)),
+      item_schema_(std::move(item_schema)),
+      num_users_(num_users),
+      num_items_(num_items),
+      min_rating_(min_rating),
+      max_rating_(max_rating),
+      continuous_ratings_(continuous_ratings) {
+  HIRE_CHECK_GT(num_users_, 0);
+  HIRE_CHECK_GT(num_items_, 0);
+  HIRE_CHECK_LT(min_rating_, max_rating_);
+  HIRE_CHECK(!user_schema_.empty()) << "user schema must not be empty";
+  HIRE_CHECK(!item_schema_.empty()) << "item schema must not be empty";
+  for (const AttributeSchema& attribute : user_schema_) {
+    HIRE_CHECK_GT(attribute.num_categories, 0)
+        << "attribute '" << attribute.name << "'";
+  }
+  for (const AttributeSchema& attribute : item_schema_) {
+    HIRE_CHECK_GT(attribute.num_categories, 0)
+        << "attribute '" << attribute.name << "'";
+  }
+  user_attributes_.assign(
+      static_cast<size_t>(num_users_),
+      std::vector<int64_t>(user_schema_.size(), 0));
+  item_attributes_.assign(
+      static_cast<size_t>(num_items_),
+      std::vector<int64_t>(item_schema_.size(), 0));
+  friendships_.assign(static_cast<size_t>(num_users_), {});
+}
+
+void Dataset::SetUserAttributes(int64_t user, std::vector<int64_t> values) {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  HIRE_CHECK_EQ(values.size(), user_schema_.size());
+  for (size_t a = 0; a < values.size(); ++a) {
+    HIRE_CHECK(values[a] >= 0 && values[a] < user_schema_[a].num_categories)
+        << "attribute '" << user_schema_[a].name << "' value " << values[a];
+  }
+  user_attributes_[static_cast<size_t>(user)] = std::move(values);
+}
+
+void Dataset::SetItemAttributes(int64_t item, std::vector<int64_t> values) {
+  HIRE_CHECK(item >= 0 && item < num_items_) << "item " << item;
+  HIRE_CHECK_EQ(values.size(), item_schema_.size());
+  for (size_t a = 0; a < values.size(); ++a) {
+    HIRE_CHECK(values[a] >= 0 && values[a] < item_schema_[a].num_categories)
+        << "attribute '" << item_schema_[a].name << "' value " << values[a];
+  }
+  item_attributes_[static_cast<size_t>(item)] = std::move(values);
+}
+
+void Dataset::AddRating(int64_t user, int64_t item, float value) {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  HIRE_CHECK(item >= 0 && item < num_items_) << "item " << item;
+  HIRE_CHECK(value >= min_rating_ && value <= max_rating_)
+      << "rating " << value << " outside [" << min_rating_ << ", "
+      << max_rating_ << "]";
+  ratings_.push_back(Rating{user, item, value});
+}
+
+void Dataset::AddFriendship(int64_t user_a, int64_t user_b) {
+  HIRE_CHECK(user_a >= 0 && user_a < num_users_);
+  HIRE_CHECK(user_b >= 0 && user_b < num_users_);
+  HIRE_CHECK_NE(user_a, user_b);
+  friendships_[static_cast<size_t>(user_a)].push_back(user_b);
+  friendships_[static_cast<size_t>(user_b)].push_back(user_a);
+  has_social_ = true;
+}
+
+const std::vector<int64_t>& Dataset::user_attributes(int64_t user) const {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  return user_attributes_[static_cast<size_t>(user)];
+}
+
+const std::vector<int64_t>& Dataset::item_attributes(int64_t item) const {
+  HIRE_CHECK(item >= 0 && item < num_items_) << "item " << item;
+  return item_attributes_[static_cast<size_t>(item)];
+}
+
+const std::vector<int64_t>& Dataset::friends(int64_t user) const {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  return friendships_[static_cast<size_t>(user)];
+}
+
+float Dataset::NormalizeRating(float value) const {
+  HIRE_CHECK(value >= min_rating_ && value <= max_rating_)
+      << "rating " << value;
+  return (value - min_rating_) / (max_rating_ - min_rating_);
+}
+
+int64_t Dataset::NumRatingLevels() const {
+  HIRE_CHECK(!continuous_ratings_)
+      << "continuous rating scales have no discrete levels";
+  return static_cast<int64_t>(std::lround(max_rating_ - min_rating_)) + 1;
+}
+
+int64_t Dataset::RatingToLevel(float value) const {
+  const int64_t level = static_cast<int64_t>(std::lround(value - min_rating_));
+  HIRE_CHECK(level >= 0 && level < NumRatingLevels())
+      << "rating " << value << " outside the discrete scale";
+  return level;
+}
+
+float Dataset::LevelToRating(int64_t level) const {
+  HIRE_CHECK(level >= 0 && level < NumRatingLevels());
+  return min_rating_ + static_cast<float>(level);
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream out;
+  out << name_ << ": " << num_users_ << " users, " << num_items_
+      << " items, " << ratings_.size() << " ratings, scale [" << min_rating_
+      << ", " << max_rating_ << "], " << user_schema_.size()
+      << " user attrs, " << item_schema_.size() << " item attrs"
+      << (has_social_ ? ", social network" : "");
+  return out.str();
+}
+
+}  // namespace data
+}  // namespace hire

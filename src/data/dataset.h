@@ -1,0 +1,126 @@
+#ifndef HIRE_DATA_DATASET_H_
+#define HIRE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hire {
+namespace data {
+
+/// One categorical attribute column (e.g. "age", "genre").
+struct AttributeSchema {
+  std::string name;
+  /// Number of distinct categories; values are ids in [0, num_categories).
+  int64_t num_categories = 0;
+};
+
+/// One observed rating r_ui.
+struct Rating {
+  int64_t user = 0;
+  int64_t item = 0;
+  float value = 0.0f;
+};
+
+/// In-memory recommendation dataset: users and items with categorical
+/// attribute vectors plus a list of observed ratings. Ratings are integral
+/// values in [min_rating, max_rating] (the paper's datasets use 1-5 and
+/// 1-10 scales).
+///
+/// Entities without natural attributes (Douban) use their own id as a single
+/// attribute, matching the paper's "one-hot encoding of the ID" fallback.
+class Dataset {
+ public:
+  /// `continuous_ratings` marks the rating scale as real-valued: ratings
+  /// may take any value in [min_rating, max_rating] and models encode them
+  /// with a linear map of the scalar instead of a one-hot level embedding
+  /// (the extension the paper sketches at the end of §IV-B).
+  Dataset(std::string name, std::vector<AttributeSchema> user_schema,
+          std::vector<AttributeSchema> item_schema, int64_t num_users,
+          int64_t num_items, float min_rating, float max_rating,
+          bool continuous_ratings = false);
+
+  // -- Construction ---------------------------------------------------------
+
+  /// Sets user `u`'s attribute vector; must match the user schema arity and
+  /// category ranges.
+  void SetUserAttributes(int64_t user, std::vector<int64_t> values);
+
+  /// Sets item `i`'s attribute vector.
+  void SetItemAttributes(int64_t item, std::vector<int64_t> values);
+
+  /// Records an observed rating; the value must lie in the rating range.
+  void AddRating(int64_t user, int64_t item, float value);
+
+  /// Declares a (symmetric) social edge between two users. Optional; only
+  /// populated for datasets with a friendship network (Douban).
+  void AddFriendship(int64_t user_a, int64_t user_b);
+
+  // -- Accessors ------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  float min_rating() const { return min_rating_; }
+  float max_rating() const { return max_rating_; }
+
+  const std::vector<AttributeSchema>& user_schema() const {
+    return user_schema_;
+  }
+  const std::vector<AttributeSchema>& item_schema() const {
+    return item_schema_;
+  }
+
+  const std::vector<int64_t>& user_attributes(int64_t user) const;
+  const std::vector<int64_t>& item_attributes(int64_t item) const;
+
+  const std::vector<Rating>& ratings() const { return ratings_; }
+
+  const std::vector<int64_t>& friends(int64_t user) const;
+  bool has_social_network() const { return has_social_; }
+
+  /// True when the rating scale is real-valued (see constructor).
+  bool continuous_ratings() const { return continuous_ratings_; }
+
+  /// Normalises a rating to [0, 1] within the scale (continuous encoding).
+  float NormalizeRating(float value) const;
+
+  /// Number of discrete rating levels (for one-hot rating encoding):
+  /// max - min + 1 on an integral scale. Invalid for continuous scales.
+  int64_t NumRatingLevels() const;
+
+  /// Maps a rating value to its level index in [0, NumRatingLevels()).
+  int64_t RatingToLevel(float value) const;
+
+  /// Inverse of RatingToLevel.
+  float LevelToRating(int64_t level) const;
+
+  /// Relevance cut-off used by the ranking metrics: an item is relevant to a
+  /// user when the actual rating reaches 80% of the scale maximum (>= 4 on
+  /// 1-5, >= 8 on 1-10).
+  float RelevanceThreshold() const { return 0.8f * max_rating_; }
+
+  /// Convenience summary string for logs.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeSchema> user_schema_;
+  std::vector<AttributeSchema> item_schema_;
+  int64_t num_users_;
+  int64_t num_items_;
+  float min_rating_;
+  float max_rating_;
+
+  std::vector<std::vector<int64_t>> user_attributes_;
+  std::vector<std::vector<int64_t>> item_attributes_;
+  std::vector<Rating> ratings_;
+  std::vector<std::vector<int64_t>> friendships_;
+  bool has_social_ = false;
+  bool continuous_ratings_ = false;
+};
+
+}  // namespace data
+}  // namespace hire
+
+#endif  // HIRE_DATA_DATASET_H_

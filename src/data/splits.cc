@@ -1,0 +1,115 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace data {
+
+std::string ScenarioName(ColdStartScenario scenario) {
+  switch (scenario) {
+    case ColdStartScenario::kUserCold:
+      return "user-cold";
+    case ColdStartScenario::kItemCold:
+      return "item-cold";
+    case ColdStartScenario::kUserItemCold:
+      return "user&item-cold";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shuffles [0, count) and splits at train_fraction.
+void SplitEntities(int64_t count, double train_fraction, Rng* rng,
+                   std::vector<int64_t>* train, std::vector<int64_t>* test) {
+  std::vector<int64_t> ids(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) ids[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&ids);
+  const int64_t train_count = std::clamp<int64_t>(
+      static_cast<int64_t>(train_fraction * static_cast<double>(count)), 1,
+      count - 1);
+  train->assign(ids.begin(), ids.begin() + train_count);
+  test->assign(ids.begin() + train_count, ids.end());
+  std::sort(train->begin(), train->end());
+  std::sort(test->begin(), test->end());
+}
+
+std::vector<int64_t> AllEntities(int64_t count) {
+  std::vector<int64_t> ids(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+}  // namespace
+
+ColdStartSplit MakeColdStartSplit(const Dataset& dataset,
+                                  ColdStartScenario scenario,
+                                  double train_fraction, Rng* rng) {
+  HIRE_CHECK(rng != nullptr);
+  HIRE_CHECK(train_fraction > 0.0 && train_fraction < 1.0)
+      << "train_fraction " << train_fraction;
+
+  ColdStartSplit split;
+  split.scenario = scenario;
+
+  const bool cold_users = scenario != ColdStartScenario::kItemCold;
+  const bool cold_items = scenario != ColdStartScenario::kUserCold;
+
+  if (cold_users) {
+    SplitEntities(dataset.num_users(), train_fraction, rng, &split.train_users,
+                  &split.test_users);
+  } else {
+    split.train_users = AllEntities(dataset.num_users());
+  }
+  if (cold_items) {
+    SplitEntities(dataset.num_items(), train_fraction, rng, &split.train_items,
+                  &split.test_items);
+  } else {
+    split.train_items = AllEntities(dataset.num_items());
+  }
+
+  std::unordered_set<int64_t> cold_user_set(split.test_users.begin(),
+                                            split.test_users.end());
+  std::unordered_set<int64_t> cold_item_set(split.test_items.begin(),
+                                            split.test_items.end());
+
+  for (const Rating& rating : dataset.ratings()) {
+    const bool user_is_cold = cold_user_set.count(rating.user) > 0;
+    const bool item_is_cold = cold_item_set.count(rating.item) > 0;
+    switch (scenario) {
+      case ColdStartScenario::kUserCold:
+        if (user_is_cold) {
+          split.test_ratings.push_back(rating);
+        } else {
+          split.train_ratings.push_back(rating);
+        }
+        break;
+      case ColdStartScenario::kItemCold:
+        if (item_is_cold) {
+          split.test_ratings.push_back(rating);
+        } else {
+          split.train_ratings.push_back(rating);
+        }
+        break;
+      case ColdStartScenario::kUserItemCold:
+        if (user_is_cold && item_is_cold) {
+          split.test_ratings.push_back(rating);
+        } else if (!user_is_cold && !item_is_cold) {
+          split.train_ratings.push_back(rating);
+        }
+        // Mixed warm/cold pairs are discarded: they would leak cold entities
+        // into training.
+        break;
+    }
+  }
+
+  HIRE_CHECK(!split.train_ratings.empty()) << "empty training split";
+  HIRE_CHECK(!split.test_ratings.empty()) << "empty test split";
+  return split;
+}
+
+}  // namespace data
+}  // namespace hire

@@ -1,0 +1,58 @@
+#ifndef HIRE_DATA_SPLITS_H_
+#define HIRE_DATA_SPLITS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace data {
+
+/// The paper's three cold-start scenarios (Fig. 2).
+enum class ColdStartScenario {
+  kUserCold,      // new users, existing items
+  kItemCold,      // existing users, new items
+  kUserItemCold,  // new users AND new items
+};
+
+std::string ScenarioName(ColdStartScenario scenario);
+
+/// A cold-start evaluation split. Entities listed as test users/items are
+/// *cold*: none of their ratings appear in `train_ratings`, matching the
+/// paper's requirement that cold entities and their ratings are unavailable
+/// during training.
+struct ColdStartSplit {
+  ColdStartScenario scenario = ColdStartScenario::kUserCold;
+
+  std::vector<int64_t> train_users;
+  std::vector<int64_t> train_items;
+  std::vector<int64_t> test_users;  // cold users (UC / U&IC), else empty
+  std::vector<int64_t> test_items;  // cold items (IC / U&IC), else empty
+
+  /// Ratings visible at training time.
+  std::vector<Rating> train_ratings;
+  /// Ratings used for evaluation (involve cold entities per the scenario).
+  std::vector<Rating> test_ratings;
+};
+
+/// Randomly splits `dataset` into warm/cold entities and partitions the
+/// ratings accordingly. `train_fraction` is the share of users (and/or
+/// items) kept warm — the paper uses 0.8 for MovieLens-1M and 0.7 for
+/// Douban/Bookcrossing.
+///
+/// - kUserCold: users split; train ratings are those of warm users; test
+///   ratings are those of cold users (on any item).
+/// - kItemCold: items split symmetrically.
+/// - kUserItemCold: both split; train ratings are warm-user x warm-item;
+///   test ratings are cold-user x cold-item.
+ColdStartSplit MakeColdStartSplit(const Dataset& dataset,
+                                  ColdStartScenario scenario,
+                                  double train_fraction, Rng* rng);
+
+}  // namespace data
+}  // namespace hire
+
+#endif  // HIRE_DATA_SPLITS_H_

@@ -1,0 +1,318 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/random.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace data {
+
+namespace {
+
+// Latent representation of one entity population.
+struct LatentPopulation {
+  std::vector<std::vector<double>> vectors;   // [count][latent_dim]
+  std::vector<int> cluster_of;                // [count]
+};
+
+LatentPopulation DrawLatents(int64_t count, int num_clusters, int latent_dim,
+                             double spread, Rng* rng) {
+  std::vector<std::vector<double>> centres(
+      static_cast<size_t>(num_clusters),
+      std::vector<double>(static_cast<size_t>(latent_dim)));
+  for (auto& centre : centres) {
+    for (double& coordinate : centre) coordinate = rng->Normal();
+  }
+
+  LatentPopulation population;
+  population.vectors.resize(static_cast<size_t>(count));
+  population.cluster_of.resize(static_cast<size_t>(count));
+  for (int64_t e = 0; e < count; ++e) {
+    const int cluster = static_cast<int>(rng->UniformInt(num_clusters));
+    population.cluster_of[static_cast<size_t>(e)] = cluster;
+    auto& vector = population.vectors[static_cast<size_t>(e)];
+    vector.resize(static_cast<size_t>(latent_dim));
+    for (int d = 0; d < latent_dim; ++d) {
+      vector[static_cast<size_t>(d)] =
+          centres[static_cast<size_t>(cluster)][static_cast<size_t>(d)] +
+          spread * rng->Normal();
+    }
+  }
+  return population;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+// Derives categorical attributes from latents via random projections, so
+// that attribute values carry preference signal. Schema entries named "id"
+// get the entity id instead.
+std::vector<std::vector<int64_t>> DeriveAttributes(
+    const LatentPopulation& population,
+    const std::vector<AttributeSchema>& schema, int latent_dim,
+    double attribute_noise, Rng* rng) {
+  const size_t count = population.vectors.size();
+  std::vector<std::vector<int64_t>> attributes(
+      count, std::vector<int64_t>(schema.size(), 0));
+
+  for (size_t a = 0; a < schema.size(); ++a) {
+    if (schema[a].name == "id") {
+      for (size_t e = 0; e < count; ++e) {
+        attributes[e][a] = static_cast<int64_t>(e);
+      }
+      continue;
+    }
+    // Fixed random projection per attribute; per-entity noise keeps the
+    // attribute informative without making it a sufficient statistic for
+    // the latent preference vector.
+    std::vector<double> projection(static_cast<size_t>(latent_dim));
+    for (double& coordinate : projection) coordinate = rng->Normal();
+    const int64_t buckets = schema[a].num_categories;
+    for (size_t e = 0; e < count; ++e) {
+      const double score = Dot(population.vectors[e], projection) +
+                           attribute_noise * rng->Normal();
+      const double squashed = 1.0 / (1.0 + std::exp(-0.8 * score));
+      attributes[e][a] = std::min<int64_t>(
+          buckets - 1, static_cast<int64_t>(squashed * static_cast<double>(
+                                                           buckets)));
+    }
+  }
+  return attributes;
+}
+
+// Power-law sampling weights over `count` shuffled ranks.
+std::vector<double> ZipfWeights(int64_t count, double exponent, Rng* rng) {
+  std::vector<double> weights(static_cast<size_t>(count));
+  std::vector<int64_t> ranks(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) ranks[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&ranks);
+  for (int64_t i = 0; i < count; ++i) {
+    weights[static_cast<size_t>(ranks[static_cast<size_t>(i)])] =
+        1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return weights;
+}
+
+// Draws an index proportionally to `weights` given their prefix sums.
+int64_t WeightedDraw(const std::vector<double>& prefix, Rng* rng) {
+  const double target = rng->Uniform() * prefix.back();
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+  return std::min<int64_t>(static_cast<int64_t>(it - prefix.begin()),
+                           static_cast<int64_t>(prefix.size()) - 1);
+}
+
+std::vector<double> PrefixSums(const std::vector<double>& weights) {
+  std::vector<double> prefix(weights.size());
+  double running = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    running += weights[i];
+    prefix[i] = running;
+  }
+  return prefix;
+}
+
+}  // namespace
+
+Dataset GenerateSyntheticDataset(const SyntheticConfig& config,
+                                 uint64_t seed) {
+  HIRE_CHECK_GT(config.num_users, 1);
+  HIRE_CHECK_GT(config.num_items, 1);
+  HIRE_CHECK_GT(config.num_ratings, 0);
+  Rng rng(seed);
+
+  std::vector<AttributeSchema> user_schema = config.user_schema;
+  if (user_schema.empty()) {
+    user_schema.push_back(AttributeSchema{"id", config.num_users});
+  }
+  std::vector<AttributeSchema> item_schema = config.item_schema;
+  if (item_schema.empty()) {
+    item_schema.push_back(AttributeSchema{"id", config.num_items});
+  }
+
+  Dataset dataset(config.name, user_schema, item_schema, config.num_users,
+                  config.num_items, config.min_rating, config.max_rating);
+
+  const LatentPopulation users =
+      DrawLatents(config.num_users, config.num_user_clusters,
+                  config.latent_dim, config.cluster_spread, &rng);
+  const LatentPopulation items =
+      DrawLatents(config.num_items, config.num_item_clusters,
+                  config.latent_dim, config.cluster_spread, &rng);
+
+  const auto user_attributes = DeriveAttributes(
+      users, user_schema, config.latent_dim, config.attribute_noise, &rng);
+  const auto item_attributes = DeriveAttributes(
+      items, item_schema, config.latent_dim, config.attribute_noise, &rng);
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    dataset.SetUserAttributes(u, user_attributes[static_cast<size_t>(u)]);
+  }
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    dataset.SetItemAttributes(i, item_attributes[static_cast<size_t>(i)]);
+  }
+
+  // Calibrate the latent score distribution from a random pair sample, so
+  // the affine map onto the rating scale is well-conditioned regardless of
+  // latent_dim.
+  double mean = 0.0;
+  double mean_sq = 0.0;
+  const int kCalibrationSamples = 2000;
+  for (int s = 0; s < kCalibrationSamples; ++s) {
+    const int64_t u = rng.UniformInt(config.num_users);
+    const int64_t i = rng.UniformInt(config.num_items);
+    const double score = Dot(users.vectors[static_cast<size_t>(u)],
+                             items.vectors[static_cast<size_t>(i)]);
+    mean += score;
+    mean_sq += score * score;
+  }
+  mean /= kCalibrationSamples;
+  const double stddev =
+      std::sqrt(std::max(mean_sq / kCalibrationSamples - mean * mean, 1e-9));
+
+  const double scale_min = config.min_rating;
+  const double scale_max = config.max_rating;
+  auto score_to_rating = [&](int64_t u, int64_t i) {
+    const double raw = Dot(users.vectors[static_cast<size_t>(u)],
+                           items.vectors[static_cast<size_t>(i)]);
+    const double standardised = (raw - mean) / stddev;
+    const double noisy = standardised + config.rating_noise * rng.Normal();
+    // Squash to (0, 1) and stretch over the discrete scale.
+    const double unit = 1.0 / (1.0 + std::exp(-1.4 * noisy));
+    const double value =
+        scale_min + unit * (scale_max - scale_min);
+    return static_cast<float>(
+        std::clamp(std::round(value), scale_min, scale_max));
+  };
+
+  const std::vector<double> user_weights =
+      ZipfWeights(config.num_users, config.zipf_exponent, &rng);
+  const std::vector<double> item_weights =
+      ZipfWeights(config.num_items, config.zipf_exponent, &rng);
+  const std::vector<double> user_prefix = PrefixSums(user_weights);
+  const std::vector<double> item_prefix = PrefixSums(item_weights);
+
+  std::unordered_set<int64_t> seen_pairs;
+  auto pair_key = [&](int64_t u, int64_t i) {
+    return u * config.num_items + i;
+  };
+  auto try_add = [&](int64_t u, int64_t i) {
+    if (!seen_pairs.insert(pair_key(u, i)).second) return false;
+    dataset.AddRating(u, i, score_to_rating(u, i));
+    return true;
+  };
+
+  // Phase 1: guarantee a minimum degree for every user and item so that
+  // cold-start evaluation always has support ratings to work with.
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    for (int r = 0; r < config.min_ratings_per_entity; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        if (try_add(u, WeightedDraw(item_prefix, &rng))) break;
+      }
+    }
+  }
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    for (int r = 0; r < config.min_ratings_per_entity; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        if (try_add(WeightedDraw(user_prefix, &rng), i)) break;
+      }
+    }
+  }
+
+  // Phase 2: fill the rating budget with popularity-weighted pairs.
+  int64_t guard = config.num_ratings * 20;
+  while (static_cast<int64_t>(dataset.ratings().size()) < config.num_ratings &&
+         guard-- > 0) {
+    try_add(WeightedDraw(user_prefix, &rng), WeightedDraw(item_prefix, &rng));
+  }
+
+  // Optional social network with homophily: most edges stay within the
+  // latent cluster.
+  if (config.generate_social) {
+    std::vector<std::vector<int64_t>> by_cluster(
+        static_cast<size_t>(config.num_user_clusters));
+    for (int64_t u = 0; u < config.num_users; ++u) {
+      by_cluster[static_cast<size_t>(users.cluster_of[static_cast<size_t>(u)])]
+          .push_back(u);
+    }
+    std::unordered_set<int64_t> seen_edges;
+    auto edge_key = [&](int64_t a, int64_t b) {
+      return std::min(a, b) * config.num_users + std::max(a, b);
+    };
+    const int half_degree = std::max(1, config.avg_friends / 2);
+    for (int64_t u = 0; u < config.num_users; ++u) {
+      for (int f = 0; f < half_degree; ++f) {
+        int64_t friend_id = -1;
+        if (rng.Bernoulli(0.7)) {
+          const auto& pool = by_cluster[static_cast<size_t>(
+              users.cluster_of[static_cast<size_t>(u)])];
+          if (pool.size() > 1) {
+            friend_id = pool[static_cast<size_t>(
+                rng.UniformInt(static_cast<int64_t>(pool.size())))];
+          }
+        }
+        if (friend_id < 0) friend_id = rng.UniformInt(config.num_users);
+        if (friend_id == u) continue;
+        if (!seen_edges.insert(edge_key(u, friend_id)).second) continue;
+        dataset.AddFriendship(u, friend_id);
+      }
+    }
+  }
+
+  return dataset;
+}
+
+SyntheticConfig MovieLens1MProfile(double scale) {
+  SyntheticConfig config;
+  config.name = "movielens-1m-synth";
+  config.num_users = std::max<int64_t>(64, static_cast<int64_t>(600 * scale));
+  config.num_items = std::max<int64_t>(64, static_cast<int64_t>(500 * scale));
+  config.num_ratings =
+      std::max<int64_t>(2000, static_cast<int64_t>(24000 * scale));
+  config.min_rating = 1.0f;
+  config.max_rating = 5.0f;
+  config.user_schema = {{"age", 7}, {"occupation", 21}, {"gender", 2},
+                        {"zip", 50}};
+  config.item_schema = {{"rate", 5}, {"genre", 18}, {"director", 60},
+                        {"actor", 100}};
+  return config;
+}
+
+SyntheticConfig DoubanProfile(double scale) {
+  SyntheticConfig config;
+  config.name = "douban-synth";
+  config.num_users = std::max<int64_t>(64, static_cast<int64_t>(700 * scale));
+  config.num_items = std::max<int64_t>(64, static_cast<int64_t>(600 * scale));
+  config.num_ratings =
+      std::max<int64_t>(2000, static_cast<int64_t>(21000 * scale));
+  config.min_rating = 1.0f;
+  config.max_rating = 5.0f;
+  // No natural attributes: identity attributes, like the paper's treatment.
+  config.user_schema = {};
+  config.item_schema = {};
+  config.generate_social = true;
+  config.avg_friends = 10;
+  return config;
+}
+
+SyntheticConfig BookcrossingProfile(double scale) {
+  SyntheticConfig config;
+  config.name = "bookcrossing-synth";
+  config.num_users = std::max<int64_t>(64, static_cast<int64_t>(650 * scale));
+  config.num_items = std::max<int64_t>(64, static_cast<int64_t>(550 * scale));
+  config.num_ratings =
+      std::max<int64_t>(2000, static_cast<int64_t>(18000 * scale));
+  config.min_rating = 1.0f;
+  config.max_rating = 10.0f;
+  config.user_schema = {{"age", 10}};
+  config.item_schema = {{"publication_year", 12}};
+  return config;
+}
+
+}  // namespace data
+}  // namespace hire

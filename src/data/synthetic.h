@@ -1,0 +1,73 @@
+#ifndef HIRE_DATA_SYNTHETIC_H_
+#define HIRE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hire {
+namespace data {
+
+/// Parameters of the synthetic world generator.
+///
+/// The generator draws users and items from latent clusters, derives
+/// categorical attributes from the latent vectors (so attributes are
+/// predictive of preferences — the property cold-start models exploit),
+/// samples observed pairs with power-law popularity, and scores each pair
+/// with a noisy latent dot product mapped onto the rating scale.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  int64_t num_users = 600;
+  int64_t num_items = 500;
+  /// Target number of observed ratings (a minimum per entity is enforced
+  /// first, then pairs are added up to this budget).
+  int64_t num_ratings = 20000;
+  float min_rating = 1.0f;
+  float max_rating = 5.0f;
+
+  int latent_dim = 8;
+  int num_user_clusters = 8;
+  int num_item_clusters = 8;
+  /// Within-cluster latent spread relative to the unit cluster centres.
+  double cluster_spread = 0.35;
+
+  /// Attribute columns. Empty schema => a single identity attribute (the
+  /// entity's own id), mirroring the paper's treatment of Douban.
+  std::vector<AttributeSchema> user_schema;
+  std::vector<AttributeSchema> item_schema;
+
+  /// Noise added to the latent projection before quantising it into a
+  /// categorical attribute. Attributes stay predictive of preferences but —
+  /// like real profile fields — do not determine them, so collaborative
+  /// evidence (observed ratings) carries signal attributes cannot.
+  double attribute_noise = 0.8;
+
+  /// Gaussian noise added to the latent score before discretisation.
+  double rating_noise = 0.4;
+  /// Popularity skew; larger => heavier head.
+  double zipf_exponent = 0.9;
+  /// Minimum ratings seeded per user and per item before the budget fill.
+  int min_ratings_per_entity = 3;
+
+  /// Synthesize a user-user friendship graph (Douban). Friends are biased
+  /// towards the same latent cluster so social signal correlates with
+  /// preference.
+  bool generate_social = false;
+  int avg_friends = 10;
+};
+
+/// Generates a dataset from `config` deterministically under `seed`.
+Dataset GenerateSyntheticDataset(const SyntheticConfig& config, uint64_t seed);
+
+/// Profiles mirroring the paper's three datasets (Table II), scaled to run
+/// on one CPU core. `scale` multiplies entity and rating counts.
+SyntheticConfig MovieLens1MProfile(double scale = 1.0);
+SyntheticConfig DoubanProfile(double scale = 1.0);
+SyntheticConfig BookcrossingProfile(double scale = 1.0);
+
+}  // namespace data
+}  // namespace hire
+
+#endif  // HIRE_DATA_SYNTHETIC_H_

@@ -1,0 +1,58 @@
+#include "graph/bipartite_graph.h"
+
+#include "utils/check.h"
+
+namespace hire {
+namespace graph {
+
+BipartiteGraph::BipartiteGraph(int64_t num_users, int64_t num_items,
+                               const std::vector<data::Rating>& ratings)
+    : num_users_(num_users), num_items_(num_items) {
+  HIRE_CHECK_GT(num_users_, 0);
+  HIRE_CHECK_GT(num_items_, 0);
+  user_adjacency_.assign(static_cast<size_t>(num_users_), {});
+  item_adjacency_.assign(static_cast<size_t>(num_items_), {});
+  edge_ratings_.reserve(ratings.size());
+  for (const data::Rating& rating : ratings) {
+    HIRE_CHECK(rating.user >= 0 && rating.user < num_users_)
+        << "user " << rating.user;
+    HIRE_CHECK(rating.item >= 0 && rating.item < num_items_)
+        << "item " << rating.item;
+    const int64_t key = rating.user * num_items_ + rating.item;
+    auto [it, inserted] = edge_ratings_.emplace(key, rating.value);
+    if (!inserted) continue;  // keep the first occurrence of duplicates
+    user_adjacency_[static_cast<size_t>(rating.user)].push_back(rating.item);
+    item_adjacency_[static_cast<size_t>(rating.item)].push_back(rating.user);
+    ++num_edges_;
+  }
+}
+
+const std::vector<int64_t>& BipartiteGraph::ItemsOfUser(int64_t user) const {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  return user_adjacency_[static_cast<size_t>(user)];
+}
+
+const std::vector<int64_t>& BipartiteGraph::UsersOfItem(int64_t item) const {
+  HIRE_CHECK(item >= 0 && item < num_items_) << "item " << item;
+  return item_adjacency_[static_cast<size_t>(item)];
+}
+
+std::optional<float> BipartiteGraph::GetRating(int64_t user,
+                                               int64_t item) const {
+  HIRE_CHECK(user >= 0 && user < num_users_) << "user " << user;
+  HIRE_CHECK(item >= 0 && item < num_items_) << "item " << item;
+  const auto it = edge_ratings_.find(user * num_items_ + item);
+  if (it == edge_ratings_.end()) return std::nullopt;
+  return it->second;
+}
+
+int64_t BipartiteGraph::UserDegree(int64_t user) const {
+  return static_cast<int64_t>(ItemsOfUser(user).size());
+}
+
+int64_t BipartiteGraph::ItemDegree(int64_t item) const {
+  return static_cast<int64_t>(UsersOfItem(item).size());
+}
+
+}  // namespace graph
+}  // namespace hire

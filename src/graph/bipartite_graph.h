@@ -1,0 +1,54 @@
+#ifndef HIRE_GRAPH_BIPARTITE_GRAPH_H_
+#define HIRE_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hire {
+namespace graph {
+
+/// User-item bipartite rating graph with adjacency lists in both directions
+/// and O(1) rating lookup. The neighborhood-based context sampler walks this
+/// structure; evaluation harnesses build one graph per visibility regime
+/// (train-only, train+support) so cold ratings can never leak.
+class BipartiteGraph {
+ public:
+  /// Builds the graph over `ratings`; user/item ids must lie inside the
+  /// given universe sizes.
+  BipartiteGraph(int64_t num_users, int64_t num_items,
+                 const std::vector<data::Rating>& ratings);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Items rated by `user` (possibly empty).
+  const std::vector<int64_t>& ItemsOfUser(int64_t user) const;
+
+  /// Users who rated `item` (possibly empty).
+  const std::vector<int64_t>& UsersOfItem(int64_t item) const;
+
+  /// The rating on edge (user, item), or nullopt when absent.
+  std::optional<float> GetRating(int64_t user, int64_t item) const;
+
+  /// Degree helpers.
+  int64_t UserDegree(int64_t user) const;
+  int64_t ItemDegree(int64_t item) const;
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  int64_t num_edges_ = 0;
+  std::vector<std::vector<int64_t>> user_adjacency_;
+  std::vector<std::vector<int64_t>> item_adjacency_;
+  std::unordered_map<int64_t, float> edge_ratings_;  // key: u*num_items+i
+};
+
+}  // namespace graph
+}  // namespace hire
+
+#endif  // HIRE_GRAPH_BIPARTITE_GRAPH_H_

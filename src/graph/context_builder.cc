@@ -1,0 +1,104 @@
+#include "graph/context_builder.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace graph {
+
+PredictionContext AssembleContext(const BipartiteGraph& graph,
+                                  ContextSelection selection) {
+  HIRE_CHECK(!selection.users.empty());
+  HIRE_CHECK(!selection.items.empty());
+  const int64_t n = static_cast<int64_t>(selection.users.size());
+  const int64_t m = static_cast<int64_t>(selection.items.size());
+
+  PredictionContext context;
+  context.users = std::move(selection.users);
+  context.items = std::move(selection.items);
+  context.observed_ratings = Tensor::Zeros({n, m});
+  context.observed_mask = Tensor::Zeros({n, m});
+  context.target_ratings = Tensor::Zeros({n, m});
+  context.target_mask = Tensor::Zeros({n, m});
+
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t j = 0; j < m; ++j) {
+      const auto rating =
+          graph.GetRating(context.users[static_cast<size_t>(k)],
+                          context.items[static_cast<size_t>(j)]);
+      if (rating.has_value()) {
+        context.observed_ratings.at(k, j) = *rating;
+        context.observed_mask.at(k, j) = 1.0f;
+      }
+    }
+  }
+  return context;
+}
+
+void MaskForTraining(PredictionContext* context, double visible_fraction,
+                     Rng* rng) {
+  HIRE_CHECK(context != nullptr);
+  HIRE_CHECK(rng != nullptr);
+  HIRE_CHECK(visible_fraction >= 0.0 && visible_fraction < 1.0)
+      << "visible_fraction " << visible_fraction;
+
+  // Gather the observed cells.
+  std::vector<int64_t> observed_cells;
+  for (int64_t flat = 0; flat < context->observed_mask.size(); ++flat) {
+    if (context->observed_mask.flat(flat) > 0.0f) {
+      observed_cells.push_back(flat);
+    }
+  }
+  HIRE_CHECK(!observed_cells.empty())
+      << "context has no observed ratings to mask";
+
+  rng->Shuffle(&observed_cells);
+  int64_t visible_count = static_cast<int64_t>(
+      visible_fraction * static_cast<double>(observed_cells.size()));
+  // Always keep at least one target; keep one visible cell when there are
+  // two or more observations.
+  visible_count = std::min<int64_t>(
+      visible_count, static_cast<int64_t>(observed_cells.size()) - 1);
+  visible_count = std::max<int64_t>(
+      visible_count, observed_cells.size() >= 2 ? 1 : 0);
+
+  for (size_t idx = static_cast<size_t>(visible_count);
+       idx < observed_cells.size(); ++idx) {
+    const int64_t flat = observed_cells[idx];
+    context->target_ratings.flat(flat) = context->observed_ratings.flat(flat);
+    context->target_mask.flat(flat) = 1.0f;
+    context->observed_ratings.flat(flat) = 0.0f;
+    context->observed_mask.flat(flat) = 0.0f;
+  }
+}
+
+PredictionContext BuildTrainingContext(const BipartiteGraph& graph,
+                                       const ContextSampler& sampler,
+                                       int64_t num_users, int64_t num_items,
+                                       double visible_fraction, Rng* rng) {
+  HIRE_CHECK(rng != nullptr);
+  HIRE_CHECK_GT(graph.num_edges(), 0) << "graph has no ratings";
+
+  // Draw a seed edge, weighted by user degree (uniform over edges).
+  int64_t seed_user = -1;
+  int64_t seed_item = -1;
+  for (int attempt = 0; attempt < 1024 && seed_user < 0; ++attempt) {
+    const int64_t user = rng->UniformInt(graph.num_users());
+    const auto& items = graph.ItemsOfUser(user);
+    if (items.empty()) continue;
+    seed_user = user;
+    seed_item = items[static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(items.size())))];
+  }
+  HIRE_CHECK_GE(seed_user, 0) << "could not find a seed edge";
+
+  ContextSelection selection = sampler.Sample(
+      graph, {seed_user}, {seed_item}, num_users, num_items, rng);
+  PredictionContext context = AssembleContext(graph, std::move(selection));
+  MaskForTraining(&context, visible_fraction, rng);
+  return context;
+}
+
+}  // namespace graph
+}  // namespace hire

@@ -1,0 +1,59 @@
+#ifndef HIRE_GRAPH_CONTEXT_BUILDER_H_
+#define HIRE_GRAPH_CONTEXT_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace graph {
+
+/// One prediction context: n users x m items with partially observed
+/// ratings. This is the unit both HIRE training (masked cells are the
+/// training targets) and evaluation (masked cells are the cold query
+/// ratings) operate on.
+struct PredictionContext {
+  std::vector<int64_t> users;  // n entity ids
+  std::vector<int64_t> items;  // m entity ids
+
+  /// [n, m]: rating values visible to the model (0 where not visible).
+  Tensor observed_ratings;
+  /// [n, m]: 1 where observed_ratings holds a visible rating.
+  Tensor observed_mask;
+  /// [n, m]: ground-truth values for prediction targets (0 elsewhere).
+  Tensor target_ratings;
+  /// [n, m]: 1 where target_ratings holds a ground truth to score against.
+  Tensor target_mask;
+
+  int64_t num_users() const { return static_cast<int64_t>(users.size()); }
+  int64_t num_items() const { return static_cast<int64_t>(items.size()); }
+};
+
+/// Assembles a context over `selection`, marking every rating present in
+/// `graph` as observed. No cells are targets yet.
+PredictionContext AssembleContext(const BipartiteGraph& graph,
+                                  ContextSelection selection);
+
+/// Converts a random (1 - visible_fraction) share of the observed cells into
+/// prediction targets: they are removed from the observed input and placed in
+/// target_ratings/target_mask. Mirrors the paper's masking protocol (90%
+/// masked by default). Guarantees at least one target and, when possible, at
+/// least one remaining observed cell.
+void MaskForTraining(PredictionContext* context, double visible_fraction,
+                     Rng* rng);
+
+/// Builds one training context end to end: picks a random observed edge as
+/// the seed pair, samples the selection, assembles and masks.
+PredictionContext BuildTrainingContext(const BipartiteGraph& graph,
+                                       const ContextSampler& sampler,
+                                       int64_t num_users, int64_t num_items,
+                                       double visible_fraction, Rng* rng);
+
+}  // namespace graph
+}  // namespace hire
+
+#endif  // HIRE_GRAPH_CONTEXT_BUILDER_H_

@@ -1,0 +1,265 @@
+#include "graph/samplers.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace graph {
+
+namespace {
+
+// Deduplicates seeds, preserving order, and truncates to the budget.
+std::vector<int64_t> PrepareSeeds(const std::vector<int64_t>& seeds,
+                                  int64_t universe, int64_t budget) {
+  std::vector<int64_t> unique;
+  std::unordered_set<int64_t> seen;
+  for (int64_t seed : seeds) {
+    HIRE_CHECK(seed >= 0 && seed < universe) << "seed " << seed;
+    if (seen.insert(seed).second) unique.push_back(seed);
+    if (static_cast<int64_t>(unique.size()) >= budget) break;
+  }
+  return unique;
+}
+
+// Fills `selected` to `budget` entities with uniform random unused ids.
+void FillRandom(std::vector<int64_t>* selected,
+                std::unordered_set<int64_t>* used, int64_t universe,
+                int64_t budget, Rng* rng) {
+  while (static_cast<int64_t>(selected->size()) < budget) {
+    const int64_t candidate = rng->UniformInt(universe);
+    if (used->insert(candidate).second) selected->push_back(candidate);
+  }
+}
+
+}  // namespace
+
+ContextSelection NeighborhoodSampler::Sample(
+    const BipartiteGraph& graph, const std::vector<int64_t>& seed_users,
+    const std::vector<int64_t>& seed_items, int64_t num_users,
+    int64_t num_items, Rng* rng) const {
+  HIRE_CHECK(rng != nullptr);
+  const int64_t user_budget = std::min(num_users, graph.num_users());
+  const int64_t item_budget = std::min(num_items, graph.num_items());
+
+  ContextSelection selection;
+  selection.users = PrepareSeeds(seed_users, graph.num_users(), user_budget);
+  selection.items = PrepareSeeds(seed_items, graph.num_items(), item_budget);
+  std::unordered_set<int64_t> used_users(selection.users.begin(),
+                                         selection.users.end());
+  std::unordered_set<int64_t> used_items(selection.items.begin(),
+                                         selection.items.end());
+
+  // Hop-by-hop BFS. The frontier alternates roles implicitly: user nodes
+  // contribute item neighbors and vice versa.
+  std::vector<int64_t> frontier_users = selection.users;
+  std::vector<int64_t> frontier_items = selection.items;
+
+  while ((static_cast<int64_t>(selection.users.size()) < user_budget ||
+          static_cast<int64_t>(selection.items.size()) < item_budget) &&
+         (!frontier_users.empty() || !frontier_items.empty())) {
+    // Collect the next hop's candidate entities.
+    std::vector<int64_t> candidate_items;
+    for (int64_t user : frontier_users) {
+      for (int64_t item : graph.ItemsOfUser(user)) {
+        if (used_items.count(item) == 0) candidate_items.push_back(item);
+      }
+    }
+    std::vector<int64_t> candidate_users;
+    for (int64_t item : frontier_items) {
+      for (int64_t user : graph.UsersOfItem(item)) {
+        if (used_users.count(user) == 0) candidate_users.push_back(user);
+      }
+    }
+
+    // Deduplicate candidates (an entity can neighbor several frontier
+    // nodes).
+    std::sort(candidate_items.begin(), candidate_items.end());
+    candidate_items.erase(
+        std::unique(candidate_items.begin(), candidate_items.end()),
+        candidate_items.end());
+    std::sort(candidate_users.begin(), candidate_users.end());
+    candidate_users.erase(
+        std::unique(candidate_users.begin(), candidate_users.end()),
+        candidate_users.end());
+
+    frontier_users.clear();
+    frontier_items.clear();
+
+    // Admit items: all of them if they fit the remaining budget, otherwise
+    // a uniform subset (paper §IV-B).
+    const int64_t item_room =
+        item_budget - static_cast<int64_t>(selection.items.size());
+    if (item_room > 0 && !candidate_items.empty()) {
+      if (static_cast<int64_t>(candidate_items.size()) > item_room) {
+        const auto picks = rng->SampleWithoutReplacement(
+            static_cast<int64_t>(candidate_items.size()), item_room);
+        std::vector<int64_t> subset;
+        subset.reserve(picks.size());
+        for (int64_t index : picks) {
+          subset.push_back(candidate_items[static_cast<size_t>(index)]);
+        }
+        candidate_items = std::move(subset);
+      }
+      for (int64_t item : candidate_items) {
+        used_items.insert(item);
+        selection.items.push_back(item);
+        frontier_items.push_back(item);
+      }
+    }
+
+    const int64_t user_room =
+        user_budget - static_cast<int64_t>(selection.users.size());
+    if (user_room > 0 && !candidate_users.empty()) {
+      if (static_cast<int64_t>(candidate_users.size()) > user_room) {
+        const auto picks = rng->SampleWithoutReplacement(
+            static_cast<int64_t>(candidate_users.size()), user_room);
+        std::vector<int64_t> subset;
+        subset.reserve(picks.size());
+        for (int64_t index : picks) {
+          subset.push_back(candidate_users[static_cast<size_t>(index)]);
+        }
+        candidate_users = std::move(subset);
+      }
+      for (int64_t user : candidate_users) {
+        used_users.insert(user);
+        selection.users.push_back(user);
+        frontier_users.push_back(user);
+      }
+    }
+
+    if (frontier_users.empty() && frontier_items.empty()) break;
+  }
+
+  // Graceful fallback for disconnected or exhausted components.
+  FillRandom(&selection.users, &used_users, graph.num_users(), user_budget,
+             rng);
+  FillRandom(&selection.items, &used_items, graph.num_items(), item_budget,
+             rng);
+  return selection;
+}
+
+ContextSelection RandomSampler::Sample(const BipartiteGraph& graph,
+                                       const std::vector<int64_t>& seed_users,
+                                       const std::vector<int64_t>& seed_items,
+                                       int64_t num_users, int64_t num_items,
+                                       Rng* rng) const {
+  HIRE_CHECK(rng != nullptr);
+  const int64_t user_budget = std::min(num_users, graph.num_users());
+  const int64_t item_budget = std::min(num_items, graph.num_items());
+
+  ContextSelection selection;
+  selection.users = PrepareSeeds(seed_users, graph.num_users(), user_budget);
+  selection.items = PrepareSeeds(seed_items, graph.num_items(), item_budget);
+  std::unordered_set<int64_t> used_users(selection.users.begin(),
+                                         selection.users.end());
+  std::unordered_set<int64_t> used_items(selection.items.begin(),
+                                         selection.items.end());
+  FillRandom(&selection.users, &used_users, graph.num_users(), user_budget,
+             rng);
+  FillRandom(&selection.items, &used_items, graph.num_items(), item_budget,
+             rng);
+  return selection;
+}
+
+FeatureSimilaritySampler::FeatureSimilaritySampler(
+    const data::Dataset* dataset)
+    : dataset_(dataset) {
+  HIRE_CHECK(dataset_ != nullptr);
+}
+
+namespace {
+
+// Fraction of attribute positions on which the two vectors agree.
+double MatchFraction(const std::vector<int64_t>& a,
+                     const std::vector<int64_t>& b) {
+  HIRE_CHECK_EQ(a.size(), b.size());
+  int64_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+// Selects the budget-many candidates most similar to the seeds, breaking
+// ties with random jitter.
+template <typename AttrFn>
+void FillBySimilarity(const std::vector<int64_t>& seeds,
+                      std::vector<int64_t>* selected,
+                      std::unordered_set<int64_t>* used, int64_t universe,
+                      int64_t budget, AttrFn attributes, Rng* rng) {
+  if (static_cast<int64_t>(selected->size()) >= budget) return;
+  struct Scored {
+    double score;
+    int64_t entity;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(static_cast<size_t>(universe));
+  for (int64_t candidate = 0; candidate < universe; ++candidate) {
+    if (used->count(candidate) > 0) continue;
+    double best = 0.0;
+    for (int64_t seed : seeds) {
+      best = std::max(best, MatchFraction(attributes(seed),
+                                          attributes(candidate)));
+    }
+    scored.push_back(Scored{best + 1e-6 * rng->Uniform(), candidate});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score > b.score;
+  });
+  for (const Scored& entry : scored) {
+    if (static_cast<int64_t>(selected->size()) >= budget) break;
+    used->insert(entry.entity);
+    selected->push_back(entry.entity);
+  }
+}
+
+}  // namespace
+
+ContextSelection FeatureSimilaritySampler::Sample(
+    const BipartiteGraph& graph, const std::vector<int64_t>& seed_users,
+    const std::vector<int64_t>& seed_items, int64_t num_users,
+    int64_t num_items, Rng* rng) const {
+  HIRE_CHECK(rng != nullptr);
+  const int64_t user_budget = std::min(num_users, graph.num_users());
+  const int64_t item_budget = std::min(num_items, graph.num_items());
+
+  ContextSelection selection;
+  selection.users = PrepareSeeds(seed_users, graph.num_users(), user_budget);
+  selection.items = PrepareSeeds(seed_items, graph.num_items(), item_budget);
+  std::unordered_set<int64_t> used_users(selection.users.begin(),
+                                         selection.users.end());
+  std::unordered_set<int64_t> used_items(selection.items.begin(),
+                                         selection.items.end());
+
+  const std::vector<int64_t>& user_seeds_for_sim =
+      selection.users.empty() ? seed_users : selection.users;
+  const std::vector<int64_t>& item_seeds_for_sim =
+      selection.items.empty() ? seed_items : selection.items;
+
+  FillBySimilarity(
+      user_seeds_for_sim, &selection.users, &used_users, graph.num_users(),
+      user_budget,
+      [this](int64_t user) -> const std::vector<int64_t>& {
+        return dataset_->user_attributes(user);
+      },
+      rng);
+  FillBySimilarity(
+      item_seeds_for_sim, &selection.items, &used_items, graph.num_items(),
+      item_budget,
+      [this](int64_t item) -> const std::vector<int64_t>& {
+        return dataset_->item_attributes(item);
+      },
+      rng);
+
+  // When there were no seeds at all, fall back to random fill.
+  FillRandom(&selection.users, &used_users, graph.num_users(), user_budget,
+             rng);
+  FillRandom(&selection.items, &used_items, graph.num_items(), item_budget,
+             rng);
+  return selection;
+}
+
+}  // namespace graph
+}  // namespace hire

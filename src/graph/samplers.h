@@ -1,0 +1,87 @@
+#ifndef HIRE_GRAPH_SAMPLERS_H_
+#define HIRE_GRAPH_SAMPLERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace graph {
+
+/// The users and items chosen for one prediction context.
+struct ContextSelection {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+};
+
+/// Strategy interface for selecting the n users and m items of a prediction
+/// context around a seed set (§IV-B and the Fig. 8 ablation).
+///
+/// Implementations must include every seed entity in the output, return
+/// exactly min(n, num_users) distinct users and min(m, num_items) distinct
+/// items, and be deterministic given the Rng state.
+class ContextSampler {
+ public:
+  virtual ~ContextSampler() = default;
+
+  virtual ContextSelection Sample(const BipartiteGraph& graph,
+                                  const std::vector<int64_t>& seed_users,
+                                  const std::vector<int64_t>& seed_items,
+                                  int64_t num_users, int64_t num_items,
+                                  Rng* rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's default: breadth-first expansion over the rating bipartite
+/// graph starting from the seed set, hop by hop, uniformly subsampling any
+/// frontier that exceeds the remaining budget. Falls back to uniform random
+/// entities when the reachable component is exhausted (e.g. a cold user with
+/// no visible edges).
+class NeighborhoodSampler : public ContextSampler {
+ public:
+  ContextSelection Sample(const BipartiteGraph& graph,
+                          const std::vector<int64_t>& seed_users,
+                          const std::vector<int64_t>& seed_items,
+                          int64_t num_users, int64_t num_items,
+                          Rng* rng) const override;
+  std::string name() const override { return "neighborhood"; }
+};
+
+/// Ablation baseline: uniform random users/items (seeds still included).
+class RandomSampler : public ContextSampler {
+ public:
+  ContextSelection Sample(const BipartiteGraph& graph,
+                          const std::vector<int64_t>& seed_users,
+                          const std::vector<int64_t>& seed_items,
+                          int64_t num_users, int64_t num_items,
+                          Rng* rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Ablation baseline: picks the users/items whose categorical attribute
+/// vectors are most similar (highest match fraction) to the seeds.
+class FeatureSimilaritySampler : public ContextSampler {
+ public:
+  /// `dataset` supplies the attribute tables; it must outlive the sampler.
+  explicit FeatureSimilaritySampler(const data::Dataset* dataset);
+
+  ContextSelection Sample(const BipartiteGraph& graph,
+                          const std::vector<int64_t>& seed_users,
+                          const std::vector<int64_t>& seed_items,
+                          int64_t num_users, int64_t num_items,
+                          Rng* rng) const override;
+  std::string name() const override { return "feature-similarity"; }
+
+ private:
+  const data::Dataset* dataset_;
+};
+
+}  // namespace graph
+}  // namespace hire
+
+#endif  // HIRE_GRAPH_SAMPLERS_H_

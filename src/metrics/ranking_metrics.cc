@@ -1,0 +1,144 @@
+#include "metrics/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace metrics {
+
+RankingMetrics ComputeRankingMetrics(const std::vector<float>& predicted,
+                                     const std::vector<float>& actual, int k,
+                                     float relevance_threshold) {
+  HIRE_CHECK_EQ(predicted.size(), actual.size());
+  HIRE_CHECK(!predicted.empty()) << "empty ranking list";
+  HIRE_CHECK_GT(k, 0);
+
+  const int64_t count = static_cast<int64_t>(predicted.size());
+  const int64_t cutoff = std::min<int64_t>(k, count);
+
+  // Rank items by predicted rating, breaking ties by index for determinism.
+  std::vector<int64_t> order(static_cast<size_t>(count));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return predicted[static_cast<size_t>(a)] > predicted[static_cast<size_t>(b)];
+  });
+
+  auto relevant = [&](int64_t item) {
+    return actual[static_cast<size_t>(item)] >= relevance_threshold;
+  };
+
+  // Precision@k.
+  int64_t hits = 0;
+  for (int64_t i = 0; i < cutoff; ++i) {
+    if (relevant(order[static_cast<size_t>(i)])) ++hits;
+  }
+  RankingMetrics result;
+  result.precision = static_cast<double>(hits) / static_cast<double>(cutoff);
+
+  // NDCG@k with graded gains: DCG over the predicted order, IDCG over the
+  // ideal (actual-descending) order.
+  std::vector<float> ideal = actual;
+  std::sort(ideal.begin(), ideal.end(), std::greater<float>());
+  double dcg = 0.0;
+  double idcg = 0.0;
+  for (int64_t i = 0; i < cutoff; ++i) {
+    const double discount = 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    dcg += actual[static_cast<size_t>(order[static_cast<size_t>(i)])] * discount;
+    idcg += ideal[static_cast<size_t>(i)] * discount;
+  }
+  result.ndcg = idcg > 0.0 ? dcg / idcg : 0.0;
+
+  // MAP@k (binary relevance).
+  const int64_t total_relevant =
+      std::count_if(actual.begin(), actual.end(), [&](float rating) {
+        return rating >= relevance_threshold;
+      });
+  if (total_relevant > 0) {
+    double ap = 0.0;
+    int64_t hits_so_far = 0;
+    for (int64_t i = 0; i < cutoff; ++i) {
+      if (relevant(order[static_cast<size_t>(i)])) {
+        ++hits_so_far;
+        ap += static_cast<double>(hits_so_far) / static_cast<double>(i + 1);
+      }
+    }
+    result.map = ap / static_cast<double>(std::min<int64_t>(total_relevant,
+                                                            cutoff));
+  }
+  return result;
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  HIRE_CHECK(!values.empty());
+  MeanStd out;
+  for (double value : values) out.mean += value;
+  out.mean /= static_cast<double>(values.size());
+  double variance = 0.0;
+  for (double value : values) {
+    const double centered = value - out.mean;
+    variance += centered * centered;
+  }
+  variance /= static_cast<double>(values.size());
+  out.stddev = std::sqrt(variance);
+  return out;
+}
+
+RankingMetrics AverageMetrics(const std::vector<RankingMetrics>& metrics) {
+  HIRE_CHECK(!metrics.empty());
+  RankingMetrics out;
+  for (const RankingMetrics& m : metrics) {
+    out.precision += m.precision;
+    out.ndcg += m.ndcg;
+    out.map += m.map;
+  }
+  const double inv = 1.0 / static_cast<double>(metrics.size());
+  out.precision *= inv;
+  out.ndcg *= inv;
+  out.map *= inv;
+  return out;
+}
+
+namespace {
+
+double SumSquaredError(const std::vector<float>& predicted,
+                       const std::vector<float>& actual) {
+  HIRE_CHECK_EQ(predicted.size(), actual.size());
+  HIRE_CHECK(!predicted.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double diff = predicted[i] - actual[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+double MeanSquaredError(const std::vector<float>& predicted,
+                        const std::vector<float>& actual) {
+  return SumSquaredError(predicted, actual) /
+         static_cast<double>(predicted.size());
+}
+
+double MeanAbsoluteError(const std::vector<float>& predicted,
+                         const std::vector<float>& actual) {
+  HIRE_CHECK_EQ(predicted.size(), actual.size());
+  HIRE_CHECK(!predicted.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    total += std::fabs(predicted[i] - actual[i]);
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+double RootMeanSquaredError(const std::vector<float>& predicted,
+                            const std::vector<float>& actual) {
+  return std::sqrt(MeanSquaredError(predicted, actual));
+}
+
+}  // namespace metrics
+}  // namespace hire

@@ -1,0 +1,55 @@
+#ifndef HIRE_METRICS_RANKING_METRICS_H_
+#define HIRE_METRICS_RANKING_METRICS_H_
+
+#include <vector>
+
+namespace hire {
+namespace metrics {
+
+/// Ranking quality of one prediction list, following the paper's protocol:
+/// items are sorted by *predicted* rating, the top-k prefix is scored
+/// against the *actual* ratings.
+struct RankingMetrics {
+  double precision = 0.0;
+  double ndcg = 0.0;
+  double map = 0.0;
+};
+
+/// Computes Precision@k, NDCG@k and MAP@k for one ranked list.
+///
+/// `predicted` and `actual` are parallel arrays over a user's candidate
+/// items. An item is *relevant* when its actual rating >=
+/// `relevance_threshold`. NDCG uses graded gains (the actual rating) with
+/// the Järvelin–Kekäläinen log2 discount; Precision and MAP use binary
+/// relevance. When the list is shorter than k, the full list is scored.
+RankingMetrics ComputeRankingMetrics(const std::vector<float>& predicted,
+                                     const std::vector<float>& actual, int k,
+                                     float relevance_threshold);
+
+/// Mean and (population) standard deviation of a sample, for the
+/// "mean(std)" cells of the paper's tables.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+MeanStd Aggregate(const std::vector<double>& values);
+
+/// Averages a set of per-list metrics into one RankingMetrics.
+RankingMetrics AverageMetrics(const std::vector<RankingMetrics>& metrics);
+
+// ---------------------------------------------------------------------------
+// Regression metrics.
+// ---------------------------------------------------------------------------
+
+double MeanSquaredError(const std::vector<float>& predicted,
+                        const std::vector<float>& actual);
+double MeanAbsoluteError(const std::vector<float>& predicted,
+                         const std::vector<float>& actual);
+double RootMeanSquaredError(const std::vector<float>& predicted,
+                            const std::vector<float>& actual);
+
+}  // namespace metrics
+}  // namespace hire
+
+#endif  // HIRE_METRICS_RANKING_METRICS_H_

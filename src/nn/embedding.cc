@@ -1,0 +1,22 @@
+#include "nn/embedding.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+Embedding::Embedding(int64_t num_categories, int64_t dim, Rng* rng)
+    : num_categories_(num_categories), dim_(dim) {
+  HIRE_CHECK(rng != nullptr);
+  table_ = RegisterParameter("table",
+                             EmbeddingInit(num_categories, dim, rng));
+}
+
+ag::Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return ag::EmbeddingLookup(table_, indices);
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,39 @@
+#ifndef HIRE_NN_EMBEDDING_H_
+#define HIRE_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace nn {
+
+/// Learnable lookup table mapping categorical ids to dense vectors. This is
+/// the library's realisation of the paper's per-attribute linear transforms
+/// f_U^k, f_I^k and f_R (Eq. 7-9): multiplying a one-hot encoding by a weight
+/// matrix is exactly a row lookup.
+class Embedding : public Module {
+ public:
+  /// `num_categories` rows of width `dim`, small-normal initialised.
+  Embedding(int64_t num_categories, int64_t dim, Rng* rng);
+
+  /// Gathers rows by id. Index -1 yields a zero row (masked rating) and
+  /// receives no gradient. Output: [indices.size(), dim].
+  ag::Variable Forward(const std::vector<int64_t>& indices) const;
+
+  int64_t num_categories() const { return num_categories_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_categories_;
+  int64_t dim_;
+  ag::Variable table_;  // [num_categories, dim]
+};
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_EMBEDDING_H_

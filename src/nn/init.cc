@@ -1,0 +1,33 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  HIRE_CHECK_GT(fan_in, 0);
+  HIRE_CHECK_GT(fan_out, 0);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_in, fan_out}, -limit, limit, rng);
+}
+
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  HIRE_CHECK_GT(fan_in, 0);
+  HIRE_CHECK_GT(fan_out, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return RandomNormal({fan_in, fan_out}, 0.0f, stddev, rng);
+}
+
+Tensor EmbeddingInit(int64_t rows, int64_t width, Rng* rng) {
+  HIRE_CHECK_GT(rows, 0);
+  HIRE_CHECK_GT(width, 0);
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(width));
+  return RandomNormal({rows, width}, 0.0f, stddev, rng);
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,25 @@
+#ifndef HIRE_NN_INIT_H_
+#define HIRE_NN_INIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace nn {
+
+/// Glorot/Xavier uniform initialisation for a [fan_in, fan_out] weight.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// He/Kaiming normal initialisation for ReLU stacks.
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Small-scale normal initialisation for embedding tables [rows, width].
+Tensor EmbeddingInit(int64_t rows, int64_t width, Rng* rng);
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_INIT_H_

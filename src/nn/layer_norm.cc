@@ -1,0 +1,24 @@
+#include "nn/layer_norm.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+LayerNorm::LayerNorm(int64_t dim, float epsilon)
+    : dim_(dim), epsilon_(epsilon) {
+  HIRE_CHECK_GT(dim, 0);
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  HIRE_CHECK_EQ(x.value().shape(-1), dim_)
+      << "LayerNorm expects last dim " << dim_ << ", got "
+      << x.value().ShapeString();
+  return ag::LayerNorm(x, gamma_, beta_, epsilon_);
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,30 @@
+#ifndef HIRE_NN_LAYER_NORM_H_
+#define HIRE_NN_LAYER_NORM_H_
+
+#include <cstdint>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace hire {
+namespace nn {
+
+/// Layer normalisation over the last axis with learnable gain and offset.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float epsilon = 1e-5f);
+
+  /// x: [..., dim] -> same shape.
+  ag::Variable Forward(const ag::Variable& x) const;
+
+ private:
+  int64_t dim_;
+  float epsilon_;
+  ag::Variable gamma_;  // [dim]
+  ag::Variable beta_;   // [dim]
+};
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_LAYER_NORM_H_

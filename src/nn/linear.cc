@@ -1,0 +1,37 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  HIRE_CHECK(rng != nullptr);
+  weight_ =
+      RegisterParameter("weight", XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) const {
+  HIRE_CHECK_EQ(x.value().shape(-1), in_features_)
+      << "Linear expects last dim " << in_features_ << ", got "
+      << x.value().ShapeString();
+
+  std::vector<int64_t> out_shape = x.value().shape();
+  out_shape.back() = out_features_;
+
+  ag::Variable flat = ag::Reshape(x, {-1, in_features_});
+  ag::Variable y = ag::MatMul(flat, weight_);
+  if (bias_.defined()) {
+    y = ag::AddBias(y, bias_);
+  }
+  return ag::Reshape(y, std::move(out_shape));
+}
+
+}  // namespace nn
+}  // namespace hire

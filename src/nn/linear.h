@@ -1,0 +1,38 @@
+#ifndef HIRE_NN_LINEAR_H_
+#define HIRE_NN_LINEAR_H_
+
+#include <cstdint>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace nn {
+
+/// Affine map y = x W + b applied to the last axis of x. Inputs of any rank
+/// are supported; leading axes are treated as batch dimensions.
+class Linear : public Module {
+ public:
+  /// Creates a layer mapping `in_features` -> `out_features`, Xavier
+  /// initialised from `rng`. `bias` adds a learnable offset.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  /// x: [..., in_features] -> [..., out_features].
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Variable weight_;  // [in, out]
+  ag::Variable bias_;    // [out] or undefined
+};
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_LINEAR_H_

@@ -1,0 +1,48 @@
+#include "nn/mlp.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+ag::Variable ApplyActivation(const ag::Variable& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+  }
+  HIRE_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation hidden_activation, Rng* rng,
+         Activation output_activation)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation) {
+  HIRE_CHECK_GE(dims.size(), 2u) << "Mlp needs at least input and output dims";
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterSubmodule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+ag::Variable Mlp::Forward(const ag::Variable& x) const {
+  ag::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ApplyActivation(h, hidden_activation_);
+    }
+  }
+  return ApplyActivation(h, output_activation_);
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,49 @@
+#ifndef HIRE_NN_MLP_H_
+#define HIRE_NN_MLP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace nn {
+
+/// Hidden-layer activation for Mlp.
+enum class Activation {
+  kNone,
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+/// Multi-layer perceptron: Linear -> activation -> ... -> Linear. Used by
+/// the decoder and by the CF baselines (NeuMF, Wide&Deep, DeepFM, AFN).
+class Mlp : public Module {
+ public:
+  /// `dims` lists layer widths, e.g. {64, 32, 1} builds 64->32->1.
+  /// `hidden_activation` is applied between layers; `output_activation`
+  /// after the final layer.
+  Mlp(std::vector<int64_t> dims, Activation hidden_activation, Rng* rng,
+      Activation output_activation = Activation::kNone);
+
+  /// x: [..., dims.front()] -> [..., dims.back()].
+  ag::Variable Forward(const ag::Variable& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_activation_;
+  Activation output_activation_;
+};
+
+/// Applies the given activation (kNone is identity).
+ag::Variable ApplyActivation(const ag::Variable& x, Activation activation);
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_MLP_H_

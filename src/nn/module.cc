@@ -1,0 +1,67 @@
+#include "nn/module.h"
+
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+std::vector<ag::Variable> Module::Parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& [name, variable] : NamedParameters()) {
+    out.push_back(variable);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Variable>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, ag::Variable>> out;
+  CollectNamedParameters("", &out);
+  return out;
+}
+
+void Module::CollectNamedParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Variable>>* out) const {
+  for (const auto& [name, variable] : params_) {
+    out->emplace_back(prefix + name, variable);
+  }
+  for (const auto& [name, module] : submodules_) {
+    module->CollectNamedParameters(prefix + name + ".", out);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (ag::Variable& parameter : Parameters()) {
+    parameter.ZeroGrad();
+  }
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, module] : submodules_) {
+    module->SetTraining(training);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t count = 0;
+  for (const ag::Variable& parameter : Parameters()) {
+    count += parameter.size();
+  }
+  return count;
+}
+
+ag::Variable Module::RegisterParameter(std::string name, Tensor init) {
+  ag::Variable parameter(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), parameter);
+  return parameter;
+}
+
+void Module::RegisterSubmodule(std::string name, Module* module) {
+  HIRE_CHECK(module != nullptr);
+  submodules_.emplace_back(std::move(name), module);
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,67 @@
+#ifndef HIRE_NN_MODULE_H_
+#define HIRE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace nn {
+
+/// Base class for neural-network building blocks. A Module owns named
+/// parameters (ag::Variable leaves with requires_grad) and registers
+/// submodules, exposing the flattened parameter list to optimisers and the
+/// serializer.
+///
+/// Subclasses register parameters/submodules in their constructor and
+/// implement a Forward method with whatever signature fits the layer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its submodules, depth-first.
+  std::vector<ag::Variable> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("encoder.weight").
+  std::vector<std::pair<std::string, ag::Variable>> NamedParameters() const;
+
+  /// Clears gradients on every parameter.
+  void ZeroGrad();
+
+  /// Toggles training mode (dropout etc.) recursively.
+  void SetTraining(bool training);
+
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Creates and registers a trainable parameter initialised to `init`.
+  ag::Variable RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a submodule; `module` must outlive this object (it is
+  /// normally a data member of the subclass).
+  void RegisterSubmodule(std::string name, Module* module);
+
+ private:
+  void CollectNamedParameters(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, ag::Variable>>* out) const;
+
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_MODULE_H_

@@ -1,0 +1,65 @@
+#ifndef HIRE_NN_MULTI_HEAD_SELF_ATTENTION_H_
+#define HIRE_NN_MULTI_HEAD_SELF_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "autograd/variable.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace hire {
+namespace nn {
+
+/// Configuration for a multi-head self-attention layer (paper Eq. 1-4).
+struct MhsaConfig {
+  /// Input/output embedding dimension d (= d_o).
+  int64_t embed_dim = 0;
+  /// Number of heads l.
+  int64_t num_heads = 1;
+  /// Per-head key/query/value dimension d_k = d_v. When 0, defaults to
+  /// embed_dim / num_heads.
+  int64_t head_dim = 0;
+};
+
+/// Multi-head self-attention, MHSA(X) = [SA_1(X) || ... || SA_l(X)] W_O.
+///
+/// Forward accepts a batch of token sequences [B, t, d]; each batch element
+/// is attended independently with shared weights, which is exactly how the
+/// paper applies one parameter-sharing MHSA across item views (MBU), user
+/// views (MBI) and user-item pairs (MBA) in parallel.
+///
+/// The layer is permutation equivariant in the token axis (paper Eq. 5);
+/// tests/nn_test.cc verifies this property.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(const MhsaConfig& config, Rng* rng);
+
+  /// x: [B, t, d] -> [B, t, d].
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  /// When enabled, the softmax attention weights of the most recent Forward
+  /// are retained (detached) for inspection; shape [B, l, t, t].
+  void EnableAttentionCapture(bool enable) { capture_attention_ = enable; }
+
+  /// Last captured attention weights; empty if capture is disabled or
+  /// Forward has not run.
+  const Tensor& captured_attention() const { return captured_attention_; }
+
+  const MhsaConfig& config() const { return config_; }
+
+ private:
+  MhsaConfig config_;
+  std::unique_ptr<Linear> query_;
+  std::unique_ptr<Linear> key_;
+  std::unique_ptr<Linear> value_;
+  std::unique_ptr<Linear> output_;
+  bool capture_attention_ = false;
+  mutable Tensor captured_attention_;
+};
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_MULTI_HEAD_SELF_ATTENTION_H_

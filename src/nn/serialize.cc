@@ -1,0 +1,94 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[] = "HIREPARAMS1";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint64_t ReadU64(std::ifstream& in) {
+  uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  HIRE_CHECK(in.good()) << "truncated parameter file";
+  return value;
+}
+
+}  // namespace
+
+void SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HIRE_CHECK(out.is_open()) << "cannot open '" << path << "' for writing";
+
+  const auto named = module.NamedParameters();
+  out.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+  WriteU64(out, named.size());
+  for (const auto& [name, variable] : named) {
+    WriteU64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& value = variable.value();
+    WriteU64(out, static_cast<uint64_t>(value.dim()));
+    for (int64_t extent : value.shape()) {
+      WriteU64(out, static_cast<uint64_t>(extent));
+    }
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+  }
+  HIRE_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+void LoadParameters(Module* module, const std::string& path) {
+  HIRE_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
+
+  char magic[kMagicLen];
+  in.read(magic, static_cast<std::streamsize>(kMagicLen));
+  HIRE_CHECK(in.good() && std::string(magic, kMagicLen) == kMagic)
+      << "'" << path << "' is not a HIRE parameter file";
+
+  const uint64_t count = ReadU64(in);
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint64_t p = 0; p < count; ++p) {
+    const uint64_t name_len = ReadU64(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rank = ReadU64(in);
+    std::vector<int64_t> shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+      shape[i] = static_cast<int64_t>(ReadU64(in));
+    }
+    Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    HIRE_CHECK(in.good()) << "truncated parameter file '" << path << "'";
+    loaded.emplace(std::move(name), std::move(value));
+  }
+
+  auto named = module->NamedParameters();
+  HIRE_CHECK_EQ(named.size(), loaded.size())
+      << "parameter count mismatch loading '" << path << "'";
+  for (auto& [name, variable] : named) {
+    auto it = loaded.find(name);
+    HIRE_CHECK(it != loaded.end()) << "missing parameter '" << name << "'";
+    HIRE_CHECK(it->second.SameShape(variable.value()))
+        << "shape mismatch for '" << name << "': file "
+        << it->second.ShapeString() << " vs model "
+        << variable.value().ShapeString();
+    variable.mutable_value() = it->second;
+  }
+}
+
+}  // namespace nn
+}  // namespace hire

@@ -1,0 +1,22 @@
+#ifndef HIRE_NN_SERIALIZE_H_
+#define HIRE_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace hire {
+namespace nn {
+
+/// Writes every named parameter of `module` to `path` in a simple binary
+/// format (magic, count, then name/shape/data records).
+void SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved by SaveParameters. Names and shapes must match
+/// the module exactly; mismatches throw hire::CheckError.
+void LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace hire
+
+#endif  // HIRE_NN_SERIALIZE_H_

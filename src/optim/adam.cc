@@ -1,0 +1,49 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace hire {
+namespace optim {
+
+Adam::Adam(std::vector<ag::Variable> parameters, const AdamConfig& config)
+    : Optimizer(std::move(parameters), config.learning_rate),
+      config_(config) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const ag::Variable& parameter : parameters_) {
+    first_moment_.emplace_back(Tensor::Zeros(parameter.shape()));
+    second_moment_.emplace_back(Tensor::Zeros(parameter.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    ag::Variable& parameter = parameters_[p];
+    if (!parameter.has_grad()) continue;
+    const Tensor& grad = parameter.grad();
+    Tensor& value = parameter.mutable_value();
+    Tensor& m = first_moment_[p];
+    Tensor& v = second_moment_[p];
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float g = grad.flat(i);
+      m.flat(i) = config_.beta1 * m.flat(i) + (1.0f - config_.beta1) * g;
+      v.flat(i) = config_.beta2 * v.flat(i) + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m.flat(i) / bias1;
+      const float v_hat = v.flat(i) / bias2;
+      float update = m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      if (config_.weight_decay > 0.0f) {
+        update += config_.weight_decay * value.flat(i);
+      }
+      value.flat(i) -= learning_rate_ * update;
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace hire

@@ -1,0 +1,39 @@
+#ifndef HIRE_OPTIM_ADAM_H_
+#define HIRE_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace optim {
+
+/// Adam/AdamW configuration.
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// Decoupled weight decay (AdamW style); 0 disables.
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimiser (Kingma & Ba) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> parameters, const AdamConfig& config);
+
+  void Step() override;
+
+ private:
+  AdamConfig config_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_ADAM_H_

@@ -1,0 +1,70 @@
+#include "optim/lamb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hire {
+namespace optim {
+
+Lamb::Lamb(std::vector<ag::Variable> parameters, const LambConfig& config)
+    : Optimizer(std::move(parameters), config.learning_rate),
+      config_(config) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const ag::Variable& parameter : parameters_) {
+    first_moment_.emplace_back(Tensor::Zeros(parameter.shape()));
+    second_moment_.emplace_back(Tensor::Zeros(parameter.shape()));
+  }
+}
+
+void Lamb::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    ag::Variable& parameter = parameters_[p];
+    if (!parameter.has_grad()) continue;
+    const Tensor& grad = parameter.grad();
+    Tensor& value = parameter.mutable_value();
+    Tensor& m = first_moment_[p];
+    Tensor& v = second_moment_[p];
+
+    // Adam-style normalised update, then layer-wise trust rescaling.
+    Tensor update(value.shape());
+    double weight_norm_sq = 0.0;
+    double update_norm_sq = 0.0;
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float g = grad.flat(i);
+      m.flat(i) = config_.beta1 * m.flat(i) + (1.0f - config_.beta1) * g;
+      v.flat(i) = config_.beta2 * v.flat(i) + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m.flat(i) / bias1;
+      const float v_hat = v.flat(i) / bias2;
+      float u = m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      if (config_.weight_decay > 0.0f) {
+        u += config_.weight_decay * value.flat(i);
+      }
+      update.flat(i) = u;
+      weight_norm_sq += static_cast<double>(value.flat(i)) * value.flat(i);
+      update_norm_sq += static_cast<double>(u) * u;
+    }
+
+    const float weight_norm = static_cast<float>(std::sqrt(weight_norm_sq));
+    const float update_norm = static_cast<float>(std::sqrt(update_norm_sq));
+    float trust = 1.0f;
+    if (weight_norm > 0.0f && update_norm > 0.0f) {
+      trust = std::clamp(weight_norm / update_norm, config_.min_trust,
+                         config_.max_trust);
+    }
+
+    const float scale = learning_rate_ * trust;
+    for (int64_t i = 0; i < value.size(); ++i) {
+      value.flat(i) -= scale * update.flat(i);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace hire

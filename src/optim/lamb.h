@@ -1,0 +1,44 @@
+#ifndef HIRE_OPTIM_LAMB_H_
+#define HIRE_OPTIM_LAMB_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace optim {
+
+/// LAMB configuration. Defaults follow the paper's training recipe:
+/// β = (0.9, 0.999), ε = 1e-6.
+struct LambConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-6f;
+  float weight_decay = 0.0f;
+  /// Trust ratios are clamped to [min_trust, max_trust] for stability.
+  float min_trust = 0.0f;
+  float max_trust = 10.0f;
+};
+
+/// LAMB optimiser (You et al., "Large Batch Optimization for Deep
+/// Learning"). Adam-style moments with a per-parameter-tensor trust ratio
+/// ||w|| / ||update|| that rescales each layer's step.
+class Lamb : public Optimizer {
+ public:
+  Lamb(std::vector<ag::Variable> parameters, const LambConfig& config);
+
+  void Step() override;
+
+ private:
+  LambConfig config_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_LAMB_H_

@@ -1,0 +1,42 @@
+#include "optim/lookahead.h"
+
+#include "utils/check.h"
+
+namespace hire {
+namespace optim {
+
+Lookahead::Lookahead(std::unique_ptr<Optimizer> inner, float alpha,
+                     int sync_period)
+    : Optimizer(inner->parameters(), inner->learning_rate()),
+      inner_(std::move(inner)),
+      alpha_(alpha),
+      sync_period_(sync_period) {
+  HIRE_CHECK(alpha_ > 0.0f && alpha_ <= 1.0f);
+  HIRE_CHECK_GE(sync_period_, 1);
+  slow_weights_.reserve(parameters_.size());
+  for (const ag::Variable& parameter : parameters_) {
+    slow_weights_.push_back(parameter.value());
+  }
+}
+
+void Lookahead::Step() {
+  inner_->Step();
+  if (++steps_since_sync_ < sync_period_) return;
+  steps_since_sync_ = 0;
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    Tensor& fast = parameters_[p].mutable_value();
+    Tensor& slow = slow_weights_[p];
+    for (int64_t i = 0; i < fast.size(); ++i) {
+      slow.flat(i) += alpha_ * (fast.flat(i) - slow.flat(i));
+      fast.flat(i) = slow.flat(i);
+    }
+  }
+}
+
+void Lookahead::set_learning_rate(float learning_rate) {
+  Optimizer::set_learning_rate(learning_rate);
+  inner_->set_learning_rate(learning_rate);
+}
+
+}  // namespace optim
+}  // namespace hire

@@ -1,0 +1,40 @@
+#ifndef HIRE_OPTIM_LOOKAHEAD_H_
+#define HIRE_OPTIM_LOOKAHEAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace optim {
+
+/// Lookahead wrapper (Zhang et al.): the inner "fast" optimiser takes k
+/// steps, after which slow weights are interpolated towards the fast weights
+/// with rate alpha and copied back. The paper trains HIRE with
+/// Lookahead(LAMB), alpha = 0.5, k = 6.
+class Lookahead : public Optimizer {
+ public:
+  /// Takes ownership of `inner`; the managed parameters are the inner
+  /// optimiser's parameters.
+  Lookahead(std::unique_ptr<Optimizer> inner, float alpha = 0.5f,
+            int sync_period = 6);
+
+  void Step() override;
+
+  /// Forwards learning-rate changes (schedulers) to the inner optimiser.
+  void set_learning_rate(float learning_rate) override;
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  float alpha_;
+  int sync_period_;
+  int steps_since_sync_ = 0;
+  std::vector<Tensor> slow_weights_;
+};
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_LOOKAHEAD_H_

@@ -1,0 +1,36 @@
+#include "optim/lr_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace optim {
+
+FlatThenCosineSchedule::FlatThenCosineSchedule(float base_learning_rate,
+                                               int64_t total_steps,
+                                               float flat_fraction)
+    : base_learning_rate_(base_learning_rate),
+      total_steps_(total_steps),
+      flat_fraction_(flat_fraction) {
+  HIRE_CHECK_GT(base_learning_rate_, 0.0f);
+  HIRE_CHECK_GT(total_steps_, 0);
+  HIRE_CHECK(flat_fraction_ >= 0.0f && flat_fraction_ <= 1.0f);
+}
+
+float FlatThenCosineSchedule::LearningRate(int64_t step) const {
+  step = std::clamp<int64_t>(step, 0, total_steps_ - 1);
+  const int64_t flat_steps =
+      static_cast<int64_t>(flat_fraction_ * static_cast<float>(total_steps_));
+  if (step < flat_steps) return base_learning_rate_;
+  const int64_t anneal_steps = std::max<int64_t>(total_steps_ - flat_steps, 1);
+  const double progress =
+      static_cast<double>(step - flat_steps) / static_cast<double>(anneal_steps);
+  return base_learning_rate_ *
+         static_cast<float>(0.5 * (1.0 + std::cos(std::numbers::pi * progress)));
+}
+
+}  // namespace optim
+}  // namespace hire

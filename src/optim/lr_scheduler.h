@@ -1,0 +1,32 @@
+#ifndef HIRE_OPTIM_LR_SCHEDULER_H_
+#define HIRE_OPTIM_LR_SCHEDULER_H_
+
+#include <cstdint>
+
+namespace hire {
+namespace optim {
+
+/// The paper's learning-rate schedule: flat at the base rate for the first
+/// `flat_fraction` of training, then cosine annealing to zero by the final
+/// step.
+class FlatThenCosineSchedule {
+ public:
+  FlatThenCosineSchedule(float base_learning_rate, int64_t total_steps,
+                         float flat_fraction = 0.7f);
+
+  /// Learning rate for 0-based `step` (clamped to total_steps - 1).
+  float LearningRate(int64_t step) const;
+
+  float base_learning_rate() const { return base_learning_rate_; }
+  int64_t total_steps() const { return total_steps_; }
+
+ private:
+  float base_learning_rate_;
+  int64_t total_steps_;
+  float flat_fraction_;
+};
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,53 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<ag::Variable> parameters,
+                     float learning_rate)
+    : parameters_(std::move(parameters)), learning_rate_(learning_rate) {
+  HIRE_CHECK(!parameters_.empty()) << "optimizer needs parameters";
+  HIRE_CHECK_GT(learning_rate_, 0.0f);
+  for (const ag::Variable& parameter : parameters_) {
+    HIRE_CHECK(parameter.requires_grad())
+        << "optimizer parameter does not require gradients";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (ag::Variable& parameter : parameters_) {
+    parameter.ZeroGrad();
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Variable>& parameters,
+                   float max_norm) {
+  HIRE_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const ag::Variable& parameter : parameters) {
+    if (!parameter.has_grad()) continue;
+    const Tensor& grad = parameter.grad();
+    for (int64_t i = 0; i < grad.size(); ++i) {
+      const double g = grad.flat(i);
+      total += g * g;
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const ag::Variable& parameter : parameters) {
+      if (!parameter.has_grad()) continue;
+      // Gradients are scaled through the impl to keep accumulation state.
+      Tensor& grad = const_cast<Tensor&>(parameter.grad());
+      for (int64_t i = 0; i < grad.size(); ++i) grad.flat(i) *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace hire

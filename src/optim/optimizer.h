@@ -1,0 +1,48 @@
+#ifndef HIRE_OPTIM_OPTIMIZER_H_
+#define HIRE_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace hire {
+namespace optim {
+
+/// Base class for gradient-descent optimisers. Holds shared handles to the
+/// parameters; Step() consumes the gradients accumulated by the most recent
+/// backward pass. Parameters without an accumulated gradient are skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> parameters, float learning_rate);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all managed parameters.
+  void ZeroGrad();
+
+  virtual void set_learning_rate(float learning_rate) {
+    learning_rate_ = learning_rate;
+  }
+  float learning_rate() const { return learning_rate_; }
+
+  const std::vector<ag::Variable>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<ag::Variable> parameters_;
+  float learning_rate_;
+};
+
+/// Scales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. Parameters without gradients are ignored.
+float ClipGradNorm(const std::vector<ag::Variable>& parameters,
+                   float max_norm);
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,41 @@
+#include "optim/sgd.h"
+
+#include "utils/check.h"
+
+namespace hire {
+namespace optim {
+
+Sgd::Sgd(std::vector<ag::Variable> parameters, float learning_rate,
+         float momentum)
+    : Optimizer(std::move(parameters), learning_rate), momentum_(momentum) {
+  HIRE_CHECK(momentum_ >= 0.0f && momentum_ < 1.0f);
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(parameters_.size());
+    for (const ag::Variable& parameter : parameters_) {
+      velocity_.emplace_back(Tensor::Zeros(parameter.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    ag::Variable& parameter = parameters_[p];
+    if (!parameter.has_grad()) continue;
+    const Tensor& grad = parameter.grad();
+    Tensor& value = parameter.mutable_value();
+    if (momentum_ > 0.0f) {
+      Tensor& velocity = velocity_[p];
+      for (int64_t i = 0; i < value.size(); ++i) {
+        velocity.flat(i) = momentum_ * velocity.flat(i) + grad.flat(i);
+        value.flat(i) -= learning_rate_ * velocity.flat(i);
+      }
+    } else {
+      for (int64_t i = 0; i < value.size(); ++i) {
+        value.flat(i) -= learning_rate_ * grad.flat(i);
+      }
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace hire

@@ -1,0 +1,28 @@
+#ifndef HIRE_OPTIM_SGD_H_
+#define HIRE_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace optim {
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> parameters, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace hire
+
+#endif  // HIRE_OPTIM_SGD_H_

@@ -1,0 +1,431 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace ops {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  HIRE_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
+                             << " vs " << b.ShapeString();
+}
+
+template <typename BinaryFn>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
+                         BinaryFn fn) {
+  CheckSameShape(a, b, name);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+template <typename UnaryFn>
+Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+// Core GEMM kernel: C[n, m] (+)= A[n, k] * B[k, m], row-major, ikj order so
+// the inner loop streams both B's row and C's row.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * m;
+      for (int64_t j = 0; j < m; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+// C[n, m] (+)= A[n, k] * B[m, k]^T: rows of B are contiguous, dot-product
+// formulation.
+void GemmTransposedBAccumulate(const float* a, const float* b, float* c,
+                               int64_t n, int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, "Add", std::plus<float>());
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, "Sub", std::minus<float>());
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, "Mul", std::multiplies<float>());
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, "Div", std::divides<float>());
+}
+
+Tensor AddScalar(const Tensor& a, float value) {
+  return ElementwiseUnary(a, [value](float x) { return x + value; });
+}
+
+Tensor MulScalar(const Tensor& a, float value) {
+  return ElementwiseUnary(a, [value](float x) { return x * value; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor Square(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x * x; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) {
+    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  HIRE_CHECK_LE(lo, hi);
+  return ElementwiseUnary(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HIRE_CHECK_EQ(a.dim(), 2);
+  HIRE_CHECK_EQ(b.dim(), 2);
+  HIRE_CHECK_EQ(a.shape(1), b.shape(0))
+      << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+  Tensor out({a.shape(0), b.shape(1)});
+  GemmAccumulate(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
+                 b.shape(1));
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  HIRE_CHECK_EQ(a.dim(), 2);
+  HIRE_CHECK_EQ(b.dim(), 2);
+  HIRE_CHECK_EQ(a.shape(1), b.shape(1))
+      << "MatMulTransposedB " << a.ShapeString() << " x " << b.ShapeString();
+  Tensor out({a.shape(0), b.shape(0)});
+  GemmTransposedBAccumulate(a.data(), b.data(), out.data(), a.shape(0),
+                            a.shape(1), b.shape(0));
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  HIRE_CHECK_EQ(a.dim(), 3);
+  HIRE_CHECK_EQ(b.dim(), 3);
+  HIRE_CHECK_EQ(a.shape(0), b.shape(0));
+  HIRE_CHECK_EQ(a.shape(2), b.shape(1))
+      << "BatchedMatMul " << a.ShapeString() << " x " << b.ShapeString();
+  const int64_t batch = a.shape(0);
+  const int64_t n = a.shape(1);
+  const int64_t k = a.shape(2);
+  const int64_t m = b.shape(2);
+  Tensor out({batch, n, m});
+  for (int64_t s = 0; s < batch; ++s) {
+    GemmAccumulate(a.data() + s * n * k, b.data() + s * k * m,
+                   out.data() + s * n * m, n, k, m);
+  }
+  return out;
+}
+
+Tensor BatchedMatMulTransposedB(const Tensor& a, const Tensor& b) {
+  HIRE_CHECK_EQ(a.dim(), 3);
+  HIRE_CHECK_EQ(b.dim(), 3);
+  HIRE_CHECK_EQ(a.shape(0), b.shape(0));
+  HIRE_CHECK_EQ(a.shape(2), b.shape(2))
+      << "BatchedMatMulTransposedB " << a.ShapeString() << " x "
+      << b.ShapeString();
+  const int64_t batch = a.shape(0);
+  const int64_t n = a.shape(1);
+  const int64_t k = a.shape(2);
+  const int64_t m = b.shape(1);
+  Tensor out({batch, n, m});
+  for (int64_t s = 0; s < batch; ++s) {
+    GemmTransposedBAccumulate(a.data() + s * n * k, b.data() + s * m * k,
+                              out.data() + s * n * m, n, k, m);
+  }
+  return out;
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  HIRE_CHECK_EQ(bias.dim(), 1);
+  HIRE_CHECK_GE(x.dim(), 1);
+  const int64_t d = bias.shape(0);
+  HIRE_CHECK_EQ(x.shape(-1), d)
+      << "AddBias " << x.ShapeString() << " + " << bias.ShapeString();
+  Tensor out = x;
+  float* po = out.data();
+  const float* pb = bias.data();
+  const int64_t rows = x.size() / d;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = po + r * d;
+    for (int64_t j = 0; j < d; ++j) row[j] += pb[j];
+  }
+  return out;
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int>& axes) {
+  const int rank = a.dim();
+  HIRE_CHECK_EQ(static_cast<int>(axes.size()), rank);
+  std::vector<bool> seen(static_cast<size_t>(rank), false);
+  std::vector<int64_t> new_shape(static_cast<size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    const int axis = axes[static_cast<size_t>(i)];
+    HIRE_CHECK(axis >= 0 && axis < rank && !seen[static_cast<size_t>(axis)])
+        << "bad permutation axis " << axis;
+    seen[static_cast<size_t>(axis)] = true;
+    new_shape[static_cast<size_t>(i)] = a.shape(axis);
+  }
+
+  Tensor out(new_shape);
+  const std::vector<int64_t> in_strides = a.Strides();
+  const std::vector<int64_t> out_strides = out.Strides();
+  const int64_t total = a.size();
+  // For each output element, reconstruct the multi-index and gather from
+  // the input.
+  for (int64_t flat = 0; flat < total; ++flat) {
+    int64_t rem = flat;
+    int64_t src = 0;
+    for (int i = 0; i < rank; ++i) {
+      const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
+      rem %= out_strides[static_cast<size_t>(i)];
+      src += coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+    }
+    out.flat(flat) = a.flat(src);
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  const int rank = a.dim();
+  HIRE_CHECK_GE(rank, 2);
+  std::vector<int> axes(static_cast<size_t>(rank));
+  for (int i = 0; i < rank; ++i) axes[static_cast<size_t>(i)] = i;
+  std::swap(axes[static_cast<size_t>(rank - 1)],
+            axes[static_cast<size_t>(rank - 2)]);
+  return Permute(a, axes);
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  HIRE_CHECK(!parts.empty());
+  const int rank = parts[0].dim();
+  if (axis < 0) axis += rank;
+  HIRE_CHECK(axis >= 0 && axis < rank) << "concat axis " << axis;
+
+  std::vector<int64_t> out_shape = parts[0].shape();
+  int64_t concat_extent = 0;
+  for (const Tensor& part : parts) {
+    HIRE_CHECK_EQ(part.dim(), rank);
+    for (int i = 0; i < rank; ++i) {
+      if (i == axis) continue;
+      HIRE_CHECK_EQ(part.shape(i), out_shape[static_cast<size_t>(i)])
+          << "concat shape mismatch on axis " << i;
+    }
+    concat_extent += part.shape(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = concat_extent;
+
+  Tensor out(out_shape);
+  // Views as [outer, axis_extent, inner] blocks.
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= out_shape[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) {
+    inner *= out_shape[static_cast<size_t>(i)];
+  }
+
+  int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    const int64_t extent = part.shape(axis);
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = part.data() + o * extent * inner;
+      float* dst = out.data() + (o * concat_extent + offset) * inner;
+      std::copy(src, src + extent * inner, dst);
+    }
+    offset += extent;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+  const int rank = a.dim();
+  if (axis < 0) axis += rank;
+  HIRE_CHECK(axis >= 0 && axis < rank) << "slice axis " << axis;
+  HIRE_CHECK(start >= 0 && length > 0 && start + length <= a.shape(axis))
+      << "slice [" << start << ", " << start + length << ") of axis " << axis
+      << " in " << a.ShapeString();
+
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out(out_shape);
+
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.shape(i);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) inner *= a.shape(i);
+  const int64_t in_extent = a.shape(axis);
+
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = a.data() + (o * in_extent + start) * inner;
+    float* dst = out.data() + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a.flat(i);
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Tensor& a) {
+  HIRE_CHECK_GT(a.size(), 0);
+  return SumAll(a) / static_cast<float>(a.size());
+}
+
+float MaxAll(const Tensor& a) {
+  HIRE_CHECK_GT(a.size(), 0);
+  float best = a.flat(0);
+  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, a.flat(i));
+  return best;
+}
+
+float MinAll(const Tensor& a) {
+  HIRE_CHECK_GT(a.size(), 0);
+  float best = a.flat(0);
+  for (int64_t i = 1; i < a.size(); ++i) best = std::min(best, a.flat(i));
+  return best;
+}
+
+float Norm(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double x = a.flat(i);
+    acc += x * x;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor Sum(const Tensor& a, int axis) {
+  const int rank = a.dim();
+  if (axis < 0) axis += rank;
+  HIRE_CHECK(axis >= 0 && axis < rank) << "sum axis " << axis;
+
+  std::vector<int64_t> out_shape;
+  for (int i = 0; i < rank; ++i) {
+    if (i != axis) out_shape.push_back(a.shape(i));
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.shape(i);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) inner *= a.shape(i);
+  const int64_t extent = a.shape(axis);
+
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t e = 0; e < extent; ++e) {
+      const float* src = a.data() + (o * extent + e) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int axis) {
+  const int rank = a.dim();
+  const int resolved = axis < 0 ? axis + rank : axis;
+  Tensor sum = Sum(a, axis);
+  return MulScalar(sum, 1.0f / static_cast<float>(a.shape(resolved)));
+}
+
+Tensor Softmax(const Tensor& a) {
+  HIRE_CHECK_GE(a.dim(), 1);
+  const int64_t d = a.shape(-1);
+  const int64_t rows = a.size() / d;
+  Tensor out(a.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = a.data() + r * d;
+    float* dst = out.data() + r * d;
+    float row_max = src[0];
+    for (int64_t j = 1; j < d; ++j) row_max = std::max(row_max, src[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      dst[j] = std::exp(src[j] - row_max);
+      denom += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(a.flat(i) - b.flat(i));
+    if (diff > atol + rtol * std::fabs(b.flat(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace hire

@@ -1,0 +1,101 @@
+#ifndef HIRE_TENSOR_OPS_H_
+#define HIRE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hire {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Elementwise binary operations (shapes must match exactly).
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Scalar and unary operations.
+// ---------------------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float value);
+Tensor MulScalar(const Tensor& a, float value);
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// [n, k] x [k, m] -> [n, m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// [n, k] x [m, k]^T -> [n, m]; avoids materialising the transpose.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// [b, n, k] x [b, k, m] -> [b, n, m].
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+
+/// [b, n, k] x [b, m, k]^T -> [b, n, m].
+Tensor BatchedMatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// Adds a bias row vector [d] to every row of X [..., d].
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation.
+// ---------------------------------------------------------------------------
+
+/// Generalised transpose; `axes` must be a permutation of [0, dim).
+Tensor Permute(const Tensor& a, const std::vector<int>& axes);
+
+/// Swaps the last two axes (dim >= 2).
+Tensor TransposeLast2(const Tensor& a);
+
+/// Concatenates tensors along `axis`; all other extents must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Slices `length` entries starting at `start` along `axis`.
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length);
+
+// ---------------------------------------------------------------------------
+// Reductions and normalisation.
+// ---------------------------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+
+/// L2 norm of the whole tensor (used by LAMB and gradient clipping).
+float Norm(const Tensor& a);
+
+/// Sums over `axis`, dropping it from the shape.
+Tensor Sum(const Tensor& a, int axis);
+
+/// Means over `axis`, dropping it from the shape.
+Tensor Mean(const Tensor& a, int axis);
+
+/// Numerically stable softmax along the last axis.
+Tensor Softmax(const Tensor& a);
+
+/// True when |a - b| <= atol + rtol*|b| elementwise (same shape required).
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace ops
+}  // namespace hire
+
+#endif  // HIRE_TENSOR_OPS_H_

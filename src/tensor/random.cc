@@ -1,0 +1,122 @@
+#include "tensor/random.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "utils/check.h"
+
+namespace hire {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64: expands one seed word into the four xoshiro state words.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  HIRE_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  HIRE_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t draw = Next();
+  while (draw >= limit) draw = Next();
+  return static_cast<int64_t>(draw % bound);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  HIRE_CHECK(k >= 0 && k <= n)
+      << "cannot sample " << k << " of " << n << " without replacement";
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) indices[static_cast<size_t>(i)] = i;
+  // Partial Fisher–Yates: only the first k positions need to be mixed.
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = i + UniformInt(n - i);
+    std::swap(indices[static_cast<size_t>(i)], indices[static_cast<size_t>(j)]);
+  }
+  indices.resize(static_cast<size_t>(k));
+  return indices;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  return Rng(Next() ^ (salt * 0xD6E8FEB86659FD93ull + 0xA5A5A5A5A5A5A5A5ull));
+}
+
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
+                     Rng* rng) {
+  HIRE_CHECK(rng != nullptr);
+  Tensor tensor(std::move(shape));
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor.flat(i) = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return tensor;
+}
+
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
+                    Rng* rng) {
+  HIRE_CHECK(rng != nullptr);
+  Tensor tensor(std::move(shape));
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor.flat(i) = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return tensor;
+}
+
+}  // namespace hire

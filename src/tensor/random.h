@@ -1,0 +1,73 @@
+#ifndef HIRE_TENSOR_RANDOM_H_
+#define HIRE_TENSOR_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hire {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every stochastic
+/// component in the library (initialisation, sampling, masking, data
+/// synthesis) draws from an explicitly seeded Rng so that all experiments are
+/// reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream everywhere.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n); n must be positive.
+  int64_t UniformInt(int64_t n);
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      const int64_t j = UniformInt(i + 1);
+      std::swap((*values)[static_cast<size_t>(i)],
+                (*values)[static_cast<size_t>(j)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (k <= n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Forks an independent stream; the child is a pure function of the parent
+  /// state and `salt`, so forked streams are reproducible too.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Tensor filled with U(lo, hi) draws.
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng* rng);
+
+/// Tensor filled with N(mean, stddev) draws.
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
+                    Rng* rng);
+
+}  // namespace hire
+
+#endif  // HIRE_TENSOR_RANDOM_H_

@@ -1,0 +1,170 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace hire {
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+int64_t ShapeNumElements(const std::vector<int64_t>& shape) {
+  int64_t count = 1;
+  for (int64_t extent : shape) {
+    HIRE_CHECK_GT(extent, 0) << "bad shape " << ShapeToString(shape);
+    count *= extent;
+  }
+  return count;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ShapeNumElements(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  HIRE_CHECK_EQ(static_cast<int64_t>(data_.size()), ShapeNumElements(shape_))
+      << "data size does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::Scalar(float value) {
+  return Tensor({1}, std::vector<float>{value});
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor tensor(std::move(shape));
+  tensor.Fill(value);
+  return tensor;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  const int64_t count = static_cast<int64_t>(values.size());
+  HIRE_CHECK_GT(count, 0);
+  return Tensor({count}, std::move(values));
+}
+
+int64_t Tensor::shape(int axis) const {
+  const int rank = dim();
+  if (axis < 0) axis += rank;
+  HIRE_CHECK(axis >= 0 && axis < rank)
+      << "axis " << axis << " out of range for " << ShapeString();
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::at(int64_t i) {
+  HIRE_CHECK_EQ(dim(), 1);
+  HIRE_CHECK(i >= 0 && i < shape_[0]) << "index " << i << " in "
+                                      << ShapeString();
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+
+float& Tensor::at(int64_t i, int64_t j) {
+  HIRE_CHECK_EQ(dim(), 2);
+  HIRE_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1])
+      << "index (" << i << ", " << j << ") in " << ShapeString();
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  HIRE_CHECK_EQ(dim(), 3);
+  HIRE_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+             k < shape_[2])
+      << "index (" << i << ", " << j << ", " << k << ") in " << ShapeString();
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  HIRE_CHECK_EQ(dim(), 4);
+  HIRE_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+             k < shape_[2] && l >= 0 && l < shape_[3])
+      << "index (" << i << ", " << j << ", " << k << ", " << l << ") in "
+      << ShapeString();
+  return data_[static_cast<size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  int inferred_axis = -1;
+  int64_t known_product = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      HIRE_CHECK_EQ(inferred_axis, -1) << "multiple -1 dims in reshape";
+      inferred_axis = static_cast<int>(i);
+    } else {
+      HIRE_CHECK_GT(new_shape[i], 0)
+          << "bad reshape target " << ShapeToString(new_shape);
+      known_product *= new_shape[i];
+    }
+  }
+  if (inferred_axis >= 0) {
+    HIRE_CHECK(known_product > 0 && size() % known_product == 0)
+        << "cannot infer -1 in reshape of " << ShapeString() << " to "
+        << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(inferred_axis)] = size() / known_product;
+  }
+  HIRE_CHECK_EQ(ShapeNumElements(new_shape), size())
+      << "reshape " << ShapeString() << " -> " << ShapeToString(new_shape);
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::ShapeString() const { return ShapeToString(shape_); }
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeString() << " {";
+  const int64_t preview = std::min<int64_t>(size(), 16);
+  for (int64_t i = 0; i < preview; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (preview < size()) out << ", ... (" << size() << " total)";
+  out << "}";
+  return out.str();
+}
+
+std::vector<int64_t> Tensor::Strides() const {
+  std::vector<int64_t> strides(shape_.size(), 1);
+  for (int i = dim() - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * shape_[static_cast<size_t>(i + 1)];
+  }
+  return strides;
+}
+
+}  // namespace hire

@@ -1,0 +1,110 @@
+#ifndef HIRE_TENSOR_TENSOR_H_
+#define HIRE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hire {
+
+/// Dense, row-major, contiguous float32 tensor. The only numeric container in
+/// the library: model parameters, activations and gradients are all Tensors.
+///
+/// Copying performs a deep copy of the buffer; moves are O(1). All shape and
+/// index arguments are validated with HIRE_CHECK, so misuse throws
+/// hire::CheckError with a descriptive message rather than corrupting memory.
+class Tensor {
+ public:
+  /// Creates an empty 0-element tensor with shape {}.
+  Tensor() = default;
+
+  /// Creates a zero-initialised tensor of the given shape. All dimensions
+  /// must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Creates a tensor that adopts `data`; data.size() must equal the product
+  /// of `shape`.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  /// A scalar (0-dim is represented as shape {1}).
+  static Tensor Scalar(float value);
+
+  /// Zero-filled tensor.
+  static Tensor Zeros(std::vector<int64_t> shape);
+
+  /// One-filled tensor.
+  static Tensor Ones(std::vector<int64_t> shape);
+
+  /// Constant-filled tensor.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  /// 1-D tensor from an explicit value list.
+  static Tensor FromVector(std::vector<float> values);
+
+  /// Number of dimensions.
+  int dim() const { return static_cast<int>(shape_.size()); }
+
+  /// Full shape vector.
+  const std::vector<int64_t>& shape() const { return shape_; }
+
+  /// Extent of axis `axis`; negative axes count from the end.
+  int64_t shape(int axis) const;
+
+  /// Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  /// True when the tensor holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Element accessors with bounds checks; the overload arity must match
+  /// dim().
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  /// Unchecked flat accessor (row-major order).
+  float& flat(int64_t index) { return data_[static_cast<size_t>(index)]; }
+  float flat(int64_t index) const { return data_[static_cast<size_t>(index)]; }
+
+  /// Returns a copy with a new shape; the element count must be preserved.
+  /// One dimension may be -1 and is inferred.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// True when shapes match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Human-readable shape, e.g. "[2, 3, 4]".
+  std::string ShapeString() const;
+
+  /// Debug rendering of shape and (truncated) contents.
+  std::string ToString() const;
+
+  /// Row-major strides for the current shape.
+  std::vector<int64_t> Strides() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Formats a shape vector like "[2, 3]".
+std::string ShapeToString(const std::vector<int64_t>& shape);
+
+/// Product of all dimensions; validates that each dimension is positive.
+int64_t ShapeNumElements(const std::vector<int64_t>& shape);
+
+}  // namespace hire
+
+#endif  // HIRE_TENSOR_TENSOR_H_

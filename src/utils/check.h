@@ -1,0 +1,74 @@
+#ifndef HIRE_UTILS_CHECK_H_
+#define HIRE_UTILS_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hire {
+
+/// Exception type thrown by all HIRE_CHECK* macros. Carries a formatted
+/// message including the failing condition and source location.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+/// Builds the failure message for a check. Streams extra context appended
+/// via operator<< at the macro call site.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << condition;
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    if (!wrote_detail_) {
+      stream_ << " — ";
+      wrote_detail_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void Throw() const { throw CheckError(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+  bool wrote_detail_ = false;
+};
+
+/// Helper that throws when the builder finishes streaming. Using a struct
+/// whose operator&= consumes the builder lets the macro support both
+/// `HIRE_CHECK(x);` and `HIRE_CHECK(x) << "detail";` forms.
+struct Thrower {
+  [[noreturn]] void operator&=(CheckMessageBuilder& builder) const {
+    builder.Throw();
+  }
+  [[noreturn]] void operator&=(CheckMessageBuilder&& builder) const {
+    builder.Throw();
+  }
+};
+
+}  // namespace internal
+}  // namespace hire
+
+/// Validates a runtime invariant. Throws hire::CheckError on failure.
+/// Additional context may be streamed: HIRE_CHECK(n > 0) << "n=" << n;
+#define HIRE_CHECK(condition)                                          \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::hire::internal::Thrower{} &= ::hire::internal::CheckMessageBuilder( \
+        #condition, __FILE__, __LINE__)
+
+#define HIRE_CHECK_EQ(a, b) HIRE_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define HIRE_CHECK_NE(a, b) HIRE_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define HIRE_CHECK_LT(a, b) HIRE_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define HIRE_CHECK_LE(a, b) HIRE_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define HIRE_CHECK_GT(a, b) HIRE_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define HIRE_CHECK_GE(a, b) HIRE_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#endif  // HIRE_UTILS_CHECK_H_

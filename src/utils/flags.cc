@@ -1,0 +1,71 @@
+#include "utils/flags.h"
+
+#include "utils/check.h"
+#include "utils/string_utils.h"
+
+namespace hire {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    HIRE_CHECK(!body.empty()) << "bare '--' is not a flag";
+    const size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      flags.values_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // Bare "--key" is a boolean flag; values must use "--key=value" (the
+    // space-separated form is ambiguous with positional arguments).
+    flags.values_[body] = "";
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return ParseInt64(it->second);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return ParseDouble(it->second);
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  HIRE_CHECK(false) << "bad boolean for --" << name << ": '" << it->second
+                    << "'";
+  return fallback;
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hire

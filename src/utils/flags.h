@@ -1,0 +1,43 @@
+#ifndef HIRE_UTILS_FLAGS_H_
+#define HIRE_UTILS_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hire {
+
+/// Minimal command-line flag parser for the example binaries and the CLI
+/// tool. Supports "--key=value" and boolean "--key" forms; positional
+/// arguments are collected in order.
+class Flags {
+ public:
+  /// Parses argv; throws hire::CheckError on malformed input (e.g. a value
+  /// flag at the end with no value).
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw hire::CheckError when the value is
+  /// present but malformed.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags that were set (for unknown-flag diagnostics).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_FLAGS_H_

@@ -1,0 +1,52 @@
+#ifndef HIRE_UTILS_LOGGING_H_
+#define HIRE_UTILS_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hire {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction when the
+/// message's severity is at or above the configured threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hire
+
+#define HIRE_LOG(level)                                  \
+  ::hire::internal::LogMessage(::hire::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // HIRE_UTILS_LOGGING_H_

@@ -1,0 +1,36 @@
+#ifndef HIRE_UTILS_STRING_UTILS_H_
+#define HIRE_UTILS_STRING_UTILS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hire {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed integer; throws hire::CheckError on malformed input.
+int64_t ParseInt64(std::string_view text);
+
+/// Parses a double; throws hire::CheckError on malformed input.
+double ParseDouble(std::string_view text);
+
+/// Formats a double with fixed precision, e.g. FormatDouble(0.12345, 4)
+/// yields "0.1234".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_STRING_UTILS_H_

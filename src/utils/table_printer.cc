@@ -1,0 +1,66 @@
+#include "utils/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace hire {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HIRE_CHECK(!headers_.empty()) << "table needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HIRE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::AddSeparator() { pending_separator_ = true; }
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_line = [&] {
+    out << "+";
+    for (size_t width : widths) {
+      out << std::string(width + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+
+  print_line();
+  print_cells(headers_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.separator_before) print_line();
+    print_cells(row.cells);
+  }
+  print_line();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+}  // namespace hire

@@ -1,0 +1,43 @@
+#ifndef HIRE_UTILS_TABLE_PRINTER_H_
+#define HIRE_UTILS_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hire {
+
+/// Renders fixed-width ASCII tables for the benchmark harness. Output mirrors
+/// the row/column layout of the paper's tables so results can be compared
+/// side by side.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the table to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_TABLE_PRINTER_H_

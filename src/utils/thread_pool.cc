@@ -1,0 +1,99 @@
+#include "utils/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "utils/check.h"
+
+namespace hire {
+
+ThreadPool::ThreadPool(int num_threads) {
+  HIRE_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HIRE_CHECK(!shutting_down_) << "submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body) {
+  if (begin >= end) return;
+  const int64_t count = end - begin;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int num_threads =
+      std::max(1, std::min<int>(hw, static_cast<int>(count)));
+  if (num_threads == 1 || count < 4) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int64_t> next{begin};
+  auto worker = [&] {
+    while (true) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int t = 0; t < num_threads - 1; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+}
+
+}  // namespace hire

@@ -1,0 +1,54 @@
+#ifndef HIRE_UTILS_THREAD_POOL_H_
+#define HIRE_UTILS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hire {
+
+/// Fixed-size worker pool. Used by ParallelFor to shard batch work (context
+/// assembly, evaluation loops) across cores; degrades to inline execution on
+/// single-core machines.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for i in [begin, end). Executes inline when the range is
+/// small or hardware concurrency is 1; otherwise shards the range across a
+/// transient pool. `body` must be safe to invoke concurrently.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_THREAD_POOL_H_

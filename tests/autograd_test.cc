@@ -1,0 +1,429 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/variable.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace ag {
+namespace {
+
+Tensor RandomInput(std::vector<int64_t> shape, uint64_t seed,
+                   float lo = -1.5f, float hi = 1.5f) {
+  Rng rng(seed);
+  return RandomUniform(std::move(shape), lo, hi, &rng);
+}
+
+Variable Leaf(Tensor value) { return Variable(std::move(value), true); }
+
+void ExpectGradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double tolerance = 5e-2) {
+  const GradCheckResult result =
+      CheckGradients(fn, std::move(inputs), 1e-3, tolerance);
+  EXPECT_TRUE(result.passed)
+      << "max error " << result.max_abs_error << " at "
+      << result.worst_coordinate;
+}
+
+TEST(VariableTest, NullHandleThrows) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+  EXPECT_THROW(v.value(), CheckError);
+  EXPECT_THROW(v.Backward(), CheckError);
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable v(Tensor::Ones({2, 2}), true);
+  EXPECT_THROW(v.Backward(), CheckError);
+}
+
+TEST(VariableTest, GradNotPopulatedBeforeBackward) {
+  Variable v(Tensor::Ones({2}), true);
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_THROW(v.grad(), CheckError);
+}
+
+TEST(VariableTest, SimpleChainBackward) {
+  Variable x(Tensor::FromVector({2.0f, 3.0f}), true);
+  Variable loss = SumAll(Mul(x, x));  // x1^2 + x2^2
+  loss.Backward();
+  EXPECT_FLOAT_EQ(loss.value().flat(0), 13.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0), 4.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 6.0f);
+}
+
+TEST(VariableTest, GradientsAccumulateAcrossUses) {
+  // y = sum(x + x): dy/dx = 2.
+  Variable x(Tensor::FromVector({1.0f}), true);
+  Variable loss = SumAll(Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 2.0f);
+}
+
+TEST(VariableTest, DiamondGraphBackward) {
+  // z = sum(x*x + x): dz/dx = 2x + 1.
+  Variable x(Tensor::FromVector({3.0f}), true);
+  Variable squared = Mul(x, x);
+  Variable loss = SumAll(Add(squared, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 7.0f);
+}
+
+TEST(VariableTest, NoGradInputsProduceDetachedOutputs) {
+  Variable a(Tensor::Ones({2}), false);
+  Variable b(Tensor::Ones({2}), false);
+  Variable c = Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable x(Tensor::FromVector({2.0f}), true);
+  SumAll(Mul(x, x)).Backward();
+  EXPECT_TRUE(x.has_grad());
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, RepeatedBackwardAccumulates) {
+  Variable x(Tensor::FromVector({1.0f}), true);
+  SumAll(MulScalar(x, 3.0f)).Backward();
+  SumAll(MulScalar(x, 3.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 6.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks, one per op.
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckTest, Add) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Add(in[0], in[1]));
+      },
+      {Leaf(RandomInput({3, 2}, 1)), Leaf(RandomInput({3, 2}, 2))});
+}
+
+TEST(GradCheckTest, Sub) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Sub(in[0], in[1]));
+      },
+      {Leaf(RandomInput({4}, 3)), Leaf(RandomInput({4}, 4))});
+}
+
+TEST(GradCheckTest, Mul) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Mul(in[0], in[1]));
+      },
+      {Leaf(RandomInput({2, 3}, 5)), Leaf(RandomInput({2, 3}, 6))});
+}
+
+TEST(GradCheckTest, ScalarOps) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(AddScalar(MulScalar(in[0], -1.7f), 0.3f));
+      },
+      {Leaf(RandomInput({5}, 7))});
+}
+
+TEST(GradCheckTest, Sigmoid) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) { return SumAll(Sigmoid(in[0])); },
+      {Leaf(RandomInput({3, 3}, 8))});
+}
+
+TEST(GradCheckTest, Tanh) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) { return SumAll(Tanh(in[0])); },
+      {Leaf(RandomInput({6}, 9))});
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Keep inputs away from 0 where ReLU is non-differentiable.
+  Tensor input = RandomInput({8}, 10, 0.5f, 1.5f);
+  for (int64_t i = 0; i < input.size(); ++i) {
+    if (i % 2 == 0) input.flat(i) = -input.flat(i);
+  }
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) { return SumAll(Relu(in[0])); },
+      {Leaf(input)});
+}
+
+TEST(GradCheckTest, Exp) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) { return SumAll(Exp(in[0])); },
+      {Leaf(RandomInput({4}, 11, -1.0f, 1.0f))});
+}
+
+TEST(GradCheckTest, LogClamped) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(LogClamped(in[0]));
+      },
+      {Leaf(RandomInput({5}, 12, 0.5f, 2.0f))});
+}
+
+TEST(GradCheckTest, Square) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) { return SumAll(Square(in[0])); },
+      {Leaf(RandomInput({3, 2}, 13))});
+}
+
+TEST(GradCheckTest, MatMulBothInputs) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(MatMul(in[0], in[1]));
+      },
+      {Leaf(RandomInput({3, 4}, 14)), Leaf(RandomInput({4, 2}, 15))});
+}
+
+TEST(GradCheckTest, MatMulWithNonUniformUpstream) {
+  // Weighted sum downstream exercises non-constant upstream gradients.
+  Tensor weights = RandomInput({3, 2}, 16);
+  ExpectGradCheck(
+      [weights](const std::vector<Variable>& in) {
+        return SumAll(Mul(MatMul(in[0], in[1]),
+                          Variable(weights, false)));
+      },
+      {Leaf(RandomInput({3, 4}, 17)), Leaf(RandomInput({4, 2}, 18))});
+}
+
+TEST(GradCheckTest, BatchedMatMul) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(BatchedMatMul(in[0], in[1]));
+      },
+      {Leaf(RandomInput({2, 3, 4}, 19)), Leaf(RandomInput({2, 4, 2}, 20))});
+}
+
+TEST(GradCheckTest, BatchedMatMulTransposedB) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(BatchedMatMulTransposedB(in[0], in[1]));
+      },
+      {Leaf(RandomInput({2, 3, 4}, 21)), Leaf(RandomInput({2, 5, 4}, 22))});
+}
+
+TEST(GradCheckTest, AddBias) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(AddBias(in[0], in[1])));
+      },
+      {Leaf(RandomInput({4, 3}, 23)), Leaf(RandomInput({3}, 24))});
+}
+
+TEST(GradCheckTest, Reshape) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(Reshape(in[0], {6})));
+      },
+      {Leaf(RandomInput({2, 3}, 25))});
+}
+
+TEST(GradCheckTest, Permute) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(Permute(in[0], {2, 0, 1})));
+      },
+      {Leaf(RandomInput({2, 3, 4}, 26))});
+}
+
+TEST(GradCheckTest, Concat) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(Concat({in[0], in[1]}, 1)));
+      },
+      {Leaf(RandomInput({2, 3}, 27)), Leaf(RandomInput({2, 2}, 28))});
+}
+
+TEST(GradCheckTest, Slice) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(Slice(in[0], 0, 1, 2)));
+      },
+      {Leaf(RandomInput({4, 3}, 29))});
+}
+
+TEST(GradCheckTest, SumAxis) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(SumAxis(in[0], 1)));
+      },
+      {Leaf(RandomInput({3, 4, 2}, 30))});
+}
+
+TEST(GradCheckTest, BroadcastUsers) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(BroadcastUsers(in[0], 3)));
+      },
+      {Leaf(RandomInput({2, 4}, 31))});
+}
+
+TEST(GradCheckTest, BroadcastItems) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        return SumAll(Square(BroadcastItems(in[0], 4)));
+      },
+      {Leaf(RandomInput({3, 2}, 32))});
+}
+
+TEST(GradCheckTest, Softmax) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        // Weighted sum to get asymmetric upstream gradients.
+        Tensor weights({2, 4}, {1, -2, 3, -4, 2, 0.5f, -1, 1});
+        return SumAll(Mul(Softmax(in[0]), Variable(weights, false)));
+      },
+      {Leaf(RandomInput({2, 4}, 33))});
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  ExpectGradCheck(
+      [](const std::vector<Variable>& in) {
+        Tensor weights({3, 4});
+        for (int64_t i = 0; i < weights.size(); ++i) {
+          weights.flat(i) = 0.3f * static_cast<float>(i % 5) - 0.6f;
+        }
+        return SumAll(Mul(LayerNorm(in[0], in[1], in[2]),
+                          Variable(weights, false)));
+      },
+      {Leaf(RandomInput({3, 4}, 34)),
+       Leaf(RandomInput({4}, 35, 0.5f, 1.5f)),
+       Leaf(RandomInput({4}, 36))},
+      /*tolerance=*/8e-2);
+}
+
+TEST(GradCheckTest, EmbeddingLookup) {
+  std::vector<int64_t> indices{0, 2, 1, 2};
+  ExpectGradCheck(
+      [indices](const std::vector<Variable>& in) {
+        return SumAll(Square(EmbeddingLookup(in[0], indices)));
+      },
+      {Leaf(RandomInput({3, 4}, 37))});
+}
+
+TEST(GradCheckTest, SegmentMean) {
+  std::vector<int64_t> segments{0, 1, 0, 2, 1};
+  ExpectGradCheck(
+      [segments](const std::vector<Variable>& in) {
+        return SumAll(Square(SegmentMean(in[0], segments, 3)));
+      },
+      {Leaf(RandomInput({5, 3}, 38))});
+}
+
+TEST(GradCheckTest, MaskedMSE) {
+  Tensor target = RandomInput({3, 3}, 39);
+  Tensor mask = Tensor::Zeros({3, 3});
+  mask.at(0, 1) = 1.0f;
+  mask.at(2, 2) = 1.0f;
+  mask.at(1, 0) = 1.0f;
+  ExpectGradCheck(
+      [target, mask](const std::vector<Variable>& in) {
+        return MaskedMSE(in[0], target, mask);
+      },
+      {Leaf(RandomInput({3, 3}, 40))});
+}
+
+TEST(GradCheckTest, CompositeExpression) {
+  // A small network: sigmoid(X W + b) -> layer-norm-free MSE.
+  Tensor target = RandomInput({4, 2}, 41);
+  ExpectGradCheck(
+      [target](const std::vector<Variable>& in) {
+        Variable hidden = Sigmoid(AddBias(MatMul(in[0], in[1]), in[2]));
+        return MSE(hidden, target);
+      },
+      {Leaf(RandomInput({4, 3}, 42)), Leaf(RandomInput({3, 2}, 43)),
+       Leaf(RandomInput({2}, 44))});
+}
+
+// ---------------------------------------------------------------------------
+// Semantics beyond gradients.
+// ---------------------------------------------------------------------------
+
+TEST(OpsSemanticsTest, EmbeddingLookupMinusOneIsZeroRow) {
+  Variable table(Tensor({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable out = EmbeddingLookup(table, {1, -1, 0});
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(out.value().at(2, 2), 3.0f);
+}
+
+TEST(OpsSemanticsTest, EmbeddingLookupOutOfRangeThrows) {
+  Variable table(Tensor::Ones({2, 3}), true);
+  EXPECT_THROW(EmbeddingLookup(table, {2}), CheckError);
+}
+
+TEST(OpsSemanticsTest, MaskedMSEIgnoresMaskedCells) {
+  Tensor target({2, 2}, {1, 2, 3, 4});
+  Tensor mask({2, 2}, {1, 0, 0, 1});
+  Variable pred(Tensor({2, 2}, {2, 100, -100, 6}), true);
+  Variable loss = MaskedMSE(pred, target, mask);
+  // ((2-1)^2 + (6-4)^2) / 2 = 2.5; the huge masked errors are ignored.
+  EXPECT_FLOAT_EQ(loss.value().flat(0), 2.5f);
+}
+
+TEST(OpsSemanticsTest, MaskedMSERequiresNonEmptyMask) {
+  Variable pred(Tensor::Ones({2, 2}), true);
+  EXPECT_THROW(
+      MaskedMSE(pred, Tensor::Ones({2, 2}), Tensor::Zeros({2, 2})),
+      CheckError);
+}
+
+TEST(OpsSemanticsTest, DropoutIdentityInEval) {
+  Rng rng(1);
+  Variable x(Tensor::Ones({10}), true);
+  Variable y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(ops::AllClose(y.value(), x.value()));
+}
+
+TEST(OpsSemanticsTest, DropoutScalesSurvivors) {
+  Rng rng(2);
+  Variable x(Tensor::Ones({1000}), true);
+  Variable y = Dropout(x, 0.25f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    const float v = y.value().flat(i);
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+    }
+  }
+  EXPECT_GT(zeros, 150);
+  EXPECT_LT(zeros, 350);
+}
+
+TEST(OpsSemanticsTest, SegmentMeanEmptySegmentIsZero) {
+  Variable x(Tensor({2, 2}, {1, 2, 3, 4}), false);
+  Variable out = SegmentMean(x, {0, 0}, 3);
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.value().at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.value().at(2, 1), 0.0f);
+}
+
+TEST(OpsSemanticsTest, SoftmaxGradientSumsToZeroPerRow) {
+  Variable x(RandomInput({1, 5}, 50), true);
+  Tensor weights({1, 5}, {1, 2, 3, 4, 5});
+  Variable loss = SumAll(Mul(Softmax(x), Variable(weights, false)));
+  loss.Backward();
+  float total = 0.0f;
+  for (int64_t i = 0; i < 5; ++i) total += x.grad().flat(i);
+  EXPECT_NEAR(total, 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace hire

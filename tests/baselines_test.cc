@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/afn.h"
+#include "baselines/deepfm.h"
+#include "baselines/feature_embedder.h"
+#include "baselines/graphrec_lite.h"
+#include "baselines/melu_fo.h"
+#include "baselines/neumf.h"
+#include "baselines/pointwise_trainer.h"
+#include "baselines/matrix_factorization.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/tanp_lite.h"
+#include "baselines/wide_deep.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace baselines {
+namespace {
+
+data::Dataset SmallDataset(uint64_t seed = 1, bool social = false) {
+  data::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_ratings = 1200;
+  config.user_schema = {{"age", 4}, {"gender", 2}};
+  config.item_schema = {{"genre", 5}};
+  config.generate_social = social;
+  return data::GenerateSyntheticDataset(config, seed);
+}
+
+TEST(FeatureEmbedderTest, DimensionsMatchSchema) {
+  data::Dataset dataset = SmallDataset();
+  Rng rng(2);
+  FeatureEmbedder embedder(&dataset, 4, &rng);
+  EXPECT_EQ(embedder.num_user_fields(), 2);
+  EXPECT_EQ(embedder.num_item_fields(), 1);
+  EXPECT_EQ(embedder.user_dim(), 8);
+  EXPECT_EQ(embedder.item_dim(), 4);
+  EXPECT_EQ(embedder.pair_dim(), 12);
+}
+
+TEST(FeatureEmbedderTest, PairEmbeddingShapes) {
+  data::Dataset dataset = SmallDataset();
+  Rng rng(3);
+  FeatureEmbedder embedder(&dataset, 4, &rng);
+  std::vector<std::pair<int64_t, int64_t>> pairs{{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(embedder.EmbedPairsFlat(pairs).shape(),
+            (std::vector<int64_t>{3, 12}));
+  EXPECT_EQ(embedder.EmbedPairsFields(pairs).shape(),
+            (std::vector<int64_t>{3, 3, 4}));
+}
+
+TEST(FeatureEmbedderTest, SameAttributesSameEmbedding) {
+  data::Dataset dataset("d", {{"a", 2}}, {{"b", 2}}, 4, 4, 1.0f, 5.0f);
+  dataset.SetUserAttributes(0, {1});
+  dataset.SetUserAttributes(1, {1});
+  dataset.SetUserAttributes(2, {0});
+  Rng rng(4);
+  FeatureEmbedder embedder(&dataset, 4, &rng);
+  Tensor both = embedder.EmbedUsers({0, 1, 2}).value();
+  EXPECT_TRUE(ops::AllClose(ops::Slice(both, 0, 0, 1),
+                            ops::Slice(both, 0, 1, 1)));
+  EXPECT_FALSE(ops::AllClose(ops::Slice(both, 0, 0, 1),
+                             ops::Slice(both, 0, 2, 1)));
+}
+
+// Shared harness: a pointwise model should produce in-range scores and
+// reduce its training loss.
+void ExpectTrainsAndPredicts(PointwiseModel* model,
+                             const data::Dataset& dataset, bool needs_graph) {
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+
+  std::vector<std::pair<int64_t, int64_t>> pairs{{0, 1}, {2, 3}};
+  ag::Variable scores =
+      model->ScoreBatch(pairs, needs_graph ? &graph : nullptr);
+  ASSERT_EQ(scores.shape(), (std::vector<int64_t>{2}));
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_GE(scores.value().flat(i), 0.0f);
+    EXPECT_LE(scores.value().flat(i), dataset.max_rating());
+  }
+
+  PointwiseTrainConfig config;
+  config.num_steps = 60;
+  config.batch_size = 32;
+  config.seed = 5;
+
+  // Measure MSE over a fixed probe set before and after training.
+  auto probe_mse = [&]() {
+    std::vector<std::pair<int64_t, int64_t>> probe_pairs;
+    std::vector<float> probe_targets;
+    for (size_t r = 0; r < 200 && r < dataset.ratings().size(); ++r) {
+      const data::Rating& rating = dataset.ratings()[r];
+      probe_pairs.emplace_back(rating.user, rating.item);
+      probe_targets.push_back(rating.value);
+    }
+    const ag::Variable predicted = model->ScoreBatch(probe_pairs, &graph);
+    double mse = 0.0;
+    for (size_t i = 0; i < probe_targets.size(); ++i) {
+      const double diff =
+          predicted.value().flat(static_cast<int64_t>(i)) - probe_targets[i];
+      mse += diff * diff;
+    }
+    return mse / static_cast<double>(probe_targets.size());
+  };
+
+  const double before = probe_mse();
+  FitPointwise(model, dataset.ratings(), &graph, config);
+  const double after = probe_mse();
+  EXPECT_LT(after, before) << model->name() << " did not learn";
+
+  // Predictor adapter returns one value per item.
+  PointwisePredictor predictor(model);
+  const std::vector<float> predictions =
+      predictor.PredictForUser(0, {0, 1, 2, 3}, graph);
+  EXPECT_EQ(predictions.size(), 4u);
+}
+
+TEST(NeuMFTest, TrainsAndPredicts) {
+  data::Dataset dataset = SmallDataset(11);
+  NeuMF model(&dataset, 4, 12);
+  ExpectTrainsAndPredicts(&model, dataset, false);
+}
+
+TEST(WideDeepTest, TrainsAndPredicts) {
+  data::Dataset dataset = SmallDataset(13);
+  WideDeep model(&dataset, 4, 14);
+  ExpectTrainsAndPredicts(&model, dataset, false);
+}
+
+TEST(DeepFMTest, TrainsAndPredicts) {
+  data::Dataset dataset = SmallDataset(15);
+  DeepFM model(&dataset, 4, 16);
+  ExpectTrainsAndPredicts(&model, dataset, false);
+}
+
+TEST(AFNTest, TrainsAndPredicts) {
+  data::Dataset dataset = SmallDataset(17);
+  AFN model(&dataset, 4, /*num_log_neurons=*/6, 18);
+  ExpectTrainsAndPredicts(&model, dataset, false);
+}
+
+TEST(GraphRecLiteTest, TrainsAndPredicts) {
+  data::Dataset dataset = SmallDataset(19, /*social=*/true);
+  GraphRecLite model(&dataset, 4, /*max_neighbors=*/8, 20);
+  ExpectTrainsAndPredicts(&model, dataset, true);
+}
+
+TEST(GraphRecLiteTest, RequiresGraph) {
+  data::Dataset dataset = SmallDataset(21, true);
+  GraphRecLite model(&dataset, 4, 8, 22);
+  std::vector<std::pair<int64_t, int64_t>> pairs{{0, 0}};
+  EXPECT_THROW(model.ScoreBatch(pairs, nullptr), CheckError);
+}
+
+TEST(MeLUTest, MetaTrainImprovesAdaptedQueryLoss) {
+  data::Dataset dataset = SmallDataset(23);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  MeLUConfig config;
+  config.meta_iterations = 120;
+  config.tasks_per_batch = 4;
+  config.inner_steps = 2;
+  config.seed = 24;
+  MeLUFO model(&dataset, 4, config);
+
+  // Probe: predictions for a handful of users before/after meta-training.
+  auto probe_mse = [&]() {
+    double mse = 0.0;
+    int64_t count = 0;
+    for (int64_t u = 0; u < 10; ++u) {
+      const auto& items = graph.ItemsOfUser(u);
+      if (items.size() < 3) continue;
+      std::vector<int64_t> query(items.begin(), items.end());
+      const std::vector<float> predicted =
+          model.PredictForUser(u, query, graph);
+      for (size_t j = 0; j < query.size(); ++j) {
+        const double diff = predicted[j] - *graph.GetRating(u, query[j]);
+        mse += diff * diff;
+        ++count;
+      }
+    }
+    return mse / static_cast<double>(count);
+  };
+
+  const double before = probe_mse();
+  model.MetaTrain(dataset.ratings());
+  const double after = probe_mse();
+  EXPECT_LT(after, before) << "meta-training did not help adaptation";
+}
+
+TEST(MeLUTest, PredictRestoresParameters) {
+  data::Dataset dataset = SmallDataset(25);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  MeLUConfig config;
+  config.seed = 26;
+  MeLUFO model(&dataset, 4, config);
+
+  // Two identical calls must give identical results (adaptation must not
+  // mutate the meta-parameters).
+  const std::vector<float> a = model.PredictForUser(0, {0, 1, 2}, graph);
+  const std::vector<float> b = model.PredictForUser(0, {0, 1, 2}, graph);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PopularityTest, PredictsItemMeans) {
+  data::Dataset dataset("d", {{"a", 2}}, {{"b", 2}}, 3, 3, 1.0f, 5.0f);
+  dataset.AddRating(0, 0, 4.0f);
+  dataset.AddRating(1, 0, 2.0f);
+  dataset.AddRating(0, 1, 5.0f);
+  PopularityBaseline popularity(&dataset, dataset.ratings());
+  graph::BipartiteGraph graph(3, 3, dataset.ratings());
+  const std::vector<float> predictions =
+      popularity.PredictForUser(2, {0, 1, 2}, graph);
+  EXPECT_FLOAT_EQ(predictions[0], 3.0f);        // (4+2)/2
+  EXPECT_FLOAT_EQ(predictions[1], 5.0f);        // single rating
+  EXPECT_NEAR(predictions[2], 11.0f / 3.0f, 1e-5f);  // global mean fallback
+}
+
+TEST(ItemKnnTest, PrefersSimilarItems) {
+  // Items 0 and 1 are co-rated identically by users 0..3 => high cosine.
+  data::Dataset dataset("d", {{"a", 2}}, {{"b", 2}}, 6, 4, 1.0f, 5.0f);
+  for (int64_t u = 0; u < 4; ++u) {
+    dataset.AddRating(u, 0, 5.0f);
+    dataset.AddRating(u, 1, 5.0f);
+    dataset.AddRating(u, 2, 1.0f);
+  }
+  ItemKnnBaseline knn(&dataset, dataset.ratings());
+
+  // User 5 rated item 1 high; predicting item 0 should be pulled high.
+  std::vector<data::Rating> visible = dataset.ratings();
+  visible.push_back({5, 1, 5.0f});
+  graph::BipartiteGraph graph(6, 4, visible);
+  const std::vector<float> predictions = knn.PredictForUser(5, {0}, graph);
+  EXPECT_GT(predictions[0], 4.0f);
+}
+
+TEST(ItemKnnTest, FallsBackForUserWithoutEvidence) {
+  data::Dataset dataset("d", {{"a", 2}}, {{"b", 2}}, 3, 2, 1.0f, 5.0f);
+  dataset.AddRating(0, 0, 4.0f);
+  ItemKnnBaseline knn(&dataset, dataset.ratings());
+  graph::BipartiteGraph graph(3, 2, dataset.ratings());
+  // User 2 has no visible ratings: prediction falls back to item mean.
+  const std::vector<float> predictions = knn.PredictForUser(2, {0}, graph);
+  EXPECT_FLOAT_EQ(predictions[0], 4.0f);
+}
+
+TEST(TaNPLiteTest, MetaTrainReducesQueryError) {
+  data::Dataset dataset = SmallDataset(31);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  TaNPConfig config;
+  config.meta_iterations = 150;
+  config.seed = 32;
+  TaNPLite model(&dataset, 4, config);
+
+  auto probe_mse = [&]() {
+    double mse = 0.0;
+    int64_t count = 0;
+    for (int64_t u = 0; u < 10; ++u) {
+      const auto& items = graph.ItemsOfUser(u);
+      if (items.size() < 3) continue;
+      std::vector<int64_t> query(items.begin(), items.end());
+      const std::vector<float> predicted =
+          model.PredictForUser(u, query, graph);
+      for (size_t j = 0; j < query.size(); ++j) {
+        const double diff = predicted[j] - *graph.GetRating(u, query[j]);
+        mse += diff * diff;
+        ++count;
+      }
+    }
+    return mse / static_cast<double>(count);
+  };
+
+  const double before = probe_mse();
+  model.MetaTrain(dataset.ratings());
+  const double after = probe_mse();
+  EXPECT_LT(after, before) << "TaNP-lite did not learn";
+}
+
+TEST(TaNPLiteTest, AdaptationIsAmortizedAndSideEffectFree) {
+  data::Dataset dataset = SmallDataset(33);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  TaNPConfig config;
+  config.seed = 34;
+  TaNPLite model(&dataset, 4, config);
+  // Repeated predictions are identical: no parameters change at test time.
+  const std::vector<float> a = model.PredictForUser(0, {0, 1, 2}, graph);
+  const std::vector<float> b = model.PredictForUser(0, {0, 1, 2}, graph);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(TaNPLiteTest, SupportSetChangesPrediction) {
+  // The task embedding must condition the decoder: the same query under
+  // different visible support sets should generally differ.
+  data::Dataset dataset = SmallDataset(35);
+  TaNPConfig config;
+  config.seed = 36;
+  TaNPLite model(&dataset, 4, config);
+  model.MetaTrain(dataset.ratings());
+
+  // Two visibility graphs for the same user: none vs. some support.
+  graph::BipartiteGraph empty(dataset.num_users(), dataset.num_items(), {});
+  graph::BipartiteGraph full(dataset.num_users(), dataset.num_items(),
+                             dataset.ratings());
+  const std::vector<float> without = model.PredictForUser(0, {0, 1}, empty);
+  const std::vector<float> with = model.PredictForUser(0, {0, 1}, full);
+  EXPECT_TRUE(without[0] != with[0] || without[1] != with[1])
+      << "support set has no effect on TaNP-lite predictions";
+}
+
+TEST(MatrixFactorizationTest, FitsObservedRatings) {
+  data::Dataset dataset = SmallDataset(37);
+  MfConfig config;
+  config.seed = 38;
+  MatrixFactorization mf(&dataset, config);
+  mf.Fit(dataset.ratings());
+
+  double mse = 0.0;
+  for (size_t r = 0; r < 300 && r < dataset.ratings().size(); ++r) {
+    const data::Rating& rating = dataset.ratings()[r];
+    const double diff = mf.Predict(rating.user, rating.item) - rating.value;
+    mse += diff * diff;
+  }
+  mse /= 300.0;
+  EXPECT_LT(mse, 1.2) << "MF failed to fit the training ratings";
+}
+
+TEST(MatrixFactorizationTest, PredictionsAreClampedToScale) {
+  data::Dataset dataset = SmallDataset(39);
+  MfConfig config;
+  MatrixFactorization mf(&dataset, config);
+  mf.Fit(dataset.ratings());
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  const std::vector<float> predictions =
+      mf.PredictForUser(0, {0, 1, 2, 3, 4}, graph);
+  for (float p : predictions) {
+    EXPECT_GE(p, dataset.min_rating());
+    EXPECT_LE(p, dataset.max_rating());
+  }
+}
+
+TEST(MatrixFactorizationTest, FoldInUsesSupportRatings) {
+  // A cold user (no training ratings) with strongly positive support should
+  // get higher predictions than with strongly negative support.
+  data::Dataset dataset("d", {{"a", 2}}, {{"b", 2}}, 10, 8, 1.0f, 5.0f);
+  Rng rng(40);
+  for (int64_t u = 0; u < 9; ++u) {
+    for (int64_t i = 0; i < 6; ++i) {
+      dataset.AddRating(u, i, 1.0f + static_cast<float>(rng.UniformInt(5)));
+    }
+  }
+  MfConfig config;
+  MatrixFactorization mf(&dataset, config);
+  mf.Fit(dataset.ratings());
+
+  std::vector<data::Rating> high_support{{9, 0, 5.0f}, {9, 1, 5.0f}};
+  std::vector<data::Rating> low_support{{9, 0, 1.0f}, {9, 1, 1.0f}};
+  graph::BipartiteGraph high(10, 8, high_support);
+  graph::BipartiteGraph low(10, 8, low_support);
+  const float with_high = mf.PredictForUser(9, {6}, high)[0];
+  const float with_low = mf.PredictForUser(9, {6}, low)[0];
+  EXPECT_GT(with_high, with_low);
+}
+
+TEST(PointwiseTrainerTest, ValidatesInputs) {
+  data::Dataset dataset = SmallDataset(27);
+  NeuMF model(&dataset, 4, 28);
+  PointwiseTrainConfig config;
+  EXPECT_THROW(FitPointwise(&model, {}, nullptr, config), CheckError);
+  EXPECT_THROW(FitPointwise(nullptr, dataset.ratings(), nullptr, config),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace hire

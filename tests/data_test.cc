@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "data/csv_loader.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "tensor/random.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace data {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset dataset("tiny", {{"age", 3}}, {{"genre", 2}}, 4, 5, 1.0f, 5.0f);
+  dataset.SetUserAttributes(0, {1});
+  dataset.SetUserAttributes(1, {2});
+  dataset.AddRating(0, 0, 3.0f);
+  dataset.AddRating(0, 1, 5.0f);
+  dataset.AddRating(1, 2, 1.0f);
+  return dataset;
+}
+
+TEST(DatasetTest, ConstructionAndAccessors) {
+  Dataset dataset = TinyDataset();
+  EXPECT_EQ(dataset.num_users(), 4);
+  EXPECT_EQ(dataset.num_items(), 5);
+  EXPECT_EQ(dataset.ratings().size(), 3u);
+  EXPECT_EQ(dataset.user_attributes(0)[0], 1);
+  EXPECT_EQ(dataset.user_attributes(3)[0], 0);  // default
+  EXPECT_FALSE(dataset.has_social_network());
+}
+
+TEST(DatasetTest, ValidatesAttributeRanges) {
+  Dataset dataset = TinyDataset();
+  EXPECT_THROW(dataset.SetUserAttributes(0, {3}), CheckError);   // >= 3
+  EXPECT_THROW(dataset.SetUserAttributes(0, {1, 2}), CheckError);  // arity
+  EXPECT_THROW(dataset.SetUserAttributes(9, {1}), CheckError);   // bad user
+  EXPECT_THROW(dataset.SetItemAttributes(0, {2}), CheckError);   // >= 2
+}
+
+TEST(DatasetTest, ValidatesRatings) {
+  Dataset dataset = TinyDataset();
+  EXPECT_THROW(dataset.AddRating(0, 0, 0.5f), CheckError);
+  EXPECT_THROW(dataset.AddRating(0, 0, 5.5f), CheckError);
+  EXPECT_THROW(dataset.AddRating(4, 0, 3.0f), CheckError);
+  EXPECT_THROW(dataset.AddRating(0, 5, 3.0f), CheckError);
+}
+
+TEST(DatasetTest, RatingLevelRoundTrip) {
+  Dataset dataset = TinyDataset();
+  EXPECT_EQ(dataset.NumRatingLevels(), 5);
+  EXPECT_EQ(dataset.RatingToLevel(1.0f), 0);
+  EXPECT_EQ(dataset.RatingToLevel(5.0f), 4);
+  EXPECT_FLOAT_EQ(dataset.LevelToRating(2), 3.0f);
+  EXPECT_THROW(dataset.LevelToRating(5), CheckError);
+}
+
+TEST(DatasetTest, ContinuousRatingScale) {
+  Dataset dataset("c", {{"a", 2}}, {{"b", 2}}, 2, 2, 0.0f, 1.0f,
+                  /*continuous_ratings=*/true);
+  EXPECT_TRUE(dataset.continuous_ratings());
+  dataset.AddRating(0, 0, 0.37f);  // any value in range is legal
+  EXPECT_FLOAT_EQ(dataset.NormalizeRating(0.5f), 0.5f);
+  EXPECT_THROW(dataset.NumRatingLevels(), CheckError);
+
+  Dataset discrete("d", {{"a", 2}}, {{"b", 2}}, 2, 2, 1.0f, 5.0f);
+  EXPECT_FALSE(discrete.continuous_ratings());
+  EXPECT_FLOAT_EQ(discrete.NormalizeRating(3.0f), 0.5f);
+}
+
+TEST(DatasetTest, RelevanceThresholdIs80Percent) {
+  Dataset dataset = TinyDataset();
+  EXPECT_FLOAT_EQ(dataset.RelevanceThreshold(), 4.0f);
+  Dataset ten("t", {{"a", 2}}, {{"b", 2}}, 2, 2, 1.0f, 10.0f);
+  EXPECT_FLOAT_EQ(ten.RelevanceThreshold(), 8.0f);
+}
+
+TEST(DatasetTest, FriendshipsAreSymmetric) {
+  Dataset dataset = TinyDataset();
+  dataset.AddFriendship(0, 2);
+  EXPECT_TRUE(dataset.has_social_network());
+  EXPECT_EQ(dataset.friends(0).size(), 1u);
+  EXPECT_EQ(dataset.friends(2)[0], 0);
+  EXPECT_THROW(dataset.AddFriendship(1, 1), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Cold-start splits.
+// ---------------------------------------------------------------------------
+
+Dataset MediumDataset(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 60;
+  config.num_ratings = 1500;
+  config.user_schema = {{"age", 4}};
+  config.item_schema = {{"genre", 5}};
+  return GenerateSyntheticDataset(config, seed);
+}
+
+TEST(SplitTest, UserColdSplitHasNoLeakage) {
+  Dataset dataset = MediumDataset(1);
+  Rng rng(2);
+  ColdStartSplit split = MakeColdStartSplit(
+      dataset, ColdStartScenario::kUserCold, 0.8, &rng);
+
+  std::unordered_set<int64_t> cold(split.test_users.begin(),
+                                   split.test_users.end());
+  EXPECT_FALSE(cold.empty());
+  for (const Rating& rating : split.train_ratings) {
+    EXPECT_EQ(cold.count(rating.user), 0u)
+        << "cold user leaked into training";
+  }
+  for (const Rating& rating : split.test_ratings) {
+    EXPECT_EQ(cold.count(rating.user), 1u);
+  }
+  EXPECT_EQ(split.train_ratings.size() + split.test_ratings.size(),
+            dataset.ratings().size());
+}
+
+TEST(SplitTest, ItemColdSplitHasNoLeakage) {
+  Dataset dataset = MediumDataset(3);
+  Rng rng(4);
+  ColdStartSplit split = MakeColdStartSplit(
+      dataset, ColdStartScenario::kItemCold, 0.7, &rng);
+  std::unordered_set<int64_t> cold(split.test_items.begin(),
+                                   split.test_items.end());
+  for (const Rating& rating : split.train_ratings) {
+    EXPECT_EQ(cold.count(rating.item), 0u);
+  }
+  for (const Rating& rating : split.test_ratings) {
+    EXPECT_EQ(cold.count(rating.item), 1u);
+  }
+  EXPECT_TRUE(split.test_users.empty());
+}
+
+TEST(SplitTest, UserItemColdDiscardsMixedPairs) {
+  Dataset dataset = MediumDataset(5);
+  Rng rng(6);
+  ColdStartSplit split = MakeColdStartSplit(
+      dataset, ColdStartScenario::kUserItemCold, 0.7, &rng);
+  std::unordered_set<int64_t> cold_users(split.test_users.begin(),
+                                         split.test_users.end());
+  std::unordered_set<int64_t> cold_items(split.test_items.begin(),
+                                         split.test_items.end());
+  for (const Rating& rating : split.train_ratings) {
+    EXPECT_EQ(cold_users.count(rating.user), 0u);
+    EXPECT_EQ(cold_items.count(rating.item), 0u);
+  }
+  for (const Rating& rating : split.test_ratings) {
+    EXPECT_EQ(cold_users.count(rating.user), 1u);
+    EXPECT_EQ(cold_items.count(rating.item), 1u);
+  }
+  // Mixed pairs are dropped, so the two sets undercount the total.
+  EXPECT_LT(split.train_ratings.size() + split.test_ratings.size(),
+            dataset.ratings().size());
+}
+
+TEST(SplitTest, TrainFractionControlsSplitSizes) {
+  Dataset dataset = MediumDataset(7);
+  Rng rng(8);
+  ColdStartSplit split = MakeColdStartSplit(
+      dataset, ColdStartScenario::kUserCold, 0.8, &rng);
+  EXPECT_NEAR(static_cast<double>(split.train_users.size()) /
+                  static_cast<double>(dataset.num_users()),
+              0.8, 0.05);
+}
+
+TEST(SplitTest, DeterministicUnderSeed) {
+  Dataset dataset = MediumDataset(9);
+  Rng rng_a(10);
+  Rng rng_b(10);
+  ColdStartSplit a = MakeColdStartSplit(dataset,
+                                        ColdStartScenario::kUserCold, 0.8,
+                                        &rng_a);
+  ColdStartSplit b = MakeColdStartSplit(dataset,
+                                        ColdStartScenario::kUserCold, 0.8,
+                                        &rng_b);
+  EXPECT_EQ(a.test_users, b.test_users);
+  EXPECT_EQ(a.train_ratings.size(), b.train_ratings.size());
+}
+
+TEST(SplitTest, RejectsBadTrainFraction) {
+  Dataset dataset = MediumDataset(11);
+  Rng rng(12);
+  EXPECT_THROW(
+      MakeColdStartSplit(dataset, ColdStartScenario::kUserCold, 0.0, &rng),
+      CheckError);
+  EXPECT_THROW(
+      MakeColdStartSplit(dataset, ColdStartScenario::kUserCold, 1.0, &rng),
+      CheckError);
+}
+
+TEST(SplitTest, ScenarioNames) {
+  EXPECT_EQ(ScenarioName(ColdStartScenario::kUserCold), "user-cold");
+  EXPECT_EQ(ScenarioName(ColdStartScenario::kItemCold), "item-cold");
+  EXPECT_EQ(ScenarioName(ColdStartScenario::kUserItemCold),
+            "user&item-cold");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator.
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  Dataset dataset = MediumDataset(13);
+  EXPECT_EQ(dataset.num_users(), 80);
+  EXPECT_EQ(dataset.num_items(), 60);
+  EXPECT_GE(static_cast<int64_t>(dataset.ratings().size()), 1400);
+  for (const Rating& rating : dataset.ratings()) {
+    EXPECT_GE(rating.value, 1.0f);
+    EXPECT_LE(rating.value, 5.0f);
+    EXPECT_FLOAT_EQ(rating.value, std::round(rating.value));
+  }
+}
+
+TEST(SyntheticTest, DeterministicUnderSeed) {
+  Dataset a = MediumDataset(21);
+  Dataset b = MediumDataset(21);
+  ASSERT_EQ(a.ratings().size(), b.ratings().size());
+  for (size_t r = 0; r < a.ratings().size(); ++r) {
+    EXPECT_EQ(a.ratings()[r].user, b.ratings()[r].user);
+    EXPECT_EQ(a.ratings()[r].item, b.ratings()[r].item);
+    EXPECT_EQ(a.ratings()[r].value, b.ratings()[r].value);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  Dataset a = MediumDataset(22);
+  Dataset b = MediumDataset(23);
+  int differences = 0;
+  const size_t count = std::min(a.ratings().size(), b.ratings().size());
+  for (size_t r = 0; r < count; ++r) {
+    if (a.ratings()[r].user != b.ratings()[r].user ||
+        a.ratings()[r].value != b.ratings()[r].value) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 10);
+}
+
+TEST(SyntheticTest, EveryEntityHasMinimumDegree) {
+  Dataset dataset = MediumDataset(24);
+  std::vector<int> user_degree(80, 0);
+  std::vector<int> item_degree(60, 0);
+  for (const Rating& rating : dataset.ratings()) {
+    ++user_degree[static_cast<size_t>(rating.user)];
+    ++item_degree[static_cast<size_t>(rating.item)];
+  }
+  for (int degree : user_degree) EXPECT_GE(degree, 1);
+  for (int degree : item_degree) EXPECT_GE(degree, 1);
+}
+
+TEST(SyntheticTest, RatingsAreUniquePairs) {
+  Dataset dataset = MediumDataset(25);
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const Rating& rating : dataset.ratings()) {
+    EXPECT_TRUE(pairs.emplace(rating.user, rating.item).second)
+        << "duplicate pair (" << rating.user << ", " << rating.item << ")";
+  }
+}
+
+TEST(SyntheticTest, AttributesAreInformative) {
+  // Users sharing all attribute values should rate more similarly than
+  // random pairs, because attributes derive from the latent vectors.
+  SyntheticConfig config;
+  config.num_users = 150;
+  config.num_items = 80;
+  config.num_ratings = 6000;
+  config.user_schema = {{"age", 4}, {"occupation", 6}};
+  config.item_schema = {{"genre", 5}};
+  config.rating_noise = 0.2;
+  Dataset dataset = GenerateSyntheticDataset(config, 31);
+
+  // Mean absolute rating difference on co-rated items for attribute-equal
+  // user pairs vs. all pairs.
+  std::vector<std::unordered_map<int64_t, float>> by_user(150);
+  for (const Rating& rating : dataset.ratings()) {
+    by_user[static_cast<size_t>(rating.user)][rating.item] = rating.value;
+  }
+  double same_diff = 0.0;
+  int64_t same_count = 0;
+  double all_diff = 0.0;
+  int64_t all_count = 0;
+  for (int64_t u = 0; u < 150; ++u) {
+    for (int64_t v = u + 1; v < 150; ++v) {
+      const bool same_attrs =
+          dataset.user_attributes(u) == dataset.user_attributes(v);
+      for (const auto& [item, value] : by_user[static_cast<size_t>(u)]) {
+        const auto it = by_user[static_cast<size_t>(v)].find(item);
+        if (it == by_user[static_cast<size_t>(v)].end()) continue;
+        const double diff = std::fabs(value - it->second);
+        all_diff += diff;
+        ++all_count;
+        if (same_attrs) {
+          same_diff += diff;
+          ++same_count;
+        }
+      }
+    }
+  }
+  ASSERT_GT(same_count, 50);
+  ASSERT_GT(all_count, 500);
+  EXPECT_LT(same_diff / same_count, all_diff / all_count)
+      << "attribute-equal users should rate more similarly";
+}
+
+TEST(SyntheticTest, ProfilesMatchPaperSchemas) {
+  const SyntheticConfig ml = MovieLens1MProfile();
+  EXPECT_EQ(ml.user_schema.size(), 4u);
+  EXPECT_EQ(ml.item_schema.size(), 4u);
+  EXPECT_FLOAT_EQ(ml.max_rating, 5.0f);
+
+  const SyntheticConfig douban = DoubanProfile();
+  EXPECT_TRUE(douban.user_schema.empty());  // ID attributes
+  EXPECT_TRUE(douban.generate_social);
+
+  const SyntheticConfig books = BookcrossingProfile();
+  EXPECT_EQ(books.user_schema.size(), 1u);
+  EXPECT_EQ(books.item_schema.size(), 1u);
+  EXPECT_FLOAT_EQ(books.max_rating, 10.0f);
+}
+
+TEST(SyntheticTest, DoubanProfileGeneratesSocialAndIdAttributes) {
+  SyntheticConfig config = DoubanProfile(0.2);
+  Dataset dataset = GenerateSyntheticDataset(config, 33);
+  EXPECT_TRUE(dataset.has_social_network());
+  EXPECT_EQ(dataset.user_schema()[0].name, "id");
+  EXPECT_EQ(dataset.user_attributes(7)[0], 7);
+  int64_t total_friends = 0;
+  for (int64_t u = 0; u < dataset.num_users(); ++u) {
+    total_friends += static_cast<int64_t>(dataset.friends(u).size());
+  }
+  EXPECT_GT(total_friends, dataset.num_users());
+}
+
+// ---------------------------------------------------------------------------
+// CSV loader.
+// ---------------------------------------------------------------------------
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name, const std::string& body) {
+    const std::string path = testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : files_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> files_;
+};
+
+TEST_F(CsvLoaderTest, LoadsRatingsAndAttributes) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1,4\n"
+                                "u1,i2,2\n"
+                                "u2,i1,5\n");
+  spec.user_attributes_path = WriteFile("users.csv",
+                                        "user,age,job\n"
+                                        "u1,young,teacher\n"
+                                        "u2,old,doctor\n");
+  spec.item_attributes_path = WriteFile("items.csv",
+                                        "item,genre\n"
+                                        "i1,comedy\n"
+                                        "i2,drama\n");
+  files_ = {spec.ratings_path, spec.user_attributes_path,
+            spec.item_attributes_path};
+
+  Dataset dataset = LoadCsvDataset(spec);
+  EXPECT_EQ(dataset.num_users(), 2);
+  EXPECT_EQ(dataset.num_items(), 2);
+  EXPECT_EQ(dataset.ratings().size(), 3u);
+  EXPECT_EQ(dataset.user_schema().size(), 2u);
+  EXPECT_EQ(dataset.item_schema().size(), 1u);
+  // u1 and u2 have different vocab-encoded attribute values.
+  EXPECT_NE(dataset.user_attributes(0)[0], dataset.user_attributes(1)[0]);
+  EXPECT_FLOAT_EQ(dataset.ratings()[2].value, 5.0f);
+}
+
+TEST_F(CsvLoaderTest, IdentityAttributesWhenNoFiles) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("ratings_only.csv",
+                                "user,item,rating\n"
+                                "a,x,3\n"
+                                "b,y,4\n");
+  files_ = {spec.ratings_path};
+  Dataset dataset = LoadCsvDataset(spec);
+  EXPECT_EQ(dataset.user_schema()[0].name, "id");
+  EXPECT_EQ(dataset.user_attributes(1)[0], 1);
+  EXPECT_EQ(dataset.item_attributes(0)[0], 0);
+}
+
+TEST_F(CsvLoaderTest, MissingFileThrows) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = "/nonexistent/ratings.csv";
+  EXPECT_THROW(LoadCsvDataset(spec), CheckError);
+}
+
+TEST_F(CsvLoaderTest, MalformedRatingThrows) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("bad_ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1,abc\n");
+  files_ = {spec.ratings_path};
+  EXPECT_THROW(LoadCsvDataset(spec), CheckError);
+}
+
+TEST_F(CsvLoaderTest, OutOfRangeRatingThrows) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("oor_ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1,11\n");
+  spec.max_rating = 5.0f;
+  files_ = {spec.ratings_path};
+  EXPECT_THROW(LoadCsvDataset(spec), CheckError);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hire

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/context_builder.h"
+#include "graph/samplers.h"
+#include "tensor/random.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace graph {
+namespace {
+
+using data::Rating;
+
+std::vector<Rating> ChainRatings() {
+  // u0-i0, u0-i1, u1-i1, u2-i2 : a path plus an isolated-ish edge.
+  return {{0, 0, 3.0f}, {0, 1, 4.0f}, {1, 1, 5.0f}, {2, 2, 1.0f}};
+}
+
+TEST(BipartiteGraphTest, AdjacencyAndLookup) {
+  BipartiteGraph graph(4, 3, ChainRatings());
+  EXPECT_EQ(graph.num_edges(), 4);
+  EXPECT_EQ(graph.ItemsOfUser(0).size(), 2u);
+  EXPECT_EQ(graph.UsersOfItem(1).size(), 2u);
+  EXPECT_EQ(graph.UserDegree(3), 0);
+  ASSERT_TRUE(graph.GetRating(1, 1).has_value());
+  EXPECT_FLOAT_EQ(*graph.GetRating(1, 1), 5.0f);
+  EXPECT_FALSE(graph.GetRating(1, 0).has_value());
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesKeepFirst) {
+  std::vector<Rating> ratings{{0, 0, 3.0f}, {0, 0, 5.0f}};
+  BipartiteGraph graph(1, 1, ratings);
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_FLOAT_EQ(*graph.GetRating(0, 0), 3.0f);
+}
+
+TEST(BipartiteGraphTest, OutOfRangeThrows) {
+  BipartiteGraph graph(2, 2, {});
+  EXPECT_THROW(graph.ItemsOfUser(2), CheckError);
+  EXPECT_THROW(graph.UsersOfItem(-1), CheckError);
+  EXPECT_THROW(BipartiteGraph(1, 1, {{1, 0, 3.0f}}), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Samplers.
+// ---------------------------------------------------------------------------
+
+data::Dataset SamplerDataset(uint64_t seed = 41) {
+  data::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_ratings = 900;
+  config.user_schema = {{"age", 4}};
+  config.item_schema = {{"genre", 5}};
+  return data::GenerateSyntheticDataset(config, seed);
+}
+
+void ExpectValidSelection(const ContextSelection& selection, int64_t n,
+                          int64_t m, const std::vector<int64_t>& seed_users,
+                          const std::vector<int64_t>& seed_items) {
+  EXPECT_EQ(static_cast<int64_t>(selection.users.size()), n);
+  EXPECT_EQ(static_cast<int64_t>(selection.items.size()), m);
+  // Distinct entities.
+  std::set<int64_t> users(selection.users.begin(), selection.users.end());
+  std::set<int64_t> items(selection.items.begin(), selection.items.end());
+  EXPECT_EQ(users.size(), selection.users.size());
+  EXPECT_EQ(items.size(), selection.items.size());
+  // Seeds included, in order, at the front.
+  for (size_t s = 0; s < seed_users.size(); ++s) {
+    EXPECT_EQ(selection.users[s], seed_users[s]);
+  }
+  for (size_t s = 0; s < seed_items.size(); ++s) {
+    EXPECT_EQ(selection.items[s], seed_items[s]);
+  }
+}
+
+class SamplerContractTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerContractTest, AllSamplersHonourBudgetsAndSeeds) {
+  const data::Dataset dataset = SamplerDataset();
+  const BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                             dataset.ratings());
+  NeighborhoodSampler neighborhood;
+  RandomSampler random;
+  FeatureSimilaritySampler feature(&dataset);
+  std::vector<const ContextSampler*> samplers{&neighborhood, &random,
+                                              &feature};
+  const int which = GetParam() % 3;
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+
+  Rng rng(seed);
+  const std::vector<int64_t> seed_users{5, 9};
+  const std::vector<int64_t> seed_items{3};
+  const ContextSelection selection =
+      samplers[static_cast<size_t>(which)]->Sample(graph, seed_users,
+                                                   seed_items, 16, 12, &rng);
+  ExpectValidSelection(selection, 16, 12, seed_users, seed_items);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SamplerContractTest,
+                         ::testing::Range(0, 12));
+
+TEST(NeighborhoodSamplerTest, PrefersGraphNeighbors) {
+  // Star graph: user 0 rated items 0..9; everything else disconnected.
+  std::vector<Rating> ratings;
+  for (int64_t i = 0; i < 10; ++i) ratings.push_back({0, i, 3.0f});
+  BipartiteGraph graph(50, 40, ratings);
+
+  NeighborhoodSampler sampler;
+  Rng rng(7);
+  const ContextSelection selection =
+      sampler.Sample(graph, {0}, {}, 4, 8, &rng);
+  // All 8 items must be drawn from user 0's neighborhood (items 0..9).
+  for (int64_t item : selection.items) {
+    EXPECT_LT(item, 10);
+  }
+}
+
+TEST(NeighborhoodSamplerTest, SubsamplesOversizedFrontier) {
+  std::vector<Rating> ratings;
+  for (int64_t i = 0; i < 30; ++i) ratings.push_back({0, i, 3.0f});
+  BipartiteGraph graph(5, 30, ratings);
+  NeighborhoodSampler sampler;
+  Rng rng(8);
+  const ContextSelection selection = sampler.Sample(graph, {0}, {}, 2, 6, &rng);
+  EXPECT_EQ(selection.items.size(), 6u);
+}
+
+TEST(NeighborhoodSamplerTest, FallsBackToRandomWhenDisconnected) {
+  // User 9 has no edges at all.
+  BipartiteGraph graph(10, 10, {{0, 0, 3.0f}});
+  NeighborhoodSampler sampler;
+  Rng rng(9);
+  const ContextSelection selection =
+      sampler.Sample(graph, {9}, {}, 4, 4, &rng);
+  EXPECT_EQ(selection.users.size(), 4u);
+  EXPECT_EQ(selection.items.size(), 4u);
+  EXPECT_EQ(selection.users[0], 9);
+}
+
+TEST(NeighborhoodSamplerTest, BudgetsClampToUniverse) {
+  BipartiteGraph graph(3, 2, {{0, 0, 3.0f}});
+  NeighborhoodSampler sampler;
+  Rng rng(10);
+  const ContextSelection selection =
+      sampler.Sample(graph, {0}, {0}, 10, 10, &rng);
+  EXPECT_EQ(selection.users.size(), 3u);
+  EXPECT_EQ(selection.items.size(), 2u);
+}
+
+TEST(SamplerTest, DeterministicUnderSeed) {
+  const data::Dataset dataset = SamplerDataset();
+  const BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                             dataset.ratings());
+  NeighborhoodSampler sampler;
+  Rng rng_a(33);
+  Rng rng_b(33);
+  const ContextSelection a = sampler.Sample(graph, {1}, {2}, 8, 8, &rng_a);
+  const ContextSelection b = sampler.Sample(graph, {1}, {2}, 8, 8, &rng_b);
+  EXPECT_EQ(a.users, b.users);
+  EXPECT_EQ(a.items, b.items);
+}
+
+TEST(FeatureSimilaritySamplerTest, PicksAttributeMatchedUsers) {
+  // Users 0..4 share attributes with user 0; the rest differ.
+  data::Dataset dataset("sim", {{"age", 2}}, {{"genre", 2}}, 20, 10, 1.0f,
+                        5.0f);
+  for (int64_t u = 0; u < 20; ++u) {
+    dataset.SetUserAttributes(u, {u < 5 ? int64_t{0} : int64_t{1}});
+  }
+  dataset.AddRating(0, 0, 3.0f);
+  const BipartiteGraph graph(20, 10, dataset.ratings());
+  FeatureSimilaritySampler sampler(&dataset);
+  Rng rng(11);
+  const ContextSelection selection =
+      sampler.Sample(graph, {0}, {0}, 5, 2, &rng);
+  // All 5 users should come from the attribute-equal block {0..4}.
+  for (int64_t user : selection.users) {
+    EXPECT_LT(user, 5) << "feature-similarity picked a dissimilar user";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context assembly and masking.
+// ---------------------------------------------------------------------------
+
+TEST(ContextBuilderTest, AssembleMarksObservedCells) {
+  BipartiteGraph graph(4, 3, ChainRatings());
+  ContextSelection selection;
+  selection.users = {0, 1, 2};
+  selection.items = {0, 1, 2};
+  const PredictionContext context = AssembleContext(graph, selection);
+  EXPECT_EQ(context.num_users(), 3);
+  EXPECT_EQ(context.num_items(), 3);
+  EXPECT_FLOAT_EQ(context.observed_mask.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(context.observed_ratings.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(context.observed_mask.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(context.observed_ratings.at(1, 0), 0.0f);
+  // No targets yet.
+  EXPECT_FLOAT_EQ(context.target_mask.at(0, 0), 0.0f);
+}
+
+TEST(ContextBuilderTest, MaskMovesCellsToTargets) {
+  BipartiteGraph graph(4, 3, ChainRatings());
+  ContextSelection selection;
+  selection.users = {0, 1, 2};
+  selection.items = {0, 1, 2};
+  PredictionContext context = AssembleContext(graph, selection);
+  Rng rng(12);
+  MaskForTraining(&context, /*visible_fraction=*/0.5, &rng);
+
+  int64_t observed = 0;
+  int64_t targets = 0;
+  for (int64_t flat = 0; flat < context.observed_mask.size(); ++flat) {
+    const bool is_observed = context.observed_mask.flat(flat) > 0;
+    const bool is_target = context.target_mask.flat(flat) > 0;
+    EXPECT_FALSE(is_observed && is_target) << "cell both visible and target";
+    if (is_observed) ++observed;
+    if (is_target) {
+      ++targets;
+      // Target values preserved, observed copy zeroed.
+      EXPECT_GT(context.target_ratings.flat(flat), 0.0f);
+      EXPECT_FLOAT_EQ(context.observed_ratings.flat(flat), 0.0f);
+    }
+  }
+  EXPECT_EQ(observed + targets, 4);  // all four ratings accounted for
+  EXPECT_GE(targets, 1);
+  EXPECT_GE(observed, 1);
+}
+
+TEST(ContextBuilderTest, MaskZeroVisibleFractionKeepsOneVisible) {
+  BipartiteGraph graph(4, 3, ChainRatings());
+  ContextSelection selection;
+  selection.users = {0, 1, 2};
+  selection.items = {0, 1, 2};
+  PredictionContext context = AssembleContext(graph, selection);
+  Rng rng(13);
+  MaskForTraining(&context, 0.0, &rng);
+  // With >= 2 observations, at least one stays visible by design.
+  int64_t observed = 0;
+  for (int64_t flat = 0; flat < context.observed_mask.size(); ++flat) {
+    if (context.observed_mask.flat(flat) > 0) ++observed;
+  }
+  EXPECT_GE(observed, 1);
+}
+
+TEST(ContextBuilderTest, MaskRequiresObservedRatings) {
+  BipartiteGraph graph(2, 2, {});
+  ContextSelection selection;
+  selection.users = {0, 1};
+  selection.items = {0, 1};
+  PredictionContext context = AssembleContext(graph, selection);
+  Rng rng(14);
+  EXPECT_THROW(MaskForTraining(&context, 0.1, &rng), CheckError);
+}
+
+TEST(ContextBuilderTest, BuildTrainingContextEndToEnd) {
+  const data::Dataset dataset = SamplerDataset(55);
+  const BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                             dataset.ratings());
+  NeighborhoodSampler sampler;
+  Rng rng(15);
+  const PredictionContext context =
+      BuildTrainingContext(graph, sampler, 12, 10, 0.1, &rng);
+  EXPECT_EQ(context.num_users(), 12);
+  EXPECT_EQ(context.num_items(), 10);
+  // Roughly 90% of observations became targets.
+  int64_t observed = 0;
+  int64_t targets = 0;
+  for (int64_t flat = 0; flat < context.observed_mask.size(); ++flat) {
+    if (context.observed_mask.flat(flat) > 0) ++observed;
+    if (context.target_mask.flat(flat) > 0) ++targets;
+  }
+  EXPECT_GE(targets, 1);
+  EXPECT_GT(targets, observed);
+}
+
+TEST(ContextBuilderTest, BuildTrainingContextNeedsEdges) {
+  BipartiteGraph graph(4, 4, {});
+  NeighborhoodSampler sampler;
+  Rng rng(16);
+  EXPECT_THROW(BuildTrainingContext(graph, sampler, 4, 4, 0.1, &rng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace hire

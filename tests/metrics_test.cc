@@ -1,0 +1,162 @@
+#include "metrics/ranking_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace metrics {
+namespace {
+
+TEST(PrecisionTest, PerfectRanking) {
+  // Predictions rank the two relevant items (>= 4) first.
+  const std::vector<float> predicted{5.0f, 4.5f, 1.0f, 0.5f};
+  const std::vector<float> actual{5.0f, 4.0f, 2.0f, 1.0f};
+  const RankingMetrics m = ComputeRankingMetrics(predicted, actual, 2, 4.0f);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+  EXPECT_NEAR(m.ndcg, 1.0, 1e-9);
+}
+
+TEST(PrecisionTest, WorstRanking) {
+  // Predictions rank the two irrelevant items first.
+  const std::vector<float> predicted{0.1f, 0.2f, 5.0f, 4.9f};
+  const std::vector<float> actual{5.0f, 4.0f, 2.0f, 1.0f};
+  const RankingMetrics m = ComputeRankingMetrics(predicted, actual, 2, 4.0f);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.map, 0.0);
+  EXPECT_LT(m.ndcg, 1.0);
+}
+
+TEST(PrecisionTest, HandComputedMixedCase) {
+  // Predicted order: items [A(5), B(2), C(4), D(1)] with threshold 4.
+  const std::vector<float> predicted{9.0f, 8.0f, 7.0f, 6.0f};
+  const std::vector<float> actual{5.0f, 2.0f, 4.0f, 1.0f};
+  const RankingMetrics m = ComputeRankingMetrics(predicted, actual, 3, 4.0f);
+  // Top 3 by prediction: A, B, C -> relevant A, C -> precision 2/3.
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  // AP@3 = (1/1 + 2/3) / min(2 relevant, 3) = (1 + 0.6667)/2.
+  EXPECT_NEAR(m.map, (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // DCG = 5 + 2/log2(3) + 4/2; IDCG = 5 + 4/log2(3) + 2/2.
+  const double dcg = 5.0 + 2.0 / std::log2(3.0) + 4.0 / 2.0;
+  const double idcg = 5.0 + 4.0 / std::log2(3.0) + 2.0 / 2.0;
+  EXPECT_NEAR(m.ndcg, dcg / idcg, 1e-12);
+}
+
+TEST(PrecisionTest, KLargerThanListUsesWholeList) {
+  const std::vector<float> predicted{1.0f, 2.0f};
+  const std::vector<float> actual{5.0f, 1.0f};
+  const RankingMetrics m = ComputeRankingMetrics(predicted, actual, 10, 4.0f);
+  EXPECT_NEAR(m.precision, 0.5, 1e-12);
+}
+
+TEST(PrecisionTest, NoRelevantItemsYieldsZeroMap) {
+  const std::vector<float> predicted{1.0f, 2.0f, 3.0f};
+  const std::vector<float> actual{1.0f, 2.0f, 3.0f};
+  const RankingMetrics m = ComputeRankingMetrics(predicted, actual, 3, 4.0f);
+  EXPECT_DOUBLE_EQ(m.map, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(PrecisionTest, TieBreakIsDeterministic) {
+  const std::vector<float> predicted{1.0f, 1.0f, 1.0f};
+  const std::vector<float> actual{5.0f, 1.0f, 5.0f};
+  const RankingMetrics a = ComputeRankingMetrics(predicted, actual, 2, 4.0f);
+  const RankingMetrics b = ComputeRankingMetrics(predicted, actual, 2, 4.0f);
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+}
+
+TEST(PrecisionTest, InputValidation) {
+  EXPECT_THROW(ComputeRankingMetrics({}, {}, 5, 4.0f), CheckError);
+  EXPECT_THROW(ComputeRankingMetrics({1.0f}, {1.0f, 2.0f}, 5, 4.0f),
+               CheckError);
+  EXPECT_THROW(ComputeRankingMetrics({1.0f}, {1.0f}, 0, 4.0f), CheckError);
+}
+
+TEST(NdcgTest, GradedGainsPreferHighRatingsFirst) {
+  const std::vector<float> actual{5.0f, 3.0f, 1.0f};
+  const RankingMetrics good =
+      ComputeRankingMetrics({3.0f, 2.0f, 1.0f}, actual, 3, 4.0f);
+  const RankingMetrics bad =
+      ComputeRankingMetrics({1.0f, 2.0f, 3.0f}, actual, 3, 4.0f);
+  EXPECT_GT(good.ndcg, bad.ndcg);
+  EXPECT_NEAR(good.ndcg, 1.0, 1e-12);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  const MeanStd stats = Aggregate({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(AggregateTest, SingleValueHasZeroStd) {
+  const MeanStd stats = Aggregate({3.5});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(AggregateTest, EmptyThrows) {
+  EXPECT_THROW(Aggregate({}), CheckError);
+}
+
+TEST(AverageMetricsTest, AveragesComponentWise) {
+  RankingMetrics a{1.0, 0.8, 0.6};
+  RankingMetrics b{0.0, 0.4, 0.2};
+  const RankingMetrics avg = AverageMetrics({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.ndcg, 0.6);
+  EXPECT_NEAR(avg.map, 0.4, 1e-12);
+}
+
+TEST(RegressionMetricsTest, HandComputed) {
+  const std::vector<float> predicted{1.0f, 2.0f, 3.0f};
+  const std::vector<float> actual{2.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(MeanSquaredError(predicted, actual), (1.0 + 0.0 + 4.0) / 3.0,
+              1e-9);
+  EXPECT_NEAR(MeanAbsoluteError(predicted, actual), (1.0 + 0.0 + 2.0) / 3.0,
+              1e-9);
+  EXPECT_NEAR(RootMeanSquaredError(predicted, actual),
+              std::sqrt(5.0 / 3.0), 1e-6);
+}
+
+TEST(RegressionMetricsTest, Validation) {
+  EXPECT_THROW(MeanSquaredError({}, {}), CheckError);
+  EXPECT_THROW(MeanAbsoluteError({1.0f}, {1.0f, 2.0f}), CheckError);
+}
+
+// Parameterized sweep: precision@k is always in [0, 1] and NDCG in [0, 1]
+// for random inputs.
+class MetricRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricRangeTest, MetricsStayInUnitRange) {
+  const int seed = GetParam();
+  std::vector<float> predicted;
+  std::vector<float> actual;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<float>((state >> 8) % 50) / 10.0f;
+  };
+  for (int i = 0; i < 20; ++i) {
+    predicted.push_back(next());
+    actual.push_back(1.0f + next());
+  }
+  for (int k : {1, 3, 5, 10, 25}) {
+    const RankingMetrics m = ComputeRankingMetrics(predicted, actual, k, 4.0f);
+    EXPECT_GE(m.precision, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+    EXPECT_GE(m.ndcg, 0.0);
+    EXPECT_LE(m.ndcg, 1.0 + 1e-9);
+    EXPECT_GE(m.map, 0.0);
+    EXPECT_LE(m.map, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricRangeTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace metrics
+}  // namespace hire

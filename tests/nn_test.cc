@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/multi_head_self_attention.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace nn {
+namespace {
+
+TEST(InitTest, XavierUniformWithinLimit) {
+  Rng rng(1);
+  Tensor w = XavierUniform(64, 64, &rng);
+  const float limit = std::sqrt(6.0f / 128.0f);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w.flat(i)), limit);
+  }
+}
+
+TEST(InitTest, HeNormalHasRightScale) {
+  Rng rng(2);
+  Tensor w = HeNormal(200, 50, &rng);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) sum_sq += w.flat(i) * w.flat(i);
+  EXPECT_NEAR(sum_sq / static_cast<double>(w.size()), 2.0 / 200.0, 0.002);
+}
+
+TEST(LinearTest, ShapeAndDeterminism) {
+  Rng rng(3);
+  Linear layer(4, 3, &rng);
+  ag::Variable x(Tensor::Ones({2, 4}), false);
+  ag::Variable y1 = layer.Forward(x);
+  ag::Variable y2 = layer.Forward(x);
+  EXPECT_EQ(y1.shape(), (std::vector<int64_t>{2, 3}));
+  EXPECT_TRUE(ops::AllClose(y1.value(), y2.value()));
+}
+
+TEST(LinearTest, SupportsLeadingBatchAxes) {
+  Rng rng(4);
+  Linear layer(5, 2, &rng);
+  ag::Variable x(Tensor::Ones({3, 4, 5}), false);
+  EXPECT_EQ(layer.Forward(x).shape(), (std::vector<int64_t>{3, 4, 2}));
+}
+
+TEST(LinearTest, RejectsWrongInputWidth) {
+  Rng rng(5);
+  Linear layer(4, 3, &rng);
+  ag::Variable x(Tensor::Ones({2, 5}), false);
+  EXPECT_THROW(layer.Forward(x), CheckError);
+}
+
+TEST(LinearTest, ParametersAreRegistered) {
+  Rng rng(6);
+  Linear with_bias(4, 3, &rng);
+  EXPECT_EQ(with_bias.Parameters().size(), 2u);
+  EXPECT_EQ(with_bias.NumParameters(), 4 * 3 + 3);
+  Linear without_bias(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(without_bias.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(7);
+  Linear layer(3, 2, &rng);
+  ag::Variable x(RandomUniform({4, 3}, -1, 1, &rng), false);
+  ag::Variable loss = ag::MeanAll(ag::Square(layer.Forward(x)));
+  loss.Backward();
+  for (const ag::Variable& parameter : layer.Parameters()) {
+    EXPECT_TRUE(parameter.has_grad());
+  }
+}
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  Rng rng(8);
+  Embedding embedding(5, 3, &rng);
+  ag::Variable a = embedding.Forward({2});
+  ag::Variable b = embedding.Forward({2, 2, 4});
+  EXPECT_TRUE(ops::AllClose(ops::Slice(b.value(), 0, 0, 1),
+                            a.value().Reshape({1, 3})));
+  EXPECT_TRUE(ops::AllClose(ops::Slice(b.value(), 0, 0, 1),
+                            ops::Slice(b.value(), 0, 1, 1)));
+}
+
+TEST(EmbeddingTest, MaskedIndexIsZero) {
+  Rng rng(9);
+  Embedding embedding(5, 3, &rng);
+  ag::Variable out = embedding.Forward({-1});
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.value().flat(i), 0.0f);
+  }
+}
+
+TEST(LayerNormTest, NormalisesLastAxis) {
+  LayerNorm norm(6);
+  Rng rng(10);
+  ag::Variable x(RandomUniform({4, 6}, -5, 5, &rng), false);
+  Tensor y = norm.Forward(x).value();
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t c = 0; c < 6; ++c) mean += y.at(r, c);
+    mean /= 6.0;
+    for (int64_t c = 0; c < 6; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 6.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, WrongWidthThrows) {
+  LayerNorm norm(6);
+  ag::Variable x(Tensor::Ones({2, 5}), false);
+  EXPECT_THROW(norm.Forward(x), CheckError);
+}
+
+TEST(MlpTest, EndToEndShapesAndActivations) {
+  Rng rng(11);
+  Mlp mlp({4, 8, 1}, Activation::kRelu, &rng, Activation::kSigmoid);
+  ag::Variable x(Tensor::Ones({3, 4}), false);
+  Tensor y = mlp.Forward(x).value();
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 1}));
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y.flat(i), 0.0f);
+    EXPECT_LT(y.flat(i), 1.0f);
+  }
+}
+
+TEST(MlpTest, RequiresAtLeastTwoDims) {
+  Rng rng(12);
+  EXPECT_THROW(Mlp({4}, Activation::kRelu, &rng), CheckError);
+}
+
+TEST(ModuleTest, NamedParametersHaveHierarchicalNames) {
+  Rng rng(13);
+  Mlp mlp({2, 3, 1}, Activation::kRelu, &rng);
+  const auto named = mlp.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "layer0.weight");
+  EXPECT_EQ(named[3].first, "layer1.bias");
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(14);
+  Mlp mlp({2, 3, 1}, Activation::kRelu, &rng);
+  mlp.SetTraining(false);
+  EXPECT_FALSE(mlp.training());
+  mlp.SetTraining(true);
+  EXPECT_TRUE(mlp.training());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-head self-attention.
+// ---------------------------------------------------------------------------
+
+MhsaConfig SmallMhsa(int64_t dim = 8, int64_t heads = 2) {
+  MhsaConfig config;
+  config.embed_dim = dim;
+  config.num_heads = heads;
+  return config;
+}
+
+TEST(MhsaTest, OutputShapeMatchesInput) {
+  Rng rng(15);
+  MultiHeadSelfAttention mhsa(SmallMhsa(), &rng);
+  ag::Variable x(RandomUniform({3, 5, 8}, -1, 1, &rng), false);
+  EXPECT_EQ(mhsa.Forward(x).shape(), (std::vector<int64_t>{3, 5, 8}));
+}
+
+TEST(MhsaTest, ExplicitHeadDimension) {
+  Rng rng(16);
+  MhsaConfig config;
+  config.embed_dim = 6;
+  config.num_heads = 4;
+  config.head_dim = 3;  // inner = 12 != embed_dim
+  MultiHeadSelfAttention mhsa(config, &rng);
+  ag::Variable x(RandomUniform({2, 4, 6}, -1, 1, &rng), false);
+  EXPECT_EQ(mhsa.Forward(x).shape(), (std::vector<int64_t>{2, 4, 6}));
+}
+
+TEST(MhsaTest, IndivisibleDefaultHeadDimThrows) {
+  Rng rng(17);
+  MhsaConfig config;
+  config.embed_dim = 6;
+  config.num_heads = 4;
+  EXPECT_THROW(MultiHeadSelfAttention(config, &rng), CheckError);
+}
+
+TEST(MhsaTest, RejectsNon3DInput) {
+  Rng rng(18);
+  MultiHeadSelfAttention mhsa(SmallMhsa(), &rng);
+  ag::Variable x(Tensor::Ones({5, 8}), false);
+  EXPECT_THROW(mhsa.Forward(x), CheckError);
+}
+
+TEST(MhsaTest, BatchElementsAreIndependent) {
+  // Processing [x; y] as a batch must equal processing x and y separately.
+  Rng rng(19);
+  MultiHeadSelfAttention mhsa(SmallMhsa(), &rng);
+  Tensor x = RandomUniform({1, 4, 8}, -1, 1, &rng);
+  Tensor y = RandomUniform({1, 4, 8}, -1, 1, &rng);
+  Tensor batched = ops::Concat({x, y}, 0);
+
+  Tensor out_batched = mhsa.Forward(ag::Variable(batched, false)).value();
+  Tensor out_x = mhsa.Forward(ag::Variable(x, false)).value();
+  Tensor out_y = mhsa.Forward(ag::Variable(y, false)).value();
+  EXPECT_TRUE(ops::AllClose(ops::Slice(out_batched, 0, 0, 1), out_x, 1e-4f,
+                            1e-3f));
+  EXPECT_TRUE(ops::AllClose(ops::Slice(out_batched, 0, 1, 1), out_y, 1e-4f,
+                            1e-3f));
+}
+
+TEST(MhsaTest, AttentionCaptureShapeAndRowSums) {
+  Rng rng(21);
+  MultiHeadSelfAttention mhsa(SmallMhsa(8, 2), &rng);
+  mhsa.EnableAttentionCapture(true);
+  ag::Variable x(RandomUniform({2, 5, 8}, -1, 1, &rng), false);
+  mhsa.Forward(x);
+  const Tensor& attention = mhsa.captured_attention();
+  ASSERT_EQ(attention.shape(), (std::vector<int64_t>{2, 2, 5, 5}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t h = 0; h < 2; ++h) {
+      for (int64_t i = 0; i < 5; ++i) {
+        float row = 0.0f;
+        for (int64_t j = 0; j < 5; ++j) row += attention.at(b, h, i, j);
+        EXPECT_NEAR(row, 1.0f, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(MhsaTest, GradientsFlowThroughAttention) {
+  Rng rng(22);
+  MultiHeadSelfAttention mhsa(SmallMhsa(), &rng);
+  ag::Variable x(RandomUniform({2, 3, 8}, -1, 1, &rng), true);
+  ag::Variable loss = ag::MeanAll(ag::Square(mhsa.Forward(x)));
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (const ag::Variable& parameter : mhsa.Parameters()) {
+    EXPECT_TRUE(parameter.has_grad());
+  }
+}
+
+// Property test (paper Eq. 5): MHSA is permutation equivariant over tokens.
+class MhsaPermutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MhsaPermutationTest, PermutationEquivariance) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  MultiHeadSelfAttention mhsa(SmallMhsa(8, 2), &rng);
+
+  const int64_t tokens = 6;
+  Tensor x = RandomUniform({1, tokens, 8}, -1, 1, &rng);
+  Tensor out = mhsa.Forward(ag::Variable(x, false)).value();
+
+  // Build a random permutation of the token axis.
+  std::vector<int64_t> perm(static_cast<size_t>(tokens));
+  for (int64_t i = 0; i < tokens; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&perm);
+
+  Tensor x_permuted({1, tokens, 8});
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t d = 0; d < 8; ++d) {
+      x_permuted.at(0, t, d) = x.at(0, perm[static_cast<size_t>(t)], d);
+    }
+  }
+  Tensor out_permuted =
+      mhsa.Forward(ag::Variable(x_permuted, false)).value();
+
+  // MHSA(P(x)) must equal P(MHSA(x)).
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t d = 0; d < 8; ++d) {
+      ASSERT_NEAR(out_permuted.at(0, t, d),
+                  out.at(0, perm[static_cast<size_t>(t)], d), 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MhsaPermutationTest,
+                         ::testing::Range(100, 110));
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripRestoresParameters) {
+  Rng rng(23);
+  Mlp original({3, 4, 1}, Activation::kRelu, &rng);
+  Mlp restored({3, 4, 1}, Activation::kRelu, &rng);  // different init
+
+  const std::string path = testing::TempDir() + "/hire_params_test.bin";
+  SaveParameters(original, path);
+  LoadParameters(&restored, path);
+
+  ag::Variable x(Tensor::Ones({2, 3}), false);
+  EXPECT_TRUE(ops::AllClose(original.Forward(x).value(),
+                            restored.Forward(x).value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchThrows) {
+  Rng rng(24);
+  Mlp original({3, 4, 1}, Activation::kRelu, &rng);
+  Mlp different({3, 5, 1}, Activation::kRelu, &rng);
+  const std::string path = testing::TempDir() + "/hire_params_mismatch.bin";
+  SaveParameters(original, path);
+  EXPECT_THROW(LoadParameters(&different, path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  Rng rng(25);
+  Mlp mlp({2, 2}, Activation::kNone, &rng);
+  EXPECT_THROW(LoadParameters(&mlp, "/nonexistent/path/params.bin"),
+               CheckError);
+}
+
+TEST(SerializeTest, CorruptMagicThrows) {
+  Rng rng(26);
+  Mlp mlp({2, 2}, Activation::kNone, &rng);
+  const std::string path = testing::TempDir() + "/hire_params_corrupt.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("NOTAHIREFILE", f);
+  fclose(f);
+  EXPECT_THROW(LoadParameters(&mlp, path), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace hire

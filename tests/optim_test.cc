@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "optim/adam.h"
+#include "optim/lamb.h"
+#include "optim/lookahead.h"
+#include "optim/lr_scheduler.h"
+#include "optim/optimizer.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace optim {
+namespace {
+
+// Minimises ||x - target||^2 and returns the final squared distance.
+template <typename MakeOptimizer>
+float MinimiseQuadratic(MakeOptimizer make_optimizer, int steps) {
+  ag::Variable x(Tensor::FromVector({5.0f, -3.0f, 2.0f}), true);
+  const Tensor target = Tensor::FromVector({1.0f, 1.0f, 1.0f});
+  auto optimizer = make_optimizer(std::vector<ag::Variable>{x});
+  for (int s = 0; s < steps; ++s) {
+    optimizer->ZeroGrad();
+    ag::Variable loss = ag::MSE(x, target);
+    loss.Backward();
+    optimizer->Step();
+  }
+  float distance = 0.0f;
+  for (int64_t i = 0; i < 3; ++i) {
+    const float diff = x.value().flat(i) - target.flat(i);
+    distance += diff * diff;
+  }
+  return distance;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  const float distance = MinimiseQuadratic(
+      [](std::vector<ag::Variable> params) {
+        return std::make_unique<Sgd>(std::move(params), 0.1f);
+      },
+      200);
+  EXPECT_LT(distance, 1e-4f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  const float distance = MinimiseQuadratic(
+      [](std::vector<ag::Variable> params) {
+        return std::make_unique<Sgd>(std::move(params), 0.05f, 0.9f);
+      },
+      200);
+  EXPECT_LT(distance, 1e-4f);
+}
+
+TEST(SgdTest, SingleStepMatchesHandComputed) {
+  ag::Variable x(Tensor::FromVector({2.0f}), true);
+  Sgd sgd({x}, 0.5f);
+  ag::Variable loss = ag::SumAll(ag::Square(x));  // d/dx = 2x = 4
+  loss.Backward();
+  sgd.Step();
+  EXPECT_FLOAT_EQ(x.value().flat(0), 2.0f - 0.5f * 4.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  const float distance = MinimiseQuadratic(
+      [](std::vector<ag::Variable> params) {
+        AdamConfig config;
+        config.learning_rate = 0.1f;
+        return std::make_unique<Adam>(std::move(params), config);
+      },
+      300);
+  EXPECT_LT(distance, 1e-3f);
+}
+
+TEST(AdamTest, FirstStepIsScaledLearningRate) {
+  // With bias correction, the first Adam update is ~lr * sign(grad).
+  ag::Variable x(Tensor::FromVector({1.0f}), true);
+  AdamConfig config;
+  config.learning_rate = 0.1f;
+  Adam adam({x}, config);
+  ag::Variable loss = ag::SumAll(ag::MulScalar(x, 3.0f));
+  loss.Backward();
+  adam.Step();
+  EXPECT_NEAR(x.value().flat(0), 1.0f - 0.1f, 1e-4f);
+}
+
+TEST(LambTest, ConvergesOnQuadratic) {
+  const float distance = MinimiseQuadratic(
+      [](std::vector<ag::Variable> params) {
+        LambConfig config;
+        config.learning_rate = 0.05f;
+        return std::make_unique<Lamb>(std::move(params), config);
+      },
+      300);
+  EXPECT_LT(distance, 1e-3f);
+}
+
+TEST(LambTest, TrustRatioScalesUpdate) {
+  // First step: adam-normalised update is ~sign(grad) with norm sqrt(d);
+  // trust ratio = ||w|| / ||update||. Verify against a hand computation.
+  ag::Variable x(Tensor::FromVector({3.0f, 4.0f}), true);  // ||w|| = 5
+  LambConfig config;
+  config.learning_rate = 0.1f;
+  config.max_trust = 100.0f;
+  Lamb lamb({x}, config);
+  ag::Variable loss = ag::SumAll(ag::Mul(
+      x, ag::Variable(Tensor::FromVector({1.0f, 1.0f}), false)));
+  loss.Backward();  // grad = (1, 1)
+  lamb.Step();
+  // update ~ (1, 1)/[sqrt(v_hat)+eps] ~ (1, 1); trust = 5 / sqrt(2).
+  const float trust = 5.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(x.value().flat(0), 3.0f - 0.1f * trust, 1e-2f);
+  EXPECT_NEAR(x.value().flat(1), 4.0f - 0.1f * trust, 1e-2f);
+}
+
+TEST(LambTest, SkipsParametersWithoutGradients) {
+  ag::Variable used(Tensor::FromVector({1.0f}), true);
+  ag::Variable unused(Tensor::FromVector({7.0f}), true);
+  LambConfig config;
+  Lamb lamb({used, unused}, config);
+  ag::Variable loss = ag::SumAll(ag::Square(used));
+  loss.Backward();
+  lamb.Step();
+  EXPECT_FLOAT_EQ(unused.value().flat(0), 7.0f);
+  EXPECT_NE(used.value().flat(0), 1.0f);
+}
+
+TEST(LookaheadTest, SyncInterpolatesSlowWeights) {
+  ag::Variable x(Tensor::FromVector({0.0f}), true);
+  auto inner = std::make_unique<Sgd>(std::vector<ag::Variable>{x}, 1.0f);
+  Lookahead lookahead(std::move(inner), /*alpha=*/0.5f, /*sync_period=*/2);
+
+  // Two steps with constant gradient 1: fast goes 0 -> -1 -> -2, then sync
+  // pulls back to slow + 0.5*(fast - slow) = 0 + 0.5*(-2) = -1.
+  for (int s = 0; s < 2; ++s) {
+    lookahead.ZeroGrad();
+    ag::Variable loss = ag::SumAll(x);
+    loss.Backward();
+    lookahead.Step();
+  }
+  EXPECT_FLOAT_EQ(x.value().flat(0), -1.0f);
+}
+
+TEST(LookaheadTest, ForwardsLearningRateToInner) {
+  ag::Variable x(Tensor::FromVector({0.0f}), true);
+  auto inner = std::make_unique<Sgd>(std::vector<ag::Variable>{x}, 1.0f);
+  Lookahead lookahead(std::move(inner), 0.5f, 10);
+  lookahead.set_learning_rate(0.25f);
+
+  lookahead.ZeroGrad();
+  ag::Variable loss = ag::SumAll(x);
+  loss.Backward();
+  lookahead.Step();  // no sync yet (period 10)
+  EXPECT_FLOAT_EQ(x.value().flat(0), -0.25f);
+}
+
+TEST(LookaheadTest, ConvergesOnQuadratic) {
+  const float distance = MinimiseQuadratic(
+      [](std::vector<ag::Variable> params) {
+        auto inner = std::make_unique<Sgd>(std::move(params), 0.2f);
+        return std::make_unique<Lookahead>(std::move(inner), 0.5f, 6);
+      },
+      300);
+  EXPECT_LT(distance, 1e-4f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  ag::Variable x(Tensor::FromVector({1.0f, 1.0f}), true);
+  ag::Variable loss = ag::SumAll(ag::MulScalar(x, 30.0f));
+  loss.Backward();  // grad = (30, 30), norm ~ 42.4
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 30.0f * std::sqrt(2.0f), 1e-3f);
+  float clipped_norm = 0.0f;
+  for (int64_t i = 0; i < 2; ++i) {
+    clipped_norm += x.grad().flat(i) * x.grad().flat(i);
+  }
+  EXPECT_NEAR(std::sqrt(clipped_norm), 1.0f, 1e-4f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsUntouched) {
+  ag::Variable x(Tensor::FromVector({1.0f}), true);
+  ag::Variable loss = ag::SumAll(ag::MulScalar(x, 0.5f));
+  loss.Backward();
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 0.5f);
+}
+
+TEST(SchedulerTest, FlatThenCosineShape) {
+  FlatThenCosineSchedule schedule(1e-3f, 100, 0.7f);
+  // Flat for the first 70%.
+  EXPECT_FLOAT_EQ(schedule.LearningRate(0), 1e-3f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(69), 1e-3f);
+  // Annealing afterwards, monotonically decreasing towards ~0.
+  float previous = schedule.LearningRate(70);
+  EXPECT_LE(previous, 1e-3f);
+  for (int64_t step = 71; step < 100; ++step) {
+    const float lr = schedule.LearningRate(step);
+    EXPECT_LE(lr, previous);
+    previous = lr;
+  }
+  EXPECT_LT(schedule.LearningRate(99), 1e-4f);
+}
+
+TEST(SchedulerTest, ClampsOutOfRangeSteps) {
+  FlatThenCosineSchedule schedule(1e-2f, 10, 0.5f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(-5), 1e-2f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(500), schedule.LearningRate(9));
+}
+
+TEST(SchedulerTest, ZeroFlatFractionAnnealsImmediately) {
+  FlatThenCosineSchedule schedule(1.0f, 10, 0.0f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(0), 1.0f);  // cos(0) = 1
+  EXPECT_LT(schedule.LearningRate(5), 1.0f);
+}
+
+TEST(OptimizerTest, RejectsEmptyOrNonGradParameters) {
+  EXPECT_THROW(Sgd({}, 0.1f), CheckError);
+  ag::Variable frozen(Tensor::FromVector({1.0f}), false);
+  EXPECT_THROW(Sgd({frozen}, 0.1f), CheckError);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace hire

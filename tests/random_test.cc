@@ -1,0 +1,160 @@
+#include "tensor/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  double total = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) total += rng.Uniform();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsAreStandard) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(11);
+  double total = 0.0;
+  const int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) total += rng.Normal(4.0, 0.5);
+  EXPECT_NEAR(total / kSamples, 4.0, 0.05);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(12);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.UniformInt(0), CheckError);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(15);
+  const auto sample = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullAndEmpty) {
+  Rng rng(16);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 5).size(), 5u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), CheckError);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent1(77);
+  Rng parent2(77);
+  Rng child1 = parent1.Fork(5);
+  Rng child2 = parent2.Fork(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.Next(), child2.Next());
+  }
+}
+
+TEST(RandomTensorTest, UniformTensorInRange) {
+  Rng rng(17);
+  Tensor t = RandomUniform({10, 10}, -2.0f, 3.0f, &rng);
+  EXPECT_EQ(t.size(), 100);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.flat(i), -2.0f);
+    EXPECT_LT(t.flat(i), 3.0f);
+  }
+}
+
+TEST(RandomTensorTest, NormalTensorMoments) {
+  Rng rng(18);
+  Tensor t = RandomNormal({100, 100}, 1.0f, 2.0f, &rng);
+  double sum = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) sum += t.flat(i);
+  EXPECT_NEAR(sum / static_cast<double>(t.size()), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hire

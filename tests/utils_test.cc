@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "utils/check.h"
+#include "utils/logging.h"
+#include "utils/stopwatch.h"
+#include "utils/string_utils.h"
+#include "utils/table_printer.h"
+#include "utils/thread_pool.h"
+
+namespace hire {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(HIRE_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingConditionThrowsWithLocation) {
+  try {
+    HIRE_CHECK(false) << "extra context " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("utils_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("extra context 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ComparisonMacrosIncludeOperands) {
+  try {
+    const int x = 3;
+    HIRE_CHECK_EQ(x, 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=5"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, AllComparisonVariants) {
+  EXPECT_NO_THROW(HIRE_CHECK_NE(1, 2));
+  EXPECT_NO_THROW(HIRE_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(HIRE_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(HIRE_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(HIRE_CHECK_GE(2, 2));
+  EXPECT_THROW(HIRE_CHECK_NE(2, 2), CheckError);
+  EXPECT_THROW(HIRE_CHECK_LT(2, 2), CheckError);
+  EXPECT_THROW(HIRE_CHECK_GT(2, 2), CheckError);
+}
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  const std::vector<std::string> fields = Split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringTest, SplitSingleField) {
+  const std::vector<std::string> fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StringTest, TrimRemovesWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_THROW(ParseInt64("4x"), CheckError);
+  EXPECT_THROW(ParseInt64(""), CheckError);
+}
+
+TEST(StringTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3"), -1e-3);
+  EXPECT_THROW(ParseDouble("abc"), CheckError);
+  EXPECT_THROW(ParseDouble("1.2.3"), CheckError);
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(2.0, 2), "2.00");
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Method", "P@5"});
+  table.AddRow({"HIRE", "0.6999"});
+  table.AddSeparator();
+  table.AddRow({"NeuMF", "0.47"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| Method |"), std::string::npos);
+  EXPECT_NE(rendered.find("| HIRE   |"), std::string::npos);
+  EXPECT_NE(rendered.find("0.6999"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsRaggedRows) {
+  TablePrinter table({"A", "B"});
+  EXPECT_THROW(table.AddRow({"only one"}), CheckError);
+}
+
+TEST(TablePrinterTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), CheckError);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(1);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(0, 100, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool ran = false;
+  ParallelFor(5, 5, [&ran](int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(stopwatch.ElapsedMillis(), stopwatch.ElapsedSeconds());
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  HIRE_LOG(Info) << "should be suppressed";
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace hire
