@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_movielens.dir/bench_table3_movielens.cc.o"
+  "CMakeFiles/bench_table3_movielens.dir/bench_table3_movielens.cc.o.d"
+  "bench_table3_movielens"
+  "bench_table3_movielens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_movielens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

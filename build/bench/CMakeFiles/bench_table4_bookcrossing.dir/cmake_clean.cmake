@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bookcrossing.dir/bench_table4_bookcrossing.cc.o"
+  "CMakeFiles/bench_table4_bookcrossing.dir/bench_table4_bookcrossing.cc.o.d"
+  "bench_table4_bookcrossing"
+  "bench_table4_bookcrossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bookcrossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

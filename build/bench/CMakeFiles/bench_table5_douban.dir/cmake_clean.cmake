@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_douban.dir/bench_table5_douban.cc.o"
+  "CMakeFiles/bench_table5_douban.dir/bench_table5_douban.cc.o.d"
+  "bench_table5_douban"
+  "bench_table5_douban.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_douban.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

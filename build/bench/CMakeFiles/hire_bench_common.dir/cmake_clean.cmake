@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hire_bench_common.dir/bench_common.cc.o.d"
+  "libhire_bench_common.a"
+  "libhire_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_case_study.dir/attention_case_study.cpp.o"
+  "CMakeFiles/attention_case_study.dir/attention_case_study.cpp.o.d"
+  "attention_case_study"
+  "attention_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

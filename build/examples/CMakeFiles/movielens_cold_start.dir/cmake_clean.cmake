@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movielens_cold_start.dir/movielens_cold_start.cpp.o"
+  "CMakeFiles/movielens_cold_start.dir/movielens_cold_start.cpp.o.d"
+  "movielens_cold_start"
+  "movielens_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movielens_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

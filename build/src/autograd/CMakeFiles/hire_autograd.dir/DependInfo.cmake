@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gradcheck.cc" "src/autograd/CMakeFiles/hire_autograd.dir/gradcheck.cc.o" "gcc" "src/autograd/CMakeFiles/hire_autograd.dir/gradcheck.cc.o.d"
+  "/root/repo/src/autograd/ops_basic.cc" "src/autograd/CMakeFiles/hire_autograd.dir/ops_basic.cc.o" "gcc" "src/autograd/CMakeFiles/hire_autograd.dir/ops_basic.cc.o.d"
+  "/root/repo/src/autograd/ops_linalg.cc" "src/autograd/CMakeFiles/hire_autograd.dir/ops_linalg.cc.o" "gcc" "src/autograd/CMakeFiles/hire_autograd.dir/ops_linalg.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/autograd/CMakeFiles/hire_autograd.dir/variable.cc.o" "gcc" "src/autograd/CMakeFiles/hire_autograd.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/hire_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

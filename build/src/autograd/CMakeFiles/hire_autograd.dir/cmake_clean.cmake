@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/hire_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/hire_autograd.dir/ops_basic.cc.o"
+  "CMakeFiles/hire_autograd.dir/ops_basic.cc.o.d"
+  "CMakeFiles/hire_autograd.dir/ops_linalg.cc.o"
+  "CMakeFiles/hire_autograd.dir/ops_linalg.cc.o.d"
+  "CMakeFiles/hire_autograd.dir/variable.cc.o"
+  "CMakeFiles/hire_autograd.dir/variable.cc.o.d"
+  "libhire_autograd.a"
+  "libhire_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

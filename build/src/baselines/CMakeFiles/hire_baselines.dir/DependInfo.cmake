@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/afn.cc" "src/baselines/CMakeFiles/hire_baselines.dir/afn.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/afn.cc.o.d"
+  "/root/repo/src/baselines/deepfm.cc" "src/baselines/CMakeFiles/hire_baselines.dir/deepfm.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/deepfm.cc.o.d"
+  "/root/repo/src/baselines/feature_embedder.cc" "src/baselines/CMakeFiles/hire_baselines.dir/feature_embedder.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/feature_embedder.cc.o.d"
+  "/root/repo/src/baselines/graphrec_lite.cc" "src/baselines/CMakeFiles/hire_baselines.dir/graphrec_lite.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/graphrec_lite.cc.o.d"
+  "/root/repo/src/baselines/matrix_factorization.cc" "src/baselines/CMakeFiles/hire_baselines.dir/matrix_factorization.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/matrix_factorization.cc.o.d"
+  "/root/repo/src/baselines/melu_fo.cc" "src/baselines/CMakeFiles/hire_baselines.dir/melu_fo.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/melu_fo.cc.o.d"
+  "/root/repo/src/baselines/neumf.cc" "src/baselines/CMakeFiles/hire_baselines.dir/neumf.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/neumf.cc.o.d"
+  "/root/repo/src/baselines/pointwise_trainer.cc" "src/baselines/CMakeFiles/hire_baselines.dir/pointwise_trainer.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/pointwise_trainer.cc.o.d"
+  "/root/repo/src/baselines/simple_baselines.cc" "src/baselines/CMakeFiles/hire_baselines.dir/simple_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/simple_baselines.cc.o.d"
+  "/root/repo/src/baselines/tanp_lite.cc" "src/baselines/CMakeFiles/hire_baselines.dir/tanp_lite.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/tanp_lite.cc.o.d"
+  "/root/repo/src/baselines/wide_deep.cc" "src/baselines/CMakeFiles/hire_baselines.dir/wide_deep.cc.o" "gcc" "src/baselines/CMakeFiles/hire_baselines.dir/wide_deep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hire_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hire_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hire_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/hire_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hire_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hire_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/hire_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_baselines.dir/afn.cc.o"
+  "CMakeFiles/hire_baselines.dir/afn.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/deepfm.cc.o"
+  "CMakeFiles/hire_baselines.dir/deepfm.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/feature_embedder.cc.o"
+  "CMakeFiles/hire_baselines.dir/feature_embedder.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/graphrec_lite.cc.o"
+  "CMakeFiles/hire_baselines.dir/graphrec_lite.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/matrix_factorization.cc.o"
+  "CMakeFiles/hire_baselines.dir/matrix_factorization.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/melu_fo.cc.o"
+  "CMakeFiles/hire_baselines.dir/melu_fo.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/neumf.cc.o"
+  "CMakeFiles/hire_baselines.dir/neumf.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/pointwise_trainer.cc.o"
+  "CMakeFiles/hire_baselines.dir/pointwise_trainer.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/simple_baselines.cc.o"
+  "CMakeFiles/hire_baselines.dir/simple_baselines.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/tanp_lite.cc.o"
+  "CMakeFiles/hire_baselines.dir/tanp_lite.cc.o.d"
+  "CMakeFiles/hire_baselines.dir/wide_deep.cc.o"
+  "CMakeFiles/hire_baselines.dir/wide_deep.cc.o.d"
+  "libhire_baselines.a"
+  "libhire_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attention_analysis.cc" "src/core/CMakeFiles/hire_core.dir/attention_analysis.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/attention_analysis.cc.o.d"
+  "/root/repo/src/core/context_encoder.cc" "src/core/CMakeFiles/hire_core.dir/context_encoder.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/context_encoder.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/hire_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/him_block.cc" "src/core/CMakeFiles/hire_core.dir/him_block.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/him_block.cc.o.d"
+  "/root/repo/src/core/hire_model.cc" "src/core/CMakeFiles/hire_core.dir/hire_model.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/hire_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/hire_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/hire_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hire_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hire_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hire_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/hire_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hire_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/hire_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_core.dir/attention_analysis.cc.o"
+  "CMakeFiles/hire_core.dir/attention_analysis.cc.o.d"
+  "CMakeFiles/hire_core.dir/context_encoder.cc.o"
+  "CMakeFiles/hire_core.dir/context_encoder.cc.o.d"
+  "CMakeFiles/hire_core.dir/evaluation.cc.o"
+  "CMakeFiles/hire_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/hire_core.dir/him_block.cc.o"
+  "CMakeFiles/hire_core.dir/him_block.cc.o.d"
+  "CMakeFiles/hire_core.dir/hire_model.cc.o"
+  "CMakeFiles/hire_core.dir/hire_model.cc.o.d"
+  "CMakeFiles/hire_core.dir/trainer.cc.o"
+  "CMakeFiles/hire_core.dir/trainer.cc.o.d"
+  "libhire_core.a"
+  "libhire_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

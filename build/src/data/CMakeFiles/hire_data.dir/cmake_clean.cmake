@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_data.dir/csv_loader.cc.o"
+  "CMakeFiles/hire_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/hire_data.dir/dataset.cc.o"
+  "CMakeFiles/hire_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hire_data.dir/splits.cc.o"
+  "CMakeFiles/hire_data.dir/splits.cc.o.d"
+  "CMakeFiles/hire_data.dir/synthetic.cc.o"
+  "CMakeFiles/hire_data.dir/synthetic.cc.o.d"
+  "libhire_data.a"
+  "libhire_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

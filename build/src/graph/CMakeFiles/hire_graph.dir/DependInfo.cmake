@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cc" "src/graph/CMakeFiles/hire_graph.dir/bipartite_graph.cc.o" "gcc" "src/graph/CMakeFiles/hire_graph.dir/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/context_builder.cc" "src/graph/CMakeFiles/hire_graph.dir/context_builder.cc.o" "gcc" "src/graph/CMakeFiles/hire_graph.dir/context_builder.cc.o.d"
+  "/root/repo/src/graph/samplers.cc" "src/graph/CMakeFiles/hire_graph.dir/samplers.cc.o" "gcc" "src/graph/CMakeFiles/hire_graph.dir/samplers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hire_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/hire_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

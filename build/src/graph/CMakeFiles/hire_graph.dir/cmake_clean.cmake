@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/hire_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/hire_graph.dir/context_builder.cc.o"
+  "CMakeFiles/hire_graph.dir/context_builder.cc.o.d"
+  "CMakeFiles/hire_graph.dir/samplers.cc.o"
+  "CMakeFiles/hire_graph.dir/samplers.cc.o.d"
+  "libhire_graph.a"
+  "libhire_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

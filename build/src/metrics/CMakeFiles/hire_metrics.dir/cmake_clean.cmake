@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_metrics.dir/ranking_metrics.cc.o"
+  "CMakeFiles/hire_metrics.dir/ranking_metrics.cc.o.d"
+  "libhire_metrics.a"
+  "libhire_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

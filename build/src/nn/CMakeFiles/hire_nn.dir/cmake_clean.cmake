@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_nn.dir/embedding.cc.o"
+  "CMakeFiles/hire_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/hire_nn.dir/init.cc.o"
+  "CMakeFiles/hire_nn.dir/init.cc.o.d"
+  "CMakeFiles/hire_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/hire_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/hire_nn.dir/linear.cc.o"
+  "CMakeFiles/hire_nn.dir/linear.cc.o.d"
+  "CMakeFiles/hire_nn.dir/mlp.cc.o"
+  "CMakeFiles/hire_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/hire_nn.dir/module.cc.o"
+  "CMakeFiles/hire_nn.dir/module.cc.o.d"
+  "CMakeFiles/hire_nn.dir/multi_head_self_attention.cc.o"
+  "CMakeFiles/hire_nn.dir/multi_head_self_attention.cc.o.d"
+  "CMakeFiles/hire_nn.dir/serialize.cc.o"
+  "CMakeFiles/hire_nn.dir/serialize.cc.o.d"
+  "libhire_nn.a"
+  "libhire_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

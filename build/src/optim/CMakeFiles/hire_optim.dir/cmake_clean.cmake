@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_optim.dir/adam.cc.o"
+  "CMakeFiles/hire_optim.dir/adam.cc.o.d"
+  "CMakeFiles/hire_optim.dir/lamb.cc.o"
+  "CMakeFiles/hire_optim.dir/lamb.cc.o.d"
+  "CMakeFiles/hire_optim.dir/lookahead.cc.o"
+  "CMakeFiles/hire_optim.dir/lookahead.cc.o.d"
+  "CMakeFiles/hire_optim.dir/lr_scheduler.cc.o"
+  "CMakeFiles/hire_optim.dir/lr_scheduler.cc.o.d"
+  "CMakeFiles/hire_optim.dir/optimizer.cc.o"
+  "CMakeFiles/hire_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/hire_optim.dir/sgd.cc.o"
+  "CMakeFiles/hire_optim.dir/sgd.cc.o.d"
+  "libhire_optim.a"
+  "libhire_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_tensor.dir/ops.cc.o"
+  "CMakeFiles/hire_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hire_tensor.dir/random.cc.o"
+  "CMakeFiles/hire_tensor.dir/random.cc.o.d"
+  "CMakeFiles/hire_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hire_tensor.dir/tensor.cc.o.d"
+  "libhire_tensor.a"
+  "libhire_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utils/flags.cc" "src/utils/CMakeFiles/hire_utils.dir/flags.cc.o" "gcc" "src/utils/CMakeFiles/hire_utils.dir/flags.cc.o.d"
+  "/root/repo/src/utils/logging.cc" "src/utils/CMakeFiles/hire_utils.dir/logging.cc.o" "gcc" "src/utils/CMakeFiles/hire_utils.dir/logging.cc.o.d"
+  "/root/repo/src/utils/string_utils.cc" "src/utils/CMakeFiles/hire_utils.dir/string_utils.cc.o" "gcc" "src/utils/CMakeFiles/hire_utils.dir/string_utils.cc.o.d"
+  "/root/repo/src/utils/table_printer.cc" "src/utils/CMakeFiles/hire_utils.dir/table_printer.cc.o" "gcc" "src/utils/CMakeFiles/hire_utils.dir/table_printer.cc.o.d"
+  "/root/repo/src/utils/thread_pool.cc" "src/utils/CMakeFiles/hire_utils.dir/thread_pool.cc.o" "gcc" "src/utils/CMakeFiles/hire_utils.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_utils.dir/flags.cc.o"
+  "CMakeFiles/hire_utils.dir/flags.cc.o.d"
+  "CMakeFiles/hire_utils.dir/logging.cc.o"
+  "CMakeFiles/hire_utils.dir/logging.cc.o.d"
+  "CMakeFiles/hire_utils.dir/string_utils.cc.o"
+  "CMakeFiles/hire_utils.dir/string_utils.cc.o.d"
+  "CMakeFiles/hire_utils.dir/table_printer.cc.o"
+  "CMakeFiles/hire_utils.dir/table_printer.cc.o.d"
+  "CMakeFiles/hire_utils.dir/thread_pool.cc.o"
+  "CMakeFiles/hire_utils.dir/thread_pool.cc.o.d"
+  "libhire_utils.a"
+  "libhire_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

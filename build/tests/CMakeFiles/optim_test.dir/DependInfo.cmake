@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/optim_test.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/optim_test.dir/optim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hire_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hire_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hire_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hire_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hire_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hire_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/hire_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/hire_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(utils_test "/root/repo/build/tests/utils_test")
+set_tests_properties(utils_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build/tests/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(random_test "/root/repo/build/tests/random_test")
+set_tests_properties(random_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autograd_test "/root/repo/build/tests/autograd_test")
+set_tests_properties(autograd_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(optim_test "/root/repo/build/tests/optim_test")
+set_tests_properties(optim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(metrics_test "/root/repo/build/tests/metrics_test")
+set_tests_properties(metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(data_test "/root/repo/build/tests/data_test")
+set_tests_properties(data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;hire_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hire_cli.dir/hire_cli.cc.o"
+  "CMakeFiles/hire_cli.dir/hire_cli.cc.o.d"
+  "hire_cli"
+  "hire_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hire_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
