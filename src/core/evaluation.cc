@@ -6,6 +6,7 @@
 #include "graph/context_builder.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
+#include "utils/thread_pool.h"
 
 namespace hire {
 namespace core {
@@ -107,6 +108,7 @@ EvalResult EvaluateColdStart(RatingPredictor* predictor,
                              const EvalConfig& config) {
   HIRE_CHECK(predictor != nullptr);
   HIRE_CHECK(config.support_fraction >= 0.0 && config.support_fraction < 1.0);
+  if (config.num_threads > 0) SetGlobalThreads(config.num_threads);
   Rng rng(config.seed);
 
   // Reveal support_fraction of the test ratings as context input; the rest

@@ -74,6 +74,9 @@ struct EvalConfig {
   /// Cap on ranked lists (users) per evaluation for bounded runtime;
   /// <= 0 means no cap.
   int64_t max_eval_users = 60;
+  /// Worker threads for the tensor kernels during prediction: > 0 resizes
+  /// the process-wide pool, 0 keeps the current setting.
+  int num_threads = 0;
   uint64_t seed = 99;
 };
 

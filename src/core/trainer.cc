@@ -11,6 +11,7 @@
 #include "utils/check.h"
 #include "utils/logging.h"
 #include "utils/stopwatch.h"
+#include "utils/thread_pool.h"
 
 namespace hire {
 namespace core {
@@ -21,6 +22,10 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   HIRE_CHECK(model != nullptr);
   HIRE_CHECK_GT(config.num_steps, 0);
   HIRE_CHECK_GT(config.batch_size, 0);
+
+  if (config.num_threads > 0) SetGlobalThreads(config.num_threads);
+  HIRE_LOG(Info) << "training with " << GlobalThreads()
+                 << " tensor worker thread(s)";
 
   Rng rng(config.seed);
   model->SetTraining(true);
@@ -38,10 +43,15 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   TrainStats stats;
   stats.step_losses.reserve(static_cast<size_t>(config.num_steps));
   Stopwatch stopwatch;
+  const KernelTimers::Snapshot run_start = KernelTimers::Take();
+  KernelTimers::Snapshot window_start = run_start;
 
   for (int64_t step = 0; step < config.num_steps; ++step) {
     optimizer.set_learning_rate(schedule.LearningRate(step));
-    optimizer.ZeroGrad();
+    {
+      ScopedKernelTimer timer(KernelCategory::kOptimizer);
+      optimizer.ZeroGrad();
+    }
 
     // Accumulate the mini-batch loss (line 5-12 of Algorithm 1).
     ag::Variable batch_loss;
@@ -58,20 +68,35 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
         ag::MulScalar(batch_loss, 1.0f / static_cast<float>(config.batch_size));
 
     batch_loss.Backward();
-    optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
-    optimizer.Step();
+    {
+      ScopedKernelTimer timer(KernelCategory::kOptimizer);
+      optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
+      optimizer.Step();
+    }
 
     const float loss_value = batch_loss.value().flat(0);
     stats.step_losses.push_back(loss_value);
     if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+      const KernelTimers::Snapshot now = KernelTimers::Take();
       HIRE_LOG(Info) << "step " << (step + 1) << "/" << config.num_steps
                      << " loss " << loss_value << " lr "
-                     << optimizer.learning_rate();
+                     << optimizer.learning_rate() << " | kernels: "
+                     << (now - window_start).ToString();
+      window_start = now;
     }
   }
 
   stats.final_loss = stats.step_losses.back();
   stats.train_seconds = stopwatch.ElapsedSeconds();
+  const KernelTimers::Snapshot run_delta = KernelTimers::Take() - run_start;
+  stats.matmul_seconds = run_delta.Seconds(KernelCategory::kMatMul);
+  stats.softmax_seconds = run_delta.Seconds(KernelCategory::kSoftmax);
+  stats.attention_seconds = run_delta.Seconds(KernelCategory::kAttention);
+  stats.optimizer_seconds = run_delta.Seconds(KernelCategory::kOptimizer);
+  if (config.log_every > 0) {
+    HIRE_LOG(Info) << "kernel-time breakdown over " << config.num_steps
+                   << " steps: " << run_delta.ToString();
+  }
   model->SetTraining(false);
   return stats;
 }

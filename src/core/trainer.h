@@ -39,6 +39,11 @@ struct TrainerConfig {
   /// Log the running loss every this many steps (0 disables).
   int64_t log_every = 0;
 
+  /// Worker threads for the tensor kernels: > 0 resizes the process-wide
+  /// pool, 0 keeps the current setting (--threads flag / HIRE_NUM_THREADS
+  /// env / hardware concurrency).
+  int num_threads = 0;
+
   uint64_t seed = 7;
 };
 
@@ -47,6 +52,12 @@ struct TrainStats {
   std::vector<float> step_losses;
   float final_loss = 0.0f;
   double train_seconds = 0.0;
+  /// Kernel-time breakdown accumulated over the run (attention overlaps
+  /// matmul/softmax: it wraps whole MHSA forwards).
+  double matmul_seconds = 0.0;
+  double softmax_seconds = 0.0;
+  double attention_seconds = 0.0;
+  double optimizer_seconds = 0.0;
 };
 
 /// Trains `model` on contexts sampled from `graph` with `sampler`

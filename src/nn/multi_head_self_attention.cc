@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "utils/check.h"
+#include "utils/stopwatch.h"
 
 namespace hire {
 namespace nn {
@@ -31,6 +32,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(const MhsaConfig& config,
 }
 
 ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) const {
+  ScopedKernelTimer timer(KernelCategory::kAttention);
   HIRE_CHECK_EQ(x.value().dim(), 3)
       << "MHSA expects [batch, tokens, dim], got " << x.value().ShapeString();
   const int64_t batch = x.value().shape(0);

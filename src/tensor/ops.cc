@@ -3,13 +3,33 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 
 #include "utils/check.h"
+#include "utils/stopwatch.h"
+#include "utils/thread_pool.h"
 
 namespace hire {
 namespace ops {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Parallelism grain sizes. Work below these thresholds runs serially: the
+// fork/join handshake costs a few microseconds, so small tensors must not
+// pay it. Chunk boundaries never affect results — every output element is
+// produced entirely by one worker, in the same operation order as the serial
+// kernel — so outputs are bitwise identical for any thread count.
+// ---------------------------------------------------------------------------
+
+// Minimum multiply-accumulates a GEMM row-slab task should own.
+constexpr int64_t kGemmGrainMacs = int64_t{1} << 16;
+// Below this total MAC count a GEMM skips blocking/packing entirely.
+constexpr int64_t kSmallGemmMacs = int64_t{1} << 15;
+// Minimum elements per task for elementwise maps and axis reductions.
+constexpr int64_t kElemGrain = int64_t{1} << 15;
+// Minimum elements per task for softmax rows (exp is ~10x a flop).
+constexpr int64_t kSoftmaxGrain = int64_t{1} << 12;
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   HIRE_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
@@ -24,8 +44,9 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -34,21 +55,209 @@ Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
-// Core GEMM kernel: C[n, m] (+)= A[n, k] * B[k, m], row-major, ikj order so
-// the inner loop streams both B's row and C's row.
-void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
-                    int64_t k, int64_t m) {
+// ---------------------------------------------------------------------------
+// GEMM backend: C[n, m] += A[n, k] * B(k, m), with B either row-major
+// [k, m] or stored transposed as [m, k].
+//
+// Two paths share identical per-element arithmetic — for each C[i, j] the
+// products A[i, p] * B[p, j] are accumulated in ascending p with a single
+// rounding chain (no FMA contraction under -std=c++20, no reassociation) —
+// so the dispatch never changes results:
+//   * SmallGemm: the seed's loop nests, minus its `a_ip == 0` skip. The
+//     skip was a mispredicting branch in the hottest loop and silently
+//     broke IEEE semantics (0 * inf must be NaN, not "no-op").
+//   * BlockedGemm: cache-blocked (MC x KC x NC) with packed panels and a
+//     register-tiled MR x NR micro-kernel whose inner loop the compiler
+//     auto-vectorizes.
+// Parallel dispatch shards rows of A; each row is produced wholly by one
+// worker, keeping threaded output bitwise equal to serial.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kMr = 4;     // micro-tile rows (accumulator rows)
+constexpr int64_t kMaxNr = 16; // widest micro-tile; packing pads to this
+constexpr int64_t kMc = 64;    // A rows per cache block
+constexpr int64_t kKc = 256;   // depth per cache block (A panel ~64 KiB)
+constexpr int64_t kNc = 256;   // B cols per cache block (B panel ~256 KiB)
+
+static_assert(kMc % kMr == 0 && kNc % kMaxNr == 0, "block/tile mismatch");
+
+// Micro-tile width, chosen once at runtime: 16 floats (two YMM vectors,
+// eight YMM accumulator registers) when the host has AVX2, else 8 (two XMM
+// vectors) so the 4 x NR accumulator block still fits the 16 SSE registers.
+int64_t NrTile() {
+  static const int64_t nr = __builtin_cpu_supports("avx2") ? 16 : 8;
+  return nr;
+}
+
+// Packs the kc x nc block of B starting at (pc, jc) into nr_tile-wide column
+// panels: bpack[j0 * kc + p * nr_tile + j] = B[pc + p, jc + j0 + j]. Ragged
+// right edges are zero-padded so the micro-kernel always runs full width.
+void PackB(const float* b, int64_t ldb, bool b_transposed, int64_t pc,
+           int64_t jc, int64_t kc, int64_t nc, int64_t nr_tile,
+           float* bpack) {
+  for (int64_t j0 = 0; j0 < nc; j0 += nr_tile) {
+    const int64_t nr = std::min(nr_tile, nc - j0);
+    float* dst = bpack + j0 * kc;
+    if (!b_transposed) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + j0;
+        for (int64_t j = 0; j < nr; ++j) dst[p * nr_tile + j] = src[j];
+        for (int64_t j = nr; j < nr_tile; ++j) dst[p * nr_tile + j] = 0.0f;
+      }
+    } else {
+      // B stored as [m, k]: column j of the logical B is row (jc + j0 + j).
+      for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t j = 0; j < nr; ++j) {
+          dst[p * nr_tile + j] = b[(jc + j0 + j) * ldb + pc + p];
+        }
+        for (int64_t j = nr; j < nr_tile; ++j) dst[p * nr_tile + j] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs the mc x kc block of A starting at (ic, pc) into kMr-tall row
+// panels: apack[i0 * kc + p * kMr + r] = A[ic + i0 + r, pc + p]. Ragged
+// bottom edges are zero-padded (the padded rows' results are discarded).
+void PackA(const float* a, int64_t lda, int64_t ic, int64_t pc, int64_t mc,
+           int64_t kc, float* apack) {
+  for (int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const int64_t mr = std::min(kMr, mc - i0);
+    float* dst = apack + i0 * kc;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float* src = a + (ic + i0 + r) * lda + pc;
+      for (int64_t p = 0; p < kc; ++p) dst[p * kMr + r] = src[p];
+    }
+    for (int64_t r = mr; r < kMr; ++r) {
+      for (int64_t p = 0; p < kc; ++p) dst[p * kMr + r] = 0.0f;
+    }
+  }
+}
+
+// Register-tiled micro-kernels: C[kMr, NR] += Apanel[kc, kMr] *
+// Bpanel[kc, NR] for one packed panel pair. Written with GCC vector
+// extensions so the kMr x NR accumulator block provably lives in vector
+// registers (the auto-vectorizer picks a shuffle-heavy row-interleaved
+// strategy for the equivalent scalar loops). Each lane does a separate
+// multiply then add -- no FMA target, so no contraction -- which rounds
+// exactly like the seed scalar loop; per C element the products still
+// accumulate in ascending-p order.
+typedef float v4sf __attribute__((vector_size(16)));
+typedef float v8sf __attribute__((vector_size(32)));
+// Unaligned-load aliases (C rows and packed panels have no 16/32B promise).
+typedef float v4sf_u __attribute__((vector_size(16), aligned(4)));
+typedef float v8sf_u __attribute__((vector_size(32), aligned(4)));
+
+// 4 x 16 tile = eight 8-wide accumulators; the AVX2 clone keeps them in YMM
+// registers. The baseline clone splits each op into two SSE halves (slower,
+// only used on hosts without AVX2, still bit-identical).
+__attribute__((target_clones("avx2", "default"))) void MicroKernel16(
+    const float* apanel, const float* bpanel, float* c, int64_t ldc,
+    int64_t kc) {
+  float* c0 = c;
+  float* c1 = c + ldc;
+  float* c2 = c + 2 * ldc;
+  float* c3 = c + 3 * ldc;
+  v8sf acc00 = *(const v8sf_u*)(c0), acc01 = *(const v8sf_u*)(c0 + 8);
+  v8sf acc10 = *(const v8sf_u*)(c1), acc11 = *(const v8sf_u*)(c1 + 8);
+  v8sf acc20 = *(const v8sf_u*)(c2), acc21 = *(const v8sf_u*)(c2 + 8);
+  v8sf acc30 = *(const v8sf_u*)(c3), acc31 = *(const v8sf_u*)(c3 + 8);
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* arow = apanel + p * kMr;
+    const float* brow = bpanel + p * 16;
+    const v8sf b0 = *(const v8sf_u*)(brow);
+    const v8sf b1 = *(const v8sf_u*)(brow + 8);
+    acc00 += arow[0] * b0;
+    acc01 += arow[0] * b1;
+    acc10 += arow[1] * b0;
+    acc11 += arow[1] * b1;
+    acc20 += arow[2] * b0;
+    acc21 += arow[2] * b1;
+    acc30 += arow[3] * b0;
+    acc31 += arow[3] * b1;
+  }
+  *(v8sf_u*)(c0) = acc00;
+  *(v8sf_u*)(c0 + 8) = acc01;
+  *(v8sf_u*)(c1) = acc10;
+  *(v8sf_u*)(c1 + 8) = acc11;
+  *(v8sf_u*)(c2) = acc20;
+  *(v8sf_u*)(c2 + 8) = acc21;
+  *(v8sf_u*)(c3) = acc30;
+  *(v8sf_u*)(c3 + 8) = acc31;
+}
+
+// 4 x 8 tile = eight 4-wide accumulators; fits the 16 XMM registers on
+// SSE-only hosts.
+void MicroKernel8(const float* apanel, const float* bpanel, float* c,
+                  int64_t ldc, int64_t kc) {
+  float* c0 = c;
+  float* c1 = c + ldc;
+  float* c2 = c + 2 * ldc;
+  float* c3 = c + 3 * ldc;
+  v4sf acc00 = *(const v4sf_u*)(c0), acc01 = *(const v4sf_u*)(c0 + 4);
+  v4sf acc10 = *(const v4sf_u*)(c1), acc11 = *(const v4sf_u*)(c1 + 4);
+  v4sf acc20 = *(const v4sf_u*)(c2), acc21 = *(const v4sf_u*)(c2 + 4);
+  v4sf acc30 = *(const v4sf_u*)(c3), acc31 = *(const v4sf_u*)(c3 + 4);
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* arow = apanel + p * kMr;
+    const float* brow = bpanel + p * 8;
+    const v4sf b0 = *(const v4sf_u*)(brow);
+    const v4sf b1 = *(const v4sf_u*)(brow + 4);
+    acc00 += arow[0] * b0;
+    acc01 += arow[0] * b1;
+    acc10 += arow[1] * b0;
+    acc11 += arow[1] * b1;
+    acc20 += arow[2] * b0;
+    acc21 += arow[2] * b1;
+    acc30 += arow[3] * b0;
+    acc31 += arow[3] * b1;
+  }
+  *(v4sf_u*)(c0) = acc00;
+  *(v4sf_u*)(c0 + 4) = acc01;
+  *(v4sf_u*)(c1) = acc10;
+  *(v4sf_u*)(c1 + 4) = acc11;
+  *(v4sf_u*)(c2) = acc20;
+  *(v4sf_u*)(c2 + 4) = acc21;
+  *(v4sf_u*)(c3) = acc30;
+  *(v4sf_u*)(c3 + 4) = acc31;
+}
+
+// Ragged edge tile: same arithmetic, runtime bounds.
+void MicroKernelEdge(const float* apanel, const float* bpanel, float* c,
+                     int64_t ldc, int64_t kc, int64_t mr, int64_t nr,
+                     int64_t nr_tile) {
+  float acc[kMr][kMaxNr];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* arow = apanel + p * kMr;
+    const float* brow = bpanel + p * nr_tile;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = arow[r];
+      for (int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// The seed's scalar kernels (minus the zero-skip): best for tiny problems
+// where packing overhead dominates.
+void SmallGemm(const float* a, const float* b, float* c, int64_t n, int64_t k,
+               int64_t m) {
   for (int64_t i = 0; i < n; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * m;
     for (int64_t p = 0; p < k; ++p) {
       const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
       const float* b_row = b + p * m;
       for (int64_t j = 0; j < m; ++j) {
         c_row[j] += a_ip * b_row[j];
@@ -57,10 +266,8 @@ void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
   }
 }
 
-// C[n, m] (+)= A[n, k] * B[m, k]^T: rows of B are contiguous, dot-product
-// formulation.
-void GemmTransposedBAccumulate(const float* a, const float* b, float* c,
-                               int64_t n, int64_t k, int64_t m) {
+void SmallGemmTransposedB(const float* a, const float* b, float* c, int64_t n,
+                          int64_t k, int64_t m) {
   for (int64_t i = 0; i < n; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * m;
@@ -71,6 +278,95 @@ void GemmTransposedBAccumulate(const float* a, const float* b, float* c,
       c_row[j] += acc;
     }
   }
+}
+
+// Serial cache-blocked GEMM over `n` rows of A. jc/pc/ic nesting follows
+// BLIS: a packed B panel is reused across every row block, a packed A block
+// across every column panel.
+void BlockedGemm(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m, bool b_transposed) {
+  const int64_t ldb = b_transposed ? k : m;
+  const int64_t nr_tile = NrTile();
+  const auto apack = std::make_unique<float[]>(kMc * kKc);
+  const auto bpack = std::make_unique<float[]>(kKc * kNc);
+
+  for (int64_t jc = 0; jc < m; jc += kNc) {
+    const int64_t nc = std::min(kNc, m - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      PackB(b, ldb, b_transposed, pc, jc, kc, nc, nr_tile, bpack.get());
+      for (int64_t ic = 0; ic < n; ic += kMc) {
+        const int64_t mc = std::min(kMc, n - ic);
+        PackA(a, k, ic, pc, mc, kc, apack.get());
+        for (int64_t j0 = 0; j0 < nc; j0 += nr_tile) {
+          const int64_t nr = std::min(nr_tile, nc - j0);
+          for (int64_t i0 = 0; i0 < mc; i0 += kMr) {
+            const int64_t mr = std::min(kMr, mc - i0);
+            const float* ap = apack.get() + i0 * kc;
+            const float* bp = bpack.get() + j0 * kc;
+            float* ct = c + (ic + i0) * m + jc + j0;
+            if (mr == kMr && nr == nr_tile) {
+              if (nr_tile == 16) {
+                MicroKernel16(ap, bp, ct, m, kc);
+              } else {
+                MicroKernel8(ap, bp, ct, m, kc);
+              }
+            } else {
+              MicroKernelEdge(ap, bp, ct, m, kc, mr, nr, nr_tile);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Serial GEMM over a row slab, choosing the small or blocked path.
+void GemmRows(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m, bool b_transposed) {
+  if (n * k * m < kSmallGemmMacs) {
+    if (b_transposed) {
+      SmallGemmTransposedB(a, b, c, n, k, m);
+    } else {
+      SmallGemm(a, b, c, n, k, m);
+    }
+    return;
+  }
+  BlockedGemm(a, b, c, n, k, m, b_transposed);
+}
+
+// Row-slab grain so each task owns at least kGemmGrainMacs of work.
+int64_t GemmRowGrain(int64_t k, int64_t m) {
+  const int64_t macs_per_row = std::max<int64_t>(1, k * m);
+  return std::max(kMr, (kGemmGrainMacs + macs_per_row - 1) / macs_per_row);
+}
+
+// Top-level parallel GEMM: shards rows of A across the global pool.
+void LaunchGemm(const float* a, const float* b, float* c, int64_t n,
+                int64_t k, int64_t m, bool b_transposed) {
+  ParallelForRange(0, n, GemmRowGrain(k, m), [&](int64_t r0, int64_t r1) {
+    GemmRows(a + r0 * k, b, c + r0 * m, r1 - r0, k, m, b_transposed);
+  });
+}
+
+// Batched variant: shards the flattened (batch, row) space so many small
+// batches still fill the pool. A slab may span several batch entries.
+void LaunchBatchedGemm(const float* a, const float* b, float* c,
+                       int64_t batch, int64_t n, int64_t k, int64_t m,
+                       bool b_transposed) {
+  const int64_t b_stride = b_transposed ? m * k : k * m;
+  ParallelForRange(
+      0, batch * n, GemmRowGrain(k, m), [&](int64_t g0, int64_t g1) {
+        int64_t g = g0;
+        while (g < g1) {
+          const int64_t s = g / n;
+          const int64_t r0 = g - s * n;
+          const int64_t rows = std::min(n - r0, g1 - g);
+          GemmRows(a + (s * n + r0) * k, b + s * b_stride,
+                   c + (s * n + r0) * m, rows, k, m, b_transposed);
+          g += rows;
+        }
+      });
 }
 
 }  // namespace
@@ -148,9 +444,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   HIRE_CHECK_EQ(b.dim(), 2);
   HIRE_CHECK_EQ(a.shape(1), b.shape(0))
       << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+  ScopedKernelTimer timer(KernelCategory::kMatMul);
   Tensor out({a.shape(0), b.shape(1)});
-  GemmAccumulate(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
-                 b.shape(1));
+  LaunchGemm(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
+             b.shape(1), /*b_transposed=*/false);
   return out;
 }
 
@@ -159,9 +456,10 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   HIRE_CHECK_EQ(b.dim(), 2);
   HIRE_CHECK_EQ(a.shape(1), b.shape(1))
       << "MatMulTransposedB " << a.ShapeString() << " x " << b.ShapeString();
+  ScopedKernelTimer timer(KernelCategory::kMatMul);
   Tensor out({a.shape(0), b.shape(0)});
-  GemmTransposedBAccumulate(a.data(), b.data(), out.data(), a.shape(0),
-                            a.shape(1), b.shape(0));
+  LaunchGemm(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
+             b.shape(0), /*b_transposed=*/true);
   return out;
 }
 
@@ -171,15 +469,10 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   HIRE_CHECK_EQ(a.shape(0), b.shape(0));
   HIRE_CHECK_EQ(a.shape(2), b.shape(1))
       << "BatchedMatMul " << a.ShapeString() << " x " << b.ShapeString();
-  const int64_t batch = a.shape(0);
-  const int64_t n = a.shape(1);
-  const int64_t k = a.shape(2);
-  const int64_t m = b.shape(2);
-  Tensor out({batch, n, m});
-  for (int64_t s = 0; s < batch; ++s) {
-    GemmAccumulate(a.data() + s * n * k, b.data() + s * k * m,
-                   out.data() + s * n * m, n, k, m);
-  }
+  ScopedKernelTimer timer(KernelCategory::kMatMul);
+  Tensor out({a.shape(0), a.shape(1), b.shape(2)});
+  LaunchBatchedGemm(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
+                    a.shape(2), b.shape(2), /*b_transposed=*/false);
   return out;
 }
 
@@ -190,15 +483,10 @@ Tensor BatchedMatMulTransposedB(const Tensor& a, const Tensor& b) {
   HIRE_CHECK_EQ(a.shape(2), b.shape(2))
       << "BatchedMatMulTransposedB " << a.ShapeString() << " x "
       << b.ShapeString();
-  const int64_t batch = a.shape(0);
-  const int64_t n = a.shape(1);
-  const int64_t k = a.shape(2);
-  const int64_t m = b.shape(1);
-  Tensor out({batch, n, m});
-  for (int64_t s = 0; s < batch; ++s) {
-    GemmTransposedBAccumulate(a.data() + s * n * k, b.data() + s * m * k,
-                              out.data() + s * n * m, n, k, m);
-  }
+  ScopedKernelTimer timer(KernelCategory::kMatMul);
+  Tensor out({a.shape(0), a.shape(1), b.shape(1)});
+  LaunchBatchedGemm(a.data(), b.data(), out.data(), a.shape(0), a.shape(1),
+                    a.shape(2), b.shape(1), /*b_transposed=*/true);
   return out;
 }
 
@@ -212,10 +500,13 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   float* po = out.data();
   const float* pb = bias.data();
   const int64_t rows = x.size() / d;
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = po + r * d;
-    for (int64_t j = 0; j < d; ++j) row[j] += pb[j];
-  }
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / d);
+  ParallelForRange(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = po + r * d;
+      for (int64_t j = 0; j < d; ++j) row[j] += pb[j];
+    }
+  });
   return out;
 }
 
@@ -235,19 +526,21 @@ Tensor Permute(const Tensor& a, const std::vector<int>& axes) {
   Tensor out(new_shape);
   const std::vector<int64_t> in_strides = a.Strides();
   const std::vector<int64_t> out_strides = out.Strides();
-  const int64_t total = a.size();
   // For each output element, reconstruct the multi-index and gather from
   // the input.
-  for (int64_t flat = 0; flat < total; ++flat) {
-    int64_t rem = flat;
-    int64_t src = 0;
-    for (int i = 0; i < rank; ++i) {
-      const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
-      rem %= out_strides[static_cast<size_t>(i)];
-      src += coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      int64_t rem = flat;
+      int64_t src = 0;
+      for (int i = 0; i < rank; ++i) {
+        const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
+        rem %= out_strides[static_cast<size_t>(i)];
+        src +=
+            coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+      }
+      out.flat(flat) = a.flat(src);
     }
-    out.flat(flat) = a.flat(src);
-  }
+  });
   return out;
 }
 
@@ -380,12 +673,31 @@ Tensor Sum(const Tensor& a, int axis) {
   for (int i = axis + 1; i < rank; ++i) inner *= a.shape(i);
   const int64_t extent = a.shape(axis);
 
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t e = 0; e < extent; ++e) {
-      const float* src = a.data() + (o * extent + e) * inner;
-      float* dst = out.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
+  // Each output element dst[o * inner + i] accumulates its `extent` terms in
+  // ascending order on exactly one worker, so sharding either the outer or
+  // the inner dimension leaves results bitwise identical to serial.
+  if (outer > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, extent * inner));
+    ParallelForRange(0, outer, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t o = lo; o < hi; ++o) {
+        for (int64_t e = 0; e < extent; ++e) {
+          const float* src = a.data() + (o * extent + e) * inner;
+          float* dst = out.data() + o * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        }
+      }
+    });
+  } else {
+    const int64_t grain =
+        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, extent));
+    ParallelForRange(0, inner, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t e = 0; e < extent; ++e) {
+        const float* src = a.data() + e * inner;
+        float* dst = out.data();
+        for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+      }
+    });
   }
   return out;
 }
@@ -399,22 +711,26 @@ Tensor Mean(const Tensor& a, int axis) {
 
 Tensor Softmax(const Tensor& a) {
   HIRE_CHECK_GE(a.dim(), 1);
+  ScopedKernelTimer timer(KernelCategory::kSoftmax);
   const int64_t d = a.shape(-1);
   const int64_t rows = a.size() / d;
   Tensor out(a.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = a.data() + r * d;
-    float* dst = out.data() + r * d;
-    float row_max = src[0];
-    for (int64_t j = 1; j < d; ++j) row_max = std::max(row_max, src[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      dst[j] = std::exp(src[j] - row_max);
-      denom += dst[j];
+  const int64_t grain = std::max<int64_t>(1, kSoftmaxGrain / d);
+  ParallelForRange(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* src = a.data() + r * d;
+      float* dst = out.data() + r * d;
+      float row_max = src[0];
+      for (int64_t j = 1; j < d; ++j) row_max = std::max(row_max, src[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] = std::exp(src[j] - row_max);
+        denom += dst[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
-  }
+  });
   return out;
 }
 

@@ -11,9 +11,11 @@
 
 namespace hire {
 
-/// Fixed-size worker pool. Used by ParallelFor to shard batch work (context
-/// assembly, evaluation loops) across cores; degrades to inline execution on
-/// single-core machines.
+class Flags;
+
+/// Fixed-size worker pool. The tensor kernels shard work across the
+/// process-wide instance (see GlobalThreadPool below) via ParallelFor;
+/// standalone pools remain useful for coarse task parallelism.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -43,9 +45,52 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Runs `body(i)` for i in [begin, end). Executes inline when the range is
-/// small or hardware concurrency is 1; otherwise shards the range across a
-/// transient pool. `body` must be safe to invoke concurrently.
+// ---------------------------------------------------------------------------
+// Process-wide pool configuration.
+// ---------------------------------------------------------------------------
+
+/// Logical parallelism of the process-wide pool. Resolution order:
+/// SetGlobalThreads() > HIRE_NUM_THREADS env var > hardware concurrency.
+/// Always >= 1.
+int GlobalThreads();
+
+/// Sets the process-wide parallelism. `num_threads` == 0 restores the
+/// automatic default (env var, then hardware concurrency). Destroys and
+/// recreates the shared pool: must not be called while a ParallelFor is in
+/// flight on another thread.
+void SetGlobalThreads(int num_threads);
+
+/// Applies the conventional `--threads` flag (0 or absent = automatic).
+void InitGlobalThreadsFromFlags(const Flags& flags);
+
+/// Lazily constructed shared pool with GlobalThreads() - 1 workers (the
+/// calling thread is the remaining lane). Returns nullptr when
+/// GlobalThreads() == 1, in which case all parallel helpers run inline.
+ThreadPool* GlobalThreadPool();
+
+/// True when called from inside a ParallelFor worker; nested parallel
+/// regions execute inline to avoid deadlocking the shared pool.
+bool InParallelRegion();
+
+// ---------------------------------------------------------------------------
+// Parallel loops.
+// ---------------------------------------------------------------------------
+
+/// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end) into
+/// chunks of at least `grain` indices. Runs inline (single chunk) when the
+/// range is at most `grain`, when GlobalThreads() == 1, or when already
+/// inside a parallel region. Chunk boundaries are deterministic for a fixed
+/// thread count; an exception thrown by any chunk is rethrown on the calling
+/// thread after all chunks finish or are abandoned. `body` must be safe to
+/// invoke concurrently on disjoint chunks.
+void ParallelForRange(int64_t begin, int64_t end, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body);
+
+/// Runs `body(i)` for i in [begin, end), sharded with chunks of `grain`.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& body);
+
+/// Back-compat overload with an automatic grain.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
 

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <tuple>
 #include <vector>
 
 #include "tensor/ops.h"
+#include "tensor/random.h"
 #include "utils/check.h"
+#include "utils/thread_pool.h"
 
 namespace hire {
 namespace {
@@ -330,6 +335,131 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5, 1, 7), std::make_tuple(1, 8, 1),
                       std::make_tuple(16, 16, 16), std::make_tuple(7, 13, 3),
                       std::make_tuple(32, 17, 9)));
+
+// ---------------------------------------------------------------------------
+// Parallel/blocked kernel consistency. The blocked GEMM and every threaded
+// kernel are designed to keep each output element's accumulation order
+// identical to the seed scalar loops, so results must be *bitwise* equal to
+// a naive reference — serial or threaded, for any shape.
+// ---------------------------------------------------------------------------
+
+// Restores the ambient thread setting after each test.
+class ParallelKernelsTest : public ::testing::Test {
+ protected:
+  ~ParallelKernelsTest() override { SetGlobalThreads(0); }
+};
+
+// The seed's scalar GEMM (single accumulation chain per element, ascending
+// p), without the `a_ip == 0` skip.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.shape(0), b.shape(1)});
+  const int64_t n = a.shape(0), k = a.shape(1), m = b.shape(1);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a.at(i, p);
+      for (int64_t j = 0; j < m; ++j) {
+        c.at(i, j) += a_ip * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.flat(i), b.flat(i)) << "flat index " << i;
+  }
+}
+
+// Odd shapes: 1x1, prime dims, micro-tile/cache-block stragglers, and sizes
+// straddling the parallel grain threshold.
+const std::vector<std::tuple<int, int, int>> kGemmShapes = {
+    {1, 1, 1},    {3, 5, 7},    {4, 16, 16},  {17, 31, 13},
+    {64, 64, 64}, {65, 257, 35}, {128, 96, 72}, {61, 259, 67}};
+
+TEST_F(ParallelKernelsTest, BlockedGemmBitwiseMatchesNaive) {
+  Rng rng(11);
+  for (const auto& [n, k, m] : kGemmShapes) {
+    Tensor a = RandomNormal({n, k}, 0, 1, &rng);
+    Tensor b = RandomNormal({k, m}, 0, 1, &rng);
+    const Tensor expected = NaiveMatMul(a, b);
+    SetGlobalThreads(1);
+    ExpectBitwiseEqual(ops::MatMul(a, b), expected);
+    SetGlobalThreads(4);
+    ExpectBitwiseEqual(ops::MatMul(a, b), expected);
+  }
+}
+
+TEST_F(ParallelKernelsTest, TransposedBGemmBitwiseMatchesNaive) {
+  Rng rng(12);
+  for (const auto& [n, k, m] : kGemmShapes) {
+    Tensor a = RandomNormal({n, k}, 0, 1, &rng);
+    Tensor bt = RandomNormal({m, k}, 0, 1, &rng);
+    const Tensor expected = NaiveMatMul(a, ops::TransposeLast2(bt));
+    SetGlobalThreads(1);
+    ExpectBitwiseEqual(ops::MatMulTransposedB(a, bt), expected);
+    SetGlobalThreads(4);
+    ExpectBitwiseEqual(ops::MatMulTransposedB(a, bt), expected);
+  }
+}
+
+TEST_F(ParallelKernelsTest, GemmPropagatesNonFinite) {
+  // The seed kernel's zero-skip silently dropped 0 * inf terms; the blocked
+  // kernel must produce NaN as IEEE demands.
+  Tensor a({1, 2}, {0.0f, 1.0f});
+  Tensor b({2, 1}, {std::numeric_limits<float>::infinity(), 2.0f});
+  const Tensor c = ops::MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+}
+
+TEST_F(ParallelKernelsTest, SerialAndThreadedAgree) {
+  Rng rng(13);
+  // Straddle the parallel grain thresholds from both sides.
+  for (const int64_t rows : {1L, 7L, 64L, 1031L}) {
+    Tensor x = RandomNormal({rows, 33}, 0, 2, &rng);
+    Tensor y = RandomNormal({rows, 33}, 0, 2, &rng);
+    Tensor bias = RandomNormal({33}, 0, 1, &rng);
+
+    SetGlobalThreads(1);
+    const Tensor add1 = ops::Add(x, y);
+    const Tensor sig1 = ops::Sigmoid(x);
+    const Tensor soft1 = ops::Softmax(x);
+    const Tensor bias1 = ops::AddBias(x, bias);
+    const Tensor sum0_1 = ops::Sum(x, 0);
+    const Tensor sum1_1 = ops::Sum(x, 1);
+
+    SetGlobalThreads(4);
+    EXPECT_TRUE(AllClose(ops::Add(x, y), add1));
+    EXPECT_TRUE(AllClose(ops::Sigmoid(x), sig1));
+    EXPECT_TRUE(AllClose(ops::Softmax(x), soft1));
+    EXPECT_TRUE(AllClose(ops::AddBias(x, bias), bias1));
+    EXPECT_TRUE(AllClose(ops::Sum(x, 0), sum0_1));
+    EXPECT_TRUE(AllClose(ops::Sum(x, 1), sum1_1));
+
+    // The sharding preserves per-element operation order, so threaded
+    // results are in fact bitwise identical, not merely close.
+    ExpectBitwiseEqual(ops::Add(x, y), add1);
+    ExpectBitwiseEqual(ops::Softmax(x), soft1);
+    ExpectBitwiseEqual(ops::Sum(x, 0), sum0_1);
+    ExpectBitwiseEqual(ops::Sum(x, 1), sum1_1);
+  }
+}
+
+TEST_F(ParallelKernelsTest, BatchedMatMulSerialVsThreaded) {
+  Rng rng(14);
+  for (const int64_t batch : {1L, 3L, 32L}) {
+    Tensor a = RandomNormal({batch, 17, 23}, 0, 1, &rng);
+    Tensor b = RandomNormal({batch, 23, 19}, 0, 1, &rng);
+    Tensor bt = RandomNormal({batch, 19, 23}, 0, 1, &rng);
+    SetGlobalThreads(1);
+    const Tensor c1 = ops::BatchedMatMul(a, b);
+    const Tensor ct1 = ops::BatchedMatMulTransposedB(a, bt);
+    SetGlobalThreads(4);
+    ExpectBitwiseEqual(ops::BatchedMatMul(a, b), c1);
+    ExpectBitwiseEqual(ops::BatchedMatMulTransposedB(a, bt), ct1);
+  }
+}
 
 }  // namespace
 }  // namespace hire

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "utils/check.h"
@@ -155,6 +157,78 @@ TEST(ParallelForTest, EmptyRangeIsNoop) {
   bool ran = false;
   ParallelFor(5, 5, [&ran](int64_t) { ran = true; });
   EXPECT_FALSE(ran);
+  ParallelFor(7, 5, [&ran](int64_t) { ran = true; });  // inverted range
+  EXPECT_FALSE(ran);
+  ParallelForRange(3, 3, 8, [&ran](int64_t, int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, RangeSmallerThanGrainRunsInlineAsOneChunk) {
+  SetGlobalThreads(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelForRange(10, 15, 100, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 10);
+    EXPECT_EQ(hi, 15);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, RangeChunksCoverExactlyOnce) {
+  SetGlobalThreads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelForRange(0, 1000, 64, [&hits](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  SetGlobalThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [](int64_t i) {
+                    if (i == 493) throw std::runtime_error("worker failure");
+                  }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, 1, [&count](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  SetGlobalThreads(4);
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, 1, [&total](int64_t) {
+    EXPECT_TRUE(InParallelRegion());
+    ParallelFor(0, 8, 1, [&total](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+  EXPECT_FALSE(InParallelRegion());
+  SetGlobalThreads(0);
+}
+
+TEST(GlobalThreadsTest, SetAndResolve) {
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreads(), 3);
+  ThreadPool* pool = GlobalThreadPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 2);  // caller is the third lane
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalThreads(), 1);
+  EXPECT_EQ(GlobalThreadPool(), nullptr);
+  SetGlobalThreads(0);  // back to automatic
+  EXPECT_GE(GlobalThreads(), 1);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -31,6 +31,7 @@
 #include "utils/flags.h"
 #include "utils/string_utils.h"
 #include "utils/table_printer.h"
+#include "utils/thread_pool.h"
 
 namespace {
 
@@ -43,6 +44,8 @@ common flags:
   --scale <double>                           profile size multiplier (1.0)
   --ratings/--user-attrs/--item-attrs <csv>  load a CSV dataset instead
   --seed <int>                               global seed (7)
+  --threads <int>      tensor kernel threads (0 = HIRE_NUM_THREADS env,
+                       then hardware concurrency)
 
 train:
   --steps <int>        training steps (300)
@@ -229,6 +232,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const hire::Flags flags = hire::Flags::Parse(argc - 1, argv + 1);
+    hire::InitGlobalThreadsFromFlags(flags);
     if (command == "train") return Train(flags);
     if (command == "evaluate") return Evaluate(flags);
     if (command == "generate") return Generate(flags);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Configures a Release build, runs the tensor micro-benchmark harness at
+# 1/2/all threads, and writes BENCH_tensor.json at the repo root. Usage:
+#   tools/run_bench.sh [build_dir] [extra bench flags...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+nproc_count="$(nproc 2>/dev/null || echo 1)"
+# 1, 2, nproc, and an 8-way row for cross-machine comparability (deduped).
+threads="$(printf '%s\n' 1 2 "${nproc_count}" 8 | sort -nu | paste -sd,)"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" --target bench_micro_tensor -j "${nproc_count}"
+
+"${build_dir}/bench/bench_micro_tensor" \
+  --emit_json="${repo_root}/BENCH_tensor.json" \
+  --threads="${threads}" \
+  "$@"
+
+echo "wrote ${repo_root}/BENCH_tensor.json"
