@@ -1,0 +1,135 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "utils/check.h"
+#include "utils/fault_injection.h"
+#include "utils/logging.h"
+#include "utils/string_utils.h"
+
+namespace hire {
+namespace core {
+
+namespace {
+
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".snap";
+
+/// Parses "ckpt-<step>.snap"; returns -1 for non-checkpoint names.
+int64_t StepFromFileName(const std::string& name) {
+  if (!StartsWith(name, kCheckpointPrefix)) return -1;
+  const size_t suffix_at = name.rfind(kCheckpointSuffix);
+  if (suffix_at == std::string::npos ||
+      suffix_at + sizeof(kCheckpointSuffix) - 1 != name.size()) {
+    return -1;
+  }
+  const std::string digits = name.substr(
+      sizeof(kCheckpointPrefix) - 1, suffix_at - (sizeof(kCheckpointPrefix) - 1));
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return ParseInt64(digits);
+}
+
+}  // namespace
+
+StateDict CaptureTrainingState(const nn::Module& model,
+                               const optim::Optimizer& optimizer,
+                               const Rng& rng, const ResumeInfo& info) {
+  StateDict state;
+  nn::ExportParameters(model, "model.", &state);
+  state.Merge(optimizer.StateDict(), "optim.");
+  const auto rng_words = rng.ExportState();
+  for (size_t w = 0; w < rng_words.size(); ++w) {
+    state.PutScalar("rng." + std::to_string(w), rng_words[w]);
+  }
+  state.PutScalar("trainer.next_step", static_cast<uint64_t>(info.next_step));
+  state.PutFloat("trainer.lr_scale", info.lr_scale);
+  return state;
+}
+
+ResumeInfo RestoreTrainingState(const StateDict& state, nn::Module* model,
+                                optim::Optimizer* optimizer, Rng* rng) {
+  HIRE_CHECK(model != nullptr);
+  HIRE_CHECK(optimizer != nullptr);
+  HIRE_CHECK(rng != nullptr);
+  nn::ImportParameters(model, "model.", state);
+  optimizer->LoadStateDict(state.Extract("optim."));
+  std::array<uint64_t, Rng::kStateWords> rng_words{};
+  for (size_t w = 0; w < rng_words.size(); ++w) {
+    rng_words[w] = state.GetScalar("rng." + std::to_string(w));
+  }
+  rng->RestoreState(rng_words);
+  ResumeInfo info;
+  info.next_step = static_cast<int64_t>(state.GetScalar("trainer.next_step"));
+  info.lr_scale = state.GetFloat("trainer.lr_scale");
+  return info;
+}
+
+std::string CheckpointFileName(int64_t next_step) {
+  HIRE_CHECK_GE(next_step, 0);
+  std::string digits = std::to_string(next_step);
+  if (digits.size() < 12) digits.insert(0, 12 - digits.size(), '0');
+  return kCheckpointPrefix + digits + kCheckpointSuffix;
+}
+
+std::string WriteCheckpoint(const std::string& dir, int64_t next_step,
+                            const StateDict& state, int keep) {
+  HIRE_CHECK(!dir.empty()) << "checkpoint directory is empty";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + CheckpointFileName(next_step);
+  nn::SaveStateDict(state, path);
+  FaultInjector::Global().MaybeCorruptCheckpoint(path);
+
+  if (keep > 0) {
+    std::vector<int64_t> steps = ListCheckpointSteps(dir);
+    while (steps.size() > static_cast<size_t>(keep)) {
+      const std::string victim = dir + "/" + CheckpointFileName(steps.front());
+      std::error_code error;
+      std::filesystem::remove(victim, error);
+      if (error) {
+        HIRE_LOG(Warning) << "cannot remove old checkpoint '" << victim
+                          << "': " << error.message();
+      }
+      steps.erase(steps.begin());
+    }
+  }
+  return path;
+}
+
+std::vector<int64_t> ListCheckpointSteps(const std::string& dir) {
+  std::vector<int64_t> steps;
+  std::error_code error;
+  std::filesystem::directory_iterator it(dir, error);
+  if (error) return steps;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const int64_t step = StepFromFileName(entry.path().filename().string());
+    if (step >= 0) steps.push_back(step);
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+std::optional<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  std::vector<int64_t> steps = ListCheckpointSteps(dir);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const std::string path = dir + "/" + CheckpointFileName(*it);
+    try {
+      LoadedCheckpoint loaded;
+      loaded.state = nn::LoadStateDict(path);
+      loaded.path = path;
+      return loaded;
+    } catch (const CheckError& error) {
+      HIRE_LOG(Warning) << "skipping unusable checkpoint '" << path
+                        << "': " << error.what();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace core
+}  // namespace hire

@@ -1,0 +1,68 @@
+#ifndef HIRE_CORE_CHECKPOINT_H_
+#define HIRE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "optim/optimizer.h"
+#include "tensor/random.h"
+#include "tensor/state_dict.h"
+
+namespace hire {
+namespace core {
+
+/// Non-tensor training-loop state carried in a checkpoint.
+struct ResumeInfo {
+  /// First step the resumed loop should execute.
+  int64_t next_step = 0;
+  /// Divergence-guard learning-rate multiplier (1.0 until a rollback).
+  float lr_scale = 1.0f;
+};
+
+/// Captures the complete training state — model parameters ("model.*"),
+/// optimiser moments and slow weights ("optim.*"), the sampler RNG stream
+/// ("rng.*") and loop position ("trainer.*") — into one StateDict. Restoring
+/// this dictionary reproduces the rest of the run bitwise.
+StateDict CaptureTrainingState(const nn::Module& model,
+                               const optim::Optimizer& optimizer,
+                               const Rng& rng, const ResumeInfo& info);
+
+/// Restores state captured by CaptureTrainingState into freshly constructed
+/// (or rolled-back) objects. Shape/key mismatches throw hire::CheckError.
+ResumeInfo RestoreTrainingState(const StateDict& state, nn::Module* model,
+                                optim::Optimizer* optimizer, Rng* rng);
+
+/// Snapshot file name for a checkpoint taken before `next_step`
+/// ("ckpt-000000000120.snap"). Zero padding keeps lexicographic and numeric
+/// order identical.
+std::string CheckpointFileName(int64_t next_step);
+
+/// Writes `state` to `<dir>/<CheckpointFileName(next_step)>` atomically
+/// (temp + fsync + rename), creates `dir` if needed, applies any armed
+/// fault-injection corruption, then deletes all but the newest `keep`
+/// snapshots. Returns the written path.
+std::string WriteCheckpoint(const std::string& dir, int64_t next_step,
+                            const StateDict& state, int keep);
+
+struct LoadedCheckpoint {
+  std::string path;
+  StateDict state;
+};
+
+/// Scans `dir` for checkpoint snapshots, newest first, and returns the first
+/// one that passes magic/size/checksum validation. Corrupt or truncated
+/// snapshots are logged and skipped — this is the crash-recovery fallback
+/// path. Returns nullopt when the directory is missing or holds no usable
+/// snapshot.
+std::optional<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+/// All checkpoint step numbers present in `dir`, ascending (no validation).
+std::vector<int64_t> ListCheckpointSteps(const std::string& dir);
+
+}  // namespace core
+}  // namespace hire
+
+#endif  // HIRE_CORE_CHECKPOINT_H_

@@ -1,14 +1,19 @@
 #include "core/trainer.h"
 
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <utility>
 
 #include "autograd/ops.h"
+#include "core/checkpoint.h"
 #include "graph/context_builder.h"
 #include "optim/lamb.h"
 #include "optim/lookahead.h"
 #include "optim/lr_scheduler.h"
 #include "optim/optimizer.h"
 #include "utils/check.h"
+#include "utils/fault_injection.h"
 #include "utils/logging.h"
 #include "utils/stopwatch.h"
 #include "utils/thread_pool.h"
@@ -46,8 +51,42 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   const KernelTimers::Snapshot run_start = KernelTimers::Take();
   KernelTimers::Snapshot window_start = run_start;
 
-  for (int64_t step = 0; step < config.num_steps; ++step) {
-    optimizer.set_learning_rate(schedule.LearningRate(step));
+  const bool checkpointing =
+      config.checkpoint_every > 0 && !config.checkpoint_dir.empty();
+  int64_t step = 0;
+  float lr_scale = 1.0f;
+
+  if (config.resume && !config.checkpoint_dir.empty()) {
+    if (auto loaded = LoadLatestCheckpoint(config.checkpoint_dir)) {
+      const ResumeInfo info =
+          RestoreTrainingState(loaded->state, model, &optimizer, &rng);
+      step = info.next_step;
+      lr_scale = info.lr_scale;
+      HIRE_LOG(Info) << "resumed from '" << loaded->path << "' at step "
+                     << step << " (lr scale " << lr_scale << ")";
+    } else {
+      HIRE_LOG(Info) << "no usable checkpoint in '" << config.checkpoint_dir
+                     << "'; starting from scratch";
+    }
+  }
+  stats.start_step = step;
+
+  // Divergence-guard rollback anchor: the last known-good snapshot, kept in
+  // memory and refreshed whenever a checkpoint is written. With
+  // checkpointing disabled the anchor is the starting state.
+  StateDict last_good;
+  bool has_anchor = false;
+  if (config.max_bad_steps > 0) {
+    last_good = CaptureTrainingState(*model, optimizer, rng,
+                                     ResumeInfo{step, lr_scale});
+    has_anchor = true;
+  }
+  int consecutive_bad = 0;
+  FaultInjector& faults = FaultInjector::Global();
+
+  for (; step < config.num_steps; ++step) {
+    faults.MaybeCrash(step);
+    optimizer.set_learning_rate(schedule.LearningRate(step) * lr_scale);
     {
       ScopedKernelTimer timer(KernelCategory::kOptimizer);
       optimizer.ZeroGrad();
@@ -66,15 +105,51 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
     }
     batch_loss =
         ag::MulScalar(batch_loss, 1.0f / static_cast<float>(config.batch_size));
+    if (faults.ConsumeNanLoss(step)) {
+      batch_loss = ag::MulScalar(batch_loss,
+                                 std::numeric_limits<float>::quiet_NaN());
+    }
 
     batch_loss.Backward();
+    const float loss_value = batch_loss.value().flat(0);
+    float grad_norm = 0.0f;
     {
       ScopedKernelTimer timer(KernelCategory::kOptimizer);
-      optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
+      grad_norm =
+          optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
+    }
+
+    // Divergence guard: never let a non-finite loss or gradient reach the
+    // parameters. The poisoned step is skipped; after max_bad_steps
+    // consecutive bad steps, roll back to the last good snapshot and back
+    // off the learning rate.
+    if (config.max_bad_steps > 0 &&
+        (!std::isfinite(loss_value) || !std::isfinite(grad_norm))) {
+      ++stats.skipped_steps;
+      ++consecutive_bad;
+      HIRE_LOG(Warning) << "step " << step << ": non-finite loss ("
+                        << loss_value << ") or grad norm (" << grad_norm
+                        << "); skipping update (" << consecutive_bad << "/"
+                        << config.max_bad_steps << " before rollback)";
+      if (consecutive_bad >= config.max_bad_steps && has_anchor) {
+        const ResumeInfo info =
+            RestoreTrainingState(last_good, model, &optimizer, &rng);
+        lr_scale = info.lr_scale * config.divergence_lr_backoff;
+        ++stats.rollbacks;
+        consecutive_bad = 0;
+        HIRE_LOG(Warning) << "rolled back to step " << info.next_step
+                          << " with lr scale " << lr_scale;
+        step = info.next_step - 1;  // loop increment lands on next_step
+      }
+      continue;
+    }
+    consecutive_bad = 0;
+
+    {
+      ScopedKernelTimer timer(KernelCategory::kOptimizer);
       optimizer.Step();
     }
 
-    const float loss_value = batch_loss.value().flat(0);
     stats.step_losses.push_back(loss_value);
     if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
       const KernelTimers::Snapshot now = KernelTimers::Take();
@@ -84,9 +159,23 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
                      << (now - window_start).ToString();
       window_start = now;
     }
+
+    if (checkpointing && (step + 1) % config.checkpoint_every == 0) {
+      StateDict snapshot = CaptureTrainingState(
+          *model, optimizer, rng, ResumeInfo{step + 1, lr_scale});
+      WriteCheckpoint(config.checkpoint_dir, step + 1, snapshot,
+                      config.checkpoint_keep);
+      ++stats.checkpoints_written;
+      if (config.max_bad_steps > 0 &&
+          !faults.AnyCheckpointCorruptionArmed()) {
+        last_good = std::move(snapshot);
+        has_anchor = true;
+      }
+    }
   }
 
-  stats.final_loss = stats.step_losses.back();
+  stats.final_loss =
+      stats.step_losses.empty() ? 0.0f : stats.step_losses.back();
   stats.train_seconds = stopwatch.ElapsedSeconds();
   const KernelTimers::Snapshot run_delta = KernelTimers::Take() - run_start;
   stats.matmul_seconds = run_delta.Seconds(KernelCategory::kMatMul);

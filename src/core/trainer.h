@@ -2,6 +2,7 @@
 #define HIRE_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/hire_model.h"
@@ -39,6 +40,25 @@ struct TrainerConfig {
   /// Log the running loss every this many steps (0 disables).
   int64_t log_every = 0;
 
+  /// Fault tolerance. With a non-empty `checkpoint_dir` and
+  /// `checkpoint_every > 0`, a full training snapshot (model + optimizer
+  /// moments + slow weights + schedule position + sampler RNG stream) is
+  /// written atomically every `checkpoint_every` steps, retaining the newest
+  /// `checkpoint_keep` files. With `resume`, training continues from the
+  /// newest valid snapshot in `checkpoint_dir` (corrupt ones are skipped)
+  /// and the resumed run is bitwise identical to an uninterrupted one.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep = 3;
+  bool resume = false;
+
+  /// Divergence guard: a step whose loss or gradient norm is non-finite is
+  /// skipped (no optimizer update). After `max_bad_steps` consecutive bad
+  /// steps the trainer rolls back to the last good snapshot and multiplies
+  /// the learning rate by `divergence_lr_backoff`. 0 disables the guard.
+  int max_bad_steps = 3;
+  float divergence_lr_backoff = 0.5f;
+
   /// Worker threads for the tensor kernels: > 0 resizes the process-wide
   /// pool, 0 keeps the current setting (--threads flag / HIRE_NUM_THREADS
   /// env / hardware concurrency).
@@ -49,9 +69,16 @@ struct TrainerConfig {
 
 /// Result of a training run.
 struct TrainStats {
+  /// Loss of every executed (non-skipped) step in this process.
   std::vector<float> step_losses;
   float final_loss = 0.0f;
   double train_seconds = 0.0;
+  /// First step index this run executed (> 0 when resumed).
+  int64_t start_step = 0;
+  /// Divergence-guard counters.
+  int64_t skipped_steps = 0;
+  int64_t rollbacks = 0;
+  int64_t checkpoints_written = 0;
   /// Kernel-time breakdown accumulated over the run (attention overlaps
   /// matmul/softmax: it wraps whole MHSA forwards).
   double matmul_seconds = 0.0;

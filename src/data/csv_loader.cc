@@ -1,5 +1,6 @@
 #include "data/csv_loader.h"
 
+#include <cmath>
 #include <fstream>
 #include <unordered_map>
 #include <vector>
@@ -12,26 +13,38 @@ namespace data {
 
 namespace {
 
+/// One data row plus its 1-based line number in the source file, so every
+/// parse error can point at "file:line".
+struct CsvRow {
+  int64_t line = 0;
+  std::vector<std::string> fields;
+};
+
 struct CsvTable {
-  std::vector<std::vector<std::string>> rows;
+  std::vector<CsvRow> rows;
 };
 
 CsvTable ReadCsv(const std::string& path, char delimiter, bool has_header) {
   std::ifstream in(path);
-  HIRE_CHECK(in.is_open()) << "cannot open CSV file '" << path << "'";
+  HIRE_CHECK(in.is_open())
+      << "cannot open CSV file '" << path << "' (missing file or bad path)";
   CsvTable table;
   std::string line;
+  int64_t line_number = 0;
   bool first = true;
   while (std::getline(in, line)) {
+    ++line_number;
     if (first && has_header) {
       first = false;
       continue;
     }
     first = false;
     if (Trim(line).empty()) continue;
-    table.rows.push_back(Split(line, delimiter));
+    table.rows.push_back(CsvRow{line_number, Split(line, delimiter)});
   }
-  HIRE_CHECK(!table.rows.empty()) << "CSV file '" << path << "' is empty";
+  HIRE_CHECK(!table.rows.empty())
+      << "CSV file '" << path << "' has no data rows"
+      << (has_header ? " (only a header or blank lines)" : "");
   return table;
 }
 
@@ -71,12 +84,21 @@ Dataset LoadCsvDataset(const CsvDatasetSpec& spec) {
   std::vector<RawRating> raw_ratings;
   raw_ratings.reserve(ratings_csv.rows.size());
   for (const auto& row : ratings_csv.rows) {
-    HIRE_CHECK_GE(row.size(), 3u)
-        << "ratings row needs user,item,rating in '" << spec.ratings_path
-        << "'";
-    const int64_t user = user_ids.Intern(Trim(row[0]));
-    const int64_t item = item_ids.Intern(Trim(row[1]));
-    const float value = static_cast<float>(ParseDouble(Trim(row[2])));
+    HIRE_CHECK_GE(row.fields.size(), 3u)
+        << "malformed ratings row at " << spec.ratings_path << ":" << row.line
+        << " — need user,item,rating";
+    const int64_t user = user_ids.Intern(Trim(row.fields[0]));
+    const int64_t item = item_ids.Intern(Trim(row.fields[1]));
+    float value = 0.0f;
+    try {
+      value = static_cast<float>(ParseDouble(Trim(row.fields[2])));
+    } catch (const CheckError&) {
+      HIRE_CHECK(false) << "malformed rating value '" << Trim(row.fields[2])
+                        << "' at " << spec.ratings_path << ":" << row.line;
+    }
+    HIRE_CHECK(std::isfinite(value))
+        << "non-finite rating value '" << Trim(row.fields[2]) << "' at "
+        << spec.ratings_path << ":" << row.line;
     raw_ratings.push_back(RawRating{user, item, value});
   }
 
@@ -97,9 +119,10 @@ Dataset LoadCsvDataset(const CsvDatasetSpec& spec) {
     }
 
     const CsvTable table = ReadCsv(path, spec.delimiter, spec.has_header);
-    const size_t num_columns = table.rows[0].size();
+    const size_t num_columns = table.rows[0].fields.size();
     HIRE_CHECK_GE(num_columns, 2u)
-        << kind << " attribute rows need id plus at least one attribute";
+        << kind << " attribute rows need id plus at least one attribute in '"
+        << path << "'";
 
     std::vector<IdMap> vocabularies(num_columns - 1);
     std::vector<std::vector<int64_t>> values(
@@ -108,14 +131,15 @@ Dataset LoadCsvDataset(const CsvDatasetSpec& spec) {
     std::vector<bool> seen(static_cast<size_t>(entity_ids->size()), false);
 
     for (const auto& row : table.rows) {
-      HIRE_CHECK_EQ(row.size(), num_columns)
-          << "ragged " << kind << " attribute row";
-      const int64_t entity = entity_ids->Lookup(Trim(row[0]));
+      HIRE_CHECK_EQ(row.fields.size(), num_columns)
+          << "ragged " << kind << " attribute row at " << path << ":"
+          << row.line;
+      const int64_t entity = entity_ids->Lookup(Trim(row.fields[0]));
       if (entity < 0) continue;  // entity has no ratings; skip
       seen[static_cast<size_t>(entity)] = true;
       for (size_t c = 1; c < num_columns; ++c) {
         values[static_cast<size_t>(entity)][c - 1] =
-            vocabularies[c - 1].Intern(Trim(row[c]));
+            vocabularies[c - 1].Intern(Trim(row.fields[c]));
       }
     }
 

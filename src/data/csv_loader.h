@@ -30,7 +30,9 @@ struct CsvDatasetSpec {
 };
 
 /// Loads a Dataset from CSV files; throws hire::CheckError on malformed
-/// input (missing files, bad rows, out-of-range ratings).
+/// input (missing or empty files, bad or ragged rows, non-finite or
+/// out-of-range ratings). Row-level errors report the file name and
+/// 1-based line number of the offending row.
 Dataset LoadCsvDataset(const CsvDatasetSpec& spec);
 
 }  // namespace data

@@ -1,8 +1,17 @@
 #include "nn/serialize.h"
 
+#include <array>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <unordered_map>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "utils/check.h"
 
@@ -11,63 +20,180 @@ namespace nn {
 
 namespace {
 
-constexpr char kMagic[] = "HIREPARAMS1";
-constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+// Legacy (version 1) parameter-only format.
+constexpr char kLegacyMagic[] = "HIREPARAMS1";
+constexpr size_t kLegacyMagicLen = sizeof(kLegacyMagic) - 1;
 
-void WriteU64(std::ofstream& out, uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+// Version-2 snapshot container.
+constexpr char kSnapMagic[8] = {'H', 'I', 'R', 'E', 'S', 'N', 'A', 'P'};
 
-uint64_t ReadU64(std::ifstream& in) {
-  uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  HIRE_CHECK(in.good()) << "truncated parameter file";
-  return value;
-}
+// --- CRC32 (IEEE, reflected, poly 0xEDB88320) ------------------------------
 
-}  // namespace
-
-void SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  HIRE_CHECK(out.is_open()) << "cannot open '" << path << "' for writing";
-
-  const auto named = module.NamedParameters();
-  out.write(kMagic, static_cast<std::streamsize>(kMagicLen));
-  WriteU64(out, named.size());
-  for (const auto& [name, variable] : named) {
-    WriteU64(out, name.size());
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const Tensor& value = variable.value();
-    WriteU64(out, static_cast<uint64_t>(value.dim()));
-    for (int64_t extent : value.shape()) {
-      WriteU64(out, static_cast<uint64_t>(extent));
+uint32_t Crc32(const char* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
     }
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.size() * sizeof(float)));
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
   }
-  HIRE_CHECK(out.good()) << "write to '" << path << "' failed";
+  return crc ^ 0xFFFFFFFFu;
 }
 
-void LoadParameters(Module* module, const std::string& path) {
-  HIRE_CHECK(module != nullptr);
-  std::ifstream in(path, std::ios::binary);
-  HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
+// --- Payload encoding ------------------------------------------------------
 
-  char magic[kMagicLen];
-  in.read(magic, static_cast<std::streamsize>(kMagicLen));
-  HIRE_CHECK(in.good() && std::string(magic, kMagicLen) == kMagic)
-      << "'" << path << "' is not a HIRE parameter file";
+void AppendBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
 
-  const uint64_t count = ReadU64(in);
-  std::unordered_map<std::string, Tensor> loaded;
-  for (uint64_t p = 0; p < count; ++p) {
-    const uint64_t name_len = ReadU64(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    const uint64_t rank = ReadU64(in);
+void AppendU64(std::string* out, uint64_t value) {
+  AppendBytes(out, &value, sizeof(value));
+}
+
+void AppendString(std::string* out, const std::string& text) {
+  AppendU64(out, text.size());
+  AppendBytes(out, text.data(), text.size());
+}
+
+/// Bounds-checked reader over an in-memory payload.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& buffer, const std::string& path)
+      : buffer_(buffer), path_(path) {}
+
+  void Read(void* dst, size_t size) {
+    HIRE_CHECK(offset_ + size <= buffer_.size())
+        << "truncated snapshot payload in '" << path_ << "'";
+    std::memcpy(dst, buffer_.data() + offset_, size);
+    offset_ += size;
+  }
+
+  uint64_t ReadU64() {
+    uint64_t value = 0;
+    Read(&value, sizeof(value));
+    return value;
+  }
+
+  std::string ReadString() {
+    const uint64_t size = ReadU64();
+    HIRE_CHECK(offset_ + size <= buffer_.size())
+        << "truncated snapshot payload in '" << path_ << "'";
+    std::string text(buffer_.data() + offset_, size);
+    offset_ += size;
+    return text;
+  }
+
+  bool AtEnd() const { return offset_ == buffer_.size(); }
+
+ private:
+  const std::string& buffer_;
+  const std::string& path_;
+  size_t offset_ = 0;
+};
+
+std::string EncodePayload(const StateDict& state) {
+  std::string payload;
+  AppendU64(&payload, state.scalars.size());
+  for (const auto& [name, value] : state.scalars) {
+    AppendString(&payload, name);
+    AppendU64(&payload, value);
+  }
+  AppendU64(&payload, state.tensors.size());
+  for (const auto& [name, tensor] : state.tensors) {
+    AppendString(&payload, name);
+    AppendU64(&payload, static_cast<uint64_t>(tensor.dim()));
+    for (int64_t extent : tensor.shape()) {
+      AppendU64(&payload, static_cast<uint64_t>(extent));
+    }
+    AppendBytes(&payload, tensor.data(),
+                static_cast<size_t>(tensor.size()) * sizeof(float));
+  }
+  return payload;
+}
+
+StateDict DecodePayload(const std::string& payload, const std::string& path) {
+  StateDict state;
+  PayloadReader reader(payload, path);
+  const uint64_t num_scalars = reader.ReadU64();
+  for (uint64_t s = 0; s < num_scalars; ++s) {
+    std::string name = reader.ReadString();
+    state.PutScalar(name, reader.ReadU64());
+  }
+  const uint64_t num_tensors = reader.ReadU64();
+  for (uint64_t t = 0; t < num_tensors; ++t) {
+    std::string name = reader.ReadString();
+    const uint64_t rank = reader.ReadU64();
+    HIRE_CHECK_LE(rank, 16u) << "implausible tensor rank in '" << path << "'";
     std::vector<int64_t> shape(rank);
     for (uint64_t i = 0; i < rank; ++i) {
-      shape[i] = static_cast<int64_t>(ReadU64(in));
+      shape[i] = static_cast<int64_t>(reader.ReadU64());
+      HIRE_CHECK_GE(shape[i], 0) << "negative extent in '" << path << "'";
+    }
+    Tensor value(shape);
+    reader.Read(value.data(), static_cast<size_t>(value.size()) * sizeof(float));
+    state.PutTensor(std::move(name), std::move(value));
+  }
+  HIRE_CHECK(reader.AtEnd())
+      << "trailing bytes after snapshot payload in '" << path << "'";
+  return state;
+}
+
+/// Flushes a written file's bytes to stable storage (best effort on
+/// platforms without fsync).
+void SyncPath(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+void SyncParentDirectory(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+void LoadLegacyParameters(Module* module, std::ifstream& in,
+                          const std::string& path) {
+  auto read_u64 = [&in, &path]() {
+    uint64_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    HIRE_CHECK(in.good()) << "truncated parameter file '" << path << "'";
+    return value;
+  };
+
+  const uint64_t count = read_u64();
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint64_t p = 0; p < count; ++p) {
+    const uint64_t name_len = read_u64();
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rank = read_u64();
+    std::vector<int64_t> shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+      shape[i] = static_cast<int64_t>(read_u64());
     }
     Tensor value(shape);
     in.read(reinterpret_cast<char*>(value.data()),
@@ -88,6 +214,126 @@ void LoadParameters(Module* module, const std::string& path) {
         << variable.value().ShapeString();
     variable.mutable_value() = it->second;
   }
+}
+
+}  // namespace
+
+void SaveStateDict(const StateDict& state, const std::string& path) {
+  const std::string payload = EncodePayload(state);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    HIRE_CHECK(out.is_open())
+        << "cannot open '" << temp_path << "' for writing";
+    out.write(kSnapMagic, sizeof(kSnapMagic));
+    const uint32_t version = kSnapshotVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t payload_size = payload.size();
+    out.write(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.flush();
+    HIRE_CHECK(out.good()) << "write to '" << temp_path << "' failed";
+  }
+  SyncPath(temp_path);
+  HIRE_CHECK(std::rename(temp_path.c_str(), path.c_str()) == 0)
+      << "cannot rename '" << temp_path << "' to '" << path << "'";
+  SyncParentDirectory(path);
+}
+
+StateDict LoadStateDict(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
+
+  char magic[sizeof(kSnapMagic)];
+  in.read(magic, sizeof(magic));
+  HIRE_CHECK(in.good() && std::memcmp(magic, kSnapMagic, sizeof(magic)) == 0)
+      << "'" << path << "' is not a HIRE snapshot";
+
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  HIRE_CHECK(in.good() && version == kSnapshotVersion)
+      << "unsupported snapshot version " << version << " in '" << path << "'";
+
+  uint64_t payload_size = 0;
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  HIRE_CHECK(in.good()) << "truncated snapshot header in '" << path << "'";
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  HIRE_CHECK(in.good() &&
+             in.gcount() == static_cast<std::streamsize>(payload_size))
+      << "truncated snapshot '" << path << "' (payload cut short)";
+
+  uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  HIRE_CHECK(in.good()) << "truncated snapshot '" << path
+                        << "' (missing checksum)";
+
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  HIRE_CHECK(actual_crc == stored_crc)
+      << "checksum mismatch in '" << path << "': stored " << stored_crc
+      << " vs computed " << actual_crc << " — snapshot is corrupt";
+
+  return DecodePayload(payload, path);
+}
+
+void ExportParameters(const Module& module, const std::string& prefix,
+                      StateDict* out) {
+  HIRE_CHECK(out != nullptr);
+  for (const auto& [name, variable] : module.NamedParameters()) {
+    out->PutTensor(prefix + name, variable.value());
+  }
+}
+
+void ImportParameters(Module* module, const std::string& prefix,
+                      const StateDict& state) {
+  HIRE_CHECK(module != nullptr);
+  auto named = module->NamedParameters();
+  for (auto& [name, variable] : named) {
+    const std::string key = prefix + name;
+    HIRE_CHECK(state.HasTensor(key))
+        << "snapshot is missing parameter '" << key << "'";
+    const Tensor& value = state.GetTensor(key);
+    HIRE_CHECK(value.SameShape(variable.value()))
+        << "shape mismatch for '" << key << "': snapshot "
+        << value.ShapeString() << " vs model "
+        << variable.value().ShapeString();
+    variable.mutable_value() = value;
+  }
+}
+
+void SaveParameters(const Module& module, const std::string& path) {
+  StateDict state;
+  ExportParameters(module, "", &state);
+  SaveStateDict(state, path);
+}
+
+void LoadParameters(Module* module, const std::string& path) {
+  HIRE_CHECK(module != nullptr);
+
+  // Sniff the magic to pick the format: legacy v1 files start with
+  // "HIREPARAMS1", current snapshots with "HIRESNAP".
+  std::ifstream in(path, std::ios::binary);
+  HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
+  char magic[kLegacyMagicLen];
+  in.read(magic, static_cast<std::streamsize>(kLegacyMagicLen));
+  if (in.good() &&
+      std::memcmp(magic, kLegacyMagic, kLegacyMagicLen) == 0) {
+    LoadLegacyParameters(module, in, path);
+    return;
+  }
+  in.close();
+
+  HIRE_CHECK(std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) == 0)
+      << "'" << path << "' is not a HIRE parameter file";
+  const StateDict state = LoadStateDict(path);
+  HIRE_CHECK_EQ(module->NamedParameters().size(), state.tensors.size())
+      << "parameter count mismatch loading '" << path << "'";
+  ImportParameters(module, "", state);
 }
 
 }  // namespace nn

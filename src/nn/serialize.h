@@ -1,19 +1,54 @@
 #ifndef HIRE_NN_SERIALIZE_H_
 #define HIRE_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "nn/module.h"
+#include "tensor/state_dict.h"
 
 namespace hire {
 namespace nn {
 
-/// Writes every named parameter of `module` to `path` in a simple binary
-/// format (magic, count, then name/shape/data records).
+/// Snapshot format version written by SaveStateDict/SaveParameters.
+///
+/// Version 2 ("HIRESNAP" magic) is a self-validating container:
+///   magic (8 bytes) | u32 version | u64 payload_size | payload | u32 crc32
+/// where the payload holds the StateDict's scalars then tensors as
+/// length-prefixed name/value records. Truncation is caught by the size
+/// field, bit rot by the CRC32 over the payload.
+///
+/// Version 1 ("HIREPARAMS1" magic) is the legacy parameter-only format;
+/// LoadParameters still reads it so pre-version model files keep working.
+constexpr uint32_t kSnapshotVersion = 2;
+
+/// Serialises `state` to `path` atomically: the bytes are written to a
+/// temporary file in the same directory, flushed and fsync'd, then renamed
+/// over `path`. A crash at any point leaves either the old file or the new
+/// file, never a torn one.
+void SaveStateDict(const StateDict& state, const std::string& path);
+
+/// Loads a version-2 snapshot. Throws hire::CheckError on a missing file,
+/// wrong magic, unsupported version, truncation, or checksum mismatch.
+StateDict LoadStateDict(const std::string& path);
+
+/// Copies every named parameter of `module` into `out` under `prefix`
+/// (e.g. prefix "model." yields keys "model.encoder.weight").
+void ExportParameters(const Module& module, const std::string& prefix,
+                      StateDict* out);
+
+/// Restores parameters exported by ExportParameters. Every module parameter
+/// must be present under `prefix` with a matching shape; mismatches throw.
+void ImportParameters(Module* module, const std::string& prefix,
+                      const StateDict& state);
+
+/// Writes every named parameter of `module` to `path` as a version-2
+/// snapshot (atomic, checksummed).
 void SaveParameters(const Module& module, const std::string& path);
 
-/// Restores parameters saved by SaveParameters. Names and shapes must match
-/// the module exactly; mismatches throw hire::CheckError.
+/// Restores parameters saved by SaveParameters — either the current
+/// version-2 snapshot or the legacy version-1 format. Names and shapes must
+/// match the module exactly; mismatches throw hire::CheckError.
 void LoadParameters(Module* module, const std::string& path);
 
 }  // namespace nn

@@ -45,5 +45,19 @@ void Adam::Step() {
   }
 }
 
+hire::StateDict Adam::StateDict() const {
+  hire::StateDict state;
+  state.PutScalar("adam.step_count", static_cast<uint64_t>(step_count_));
+  ExportTensorList(first_moment_, "adam.m", &state);
+  ExportTensorList(second_moment_, "adam.v", &state);
+  return state;
+}
+
+void Adam::LoadStateDict(const hire::StateDict& state) {
+  step_count_ = static_cast<int64_t>(state.GetScalar("adam.step_count"));
+  ImportTensorList(state, "adam.m", parameters_, &first_moment_);
+  ImportTensorList(state, "adam.v", parameters_, &second_moment_);
+}
+
 }  // namespace optim
 }  // namespace hire

@@ -26,6 +26,11 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  /// Captures/restores the moments and the bias-correction step counter
+  /// under "adam.*" keys.
+  hire::StateDict StateDict() const override;
+  void LoadStateDict(const hire::StateDict& state) override;
+
  private:
   AdamConfig config_;
   int64_t step_count_ = 0;

@@ -66,5 +66,19 @@ void Lamb::Step() {
   }
 }
 
+hire::StateDict Lamb::StateDict() const {
+  hire::StateDict state;
+  state.PutScalar("lamb.step_count", static_cast<uint64_t>(step_count_));
+  ExportTensorList(first_moment_, "lamb.m", &state);
+  ExportTensorList(second_moment_, "lamb.v", &state);
+  return state;
+}
+
+void Lamb::LoadStateDict(const hire::StateDict& state) {
+  step_count_ = static_cast<int64_t>(state.GetScalar("lamb.step_count"));
+  ImportTensorList(state, "lamb.m", parameters_, &first_moment_);
+  ImportTensorList(state, "lamb.v", parameters_, &second_moment_);
+}
+
 }  // namespace optim
 }  // namespace hire

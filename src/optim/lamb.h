@@ -31,6 +31,11 @@ class Lamb : public Optimizer {
 
   void Step() override;
 
+  /// Captures/restores the Adam-style moments and the bias-correction step
+  /// counter under "lamb.*" keys.
+  hire::StateDict StateDict() const override;
+  void LoadStateDict(const hire::StateDict& state) override;
+
  private:
   LambConfig config_;
   int64_t step_count_ = 0;

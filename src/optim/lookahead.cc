@@ -38,5 +38,20 @@ void Lookahead::set_learning_rate(float learning_rate) {
   inner_->set_learning_rate(learning_rate);
 }
 
+hire::StateDict Lookahead::StateDict() const {
+  hire::StateDict state = inner_->StateDict();
+  state.PutScalar("lookahead.steps_since_sync",
+                  static_cast<uint64_t>(steps_since_sync_));
+  ExportTensorList(slow_weights_, "lookahead.slow", &state);
+  return state;
+}
+
+void Lookahead::LoadStateDict(const hire::StateDict& state) {
+  inner_->LoadStateDict(state);
+  steps_since_sync_ =
+      static_cast<int>(state.GetScalar("lookahead.steps_since_sync"));
+  ImportTensorList(state, "lookahead.slow", parameters_, &slow_weights_);
+}
+
 }  // namespace optim
 }  // namespace hire

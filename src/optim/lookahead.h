@@ -26,6 +26,12 @@ class Lookahead : public Optimizer {
   /// Forwards learning-rate changes (schedulers) to the inner optimiser.
   void set_learning_rate(float learning_rate) override;
 
+  /// Captures/restores the slow weights and sync counter under
+  /// "lookahead.*" keys, merged with the inner optimiser's state (key sets
+  /// are disjoint by construction).
+  hire::StateDict StateDict() const override;
+  void LoadStateDict(const hire::StateDict& state) override;
+
  private:
   std::unique_ptr<Optimizer> inner_;
   float alpha_;

@@ -1,6 +1,7 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <string>
 
 #include "utils/check.h"
 
@@ -47,6 +48,33 @@ float ClipGradNorm(const std::vector<ag::Variable>& parameters,
     }
   }
   return norm;
+}
+
+void ExportTensorList(const std::vector<Tensor>& list,
+                      const std::string& prefix, hire::StateDict* out) {
+  HIRE_CHECK(out != nullptr);
+  for (size_t i = 0; i < list.size(); ++i) {
+    out->PutTensor(prefix + "." + std::to_string(i), list[i]);
+  }
+}
+
+void ImportTensorList(const hire::StateDict& state, const std::string& prefix,
+                      const std::vector<ag::Variable>& parameters,
+                      std::vector<Tensor>* list) {
+  HIRE_CHECK(list != nullptr);
+  HIRE_CHECK_EQ(list->size(), parameters.size())
+      << "tensor list '" << prefix << "' not sized like the parameter list";
+  for (size_t i = 0; i < list->size(); ++i) {
+    const std::string key = prefix + "." + std::to_string(i);
+    HIRE_CHECK(state.HasTensor(key))
+        << "optimizer state is missing '" << key << "'";
+    const Tensor& value = state.GetTensor(key);
+    HIRE_CHECK(value.SameShape(parameters[i].value()))
+        << "shape mismatch for optimizer state '" << key << "': snapshot "
+        << value.ShapeString() << " vs parameter "
+        << parameters[i].value().ShapeString();
+    (*list)[i] = value;
+  }
 }
 
 }  // namespace optim

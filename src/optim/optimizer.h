@@ -1,9 +1,11 @@
 #ifndef HIRE_OPTIM_OPTIMIZER_H_
 #define HIRE_OPTIM_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/state_dict.h"
 
 namespace hire {
 namespace optim {
@@ -21,6 +23,18 @@ class Optimizer {
 
   /// Applies one update using the current gradients.
   virtual void Step() = 0;
+
+  /// Serialisable optimiser state: moments, counters, slow weights —
+  /// everything beyond the parameters themselves that influences future
+  /// updates. Loading the returned dictionary into a freshly constructed
+  /// optimiser over the same parameter list (via LoadStateDict) reproduces
+  /// the update stream bitwise. The base implementation is empty; stateful
+  /// optimisers override both methods.
+  virtual hire::StateDict StateDict() const { return {}; }
+
+  /// Restores state captured by StateDict(). Shape or key mismatches throw
+  /// hire::CheckError.
+  virtual void LoadStateDict(const hire::StateDict& state) { (void)state; }
 
   /// Clears gradients on all managed parameters.
   void ZeroGrad();
@@ -41,6 +55,19 @@ class Optimizer {
 /// Returns the pre-clip norm. Parameters without gradients are ignored.
 float ClipGradNorm(const std::vector<ag::Variable>& parameters,
                    float max_norm);
+
+/// Stores a per-parameter tensor list (moments, velocities, slow weights)
+/// under keys "<prefix>.<index>". Used by optimiser StateDict()
+/// implementations so checkpoints share one naming scheme.
+void ExportTensorList(const std::vector<Tensor>& list,
+                      const std::string& prefix, hire::StateDict* out);
+
+/// Restores a tensor list written by ExportTensorList into `list`, checking
+/// each entry's shape against the matching parameter. `list` must already be
+/// sized like `parameters` (as the optimiser constructor leaves it).
+void ImportTensorList(const hire::StateDict& state, const std::string& prefix,
+                      const std::vector<ag::Variable>& parameters,
+                      std::vector<Tensor>* list);
 
 }  // namespace optim
 }  // namespace hire

@@ -37,5 +37,17 @@ void Sgd::Step() {
   }
 }
 
+hire::StateDict Sgd::StateDict() const {
+  hire::StateDict state;
+  ExportTensorList(velocity_, "sgd.velocity", &state);
+  return state;
+}
+
+void Sgd::LoadStateDict(const hire::StateDict& state) {
+  if (momentum_ > 0.0f) {
+    ImportTensorList(state, "sgd.velocity", parameters_, &velocity_);
+  }
+}
+
 }  // namespace optim
 }  // namespace hire

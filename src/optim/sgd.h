@@ -17,6 +17,11 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  /// Captures/restores the momentum velocity buffers under "sgd.*" keys
+  /// (empty when momentum is disabled).
+  hire::StateDict StateDict() const override;
+  void LoadStateDict(const hire::StateDict& state) override;
+
  private:
   float momentum_;
   std::vector<Tensor> velocity_;

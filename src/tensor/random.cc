@@ -1,5 +1,6 @@
 #include "tensor/random.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -97,6 +98,21 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 
 Rng Rng::Fork(uint64_t salt) {
   return Rng(Next() ^ (salt * 0xD6E8FEB86659FD93ull + 0xA5A5A5A5A5A5A5A5ull));
+}
+
+std::array<uint64_t, Rng::kStateWords> Rng::ExportState() const {
+  return {state_[0], state_[1], state_[2], state_[3],
+          has_cached_normal_ ? 1ull : 0ull,
+          std::bit_cast<uint64_t>(cached_normal_)};
+}
+
+void Rng::RestoreState(const std::array<uint64_t, kStateWords>& words) {
+  state_[0] = words[0];
+  state_[1] = words[1];
+  state_[2] = words[2];
+  state_[3] = words[3];
+  has_cached_normal_ = words[4] != 0;
+  cached_normal_ = std::bit_cast<double>(words[5]);
 }
 
 Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,

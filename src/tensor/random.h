@@ -1,6 +1,7 @@
 #ifndef HIRE_TENSOR_RANDOM_H_
 #define HIRE_TENSOR_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -54,6 +55,17 @@ class Rng {
   /// Forks an independent stream; the child is a pure function of the parent
   /// state and `salt`, so forked streams are reproducible too.
   Rng Fork(uint64_t salt);
+
+  /// Number of 64-bit words in the exported state: the four xoshiro words
+  /// plus the Box–Muller cache (flag + value bits).
+  static constexpr size_t kStateWords = 6;
+
+  /// Exports the complete generator state. A generator restored with
+  /// RestoreState resumes the exact output stream, including the cached
+  /// second normal deviate — this is what makes checkpoint/resume bitwise
+  /// identical to an uninterrupted run.
+  std::array<uint64_t, kStateWords> ExportState() const;
+  void RestoreState(const std::array<uint64_t, kStateWords>& words);
 
  private:
   uint64_t state_[4];

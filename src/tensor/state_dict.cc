@@ -1,0 +1,74 @@
+#include "tensor/state_dict.h"
+
+#include <bit>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace hire {
+
+void StateDict::PutTensor(const std::string& name, Tensor value) {
+  const auto [it, inserted] = tensors.emplace(name, std::move(value));
+  (void)it;
+  HIRE_CHECK(inserted) << "duplicate tensor '" << name << "' in StateDict";
+}
+
+const Tensor& StateDict::GetTensor(const std::string& name) const {
+  auto it = tensors.find(name);
+  HIRE_CHECK(it != tensors.end()) << "StateDict has no tensor '" << name << "'";
+  return it->second;
+}
+
+bool StateDict::HasTensor(const std::string& name) const {
+  return tensors.count(name) > 0;
+}
+
+void StateDict::PutScalar(const std::string& name, uint64_t value) {
+  const auto [it, inserted] = scalars.emplace(name, value);
+  (void)it;
+  HIRE_CHECK(inserted) << "duplicate scalar '" << name << "' in StateDict";
+}
+
+uint64_t StateDict::GetScalar(const std::string& name) const {
+  auto it = scalars.find(name);
+  HIRE_CHECK(it != scalars.end()) << "StateDict has no scalar '" << name << "'";
+  return it->second;
+}
+
+bool StateDict::HasScalar(const std::string& name) const {
+  return scalars.count(name) > 0;
+}
+
+void StateDict::PutFloat(const std::string& name, float value) {
+  PutScalar(name, static_cast<uint64_t>(std::bit_cast<uint32_t>(value)));
+}
+
+float StateDict::GetFloat(const std::string& name) const {
+  return std::bit_cast<float>(static_cast<uint32_t>(GetScalar(name)));
+}
+
+void StateDict::Merge(const StateDict& other, const std::string& prefix) {
+  for (const auto& [name, value] : other.tensors) {
+    PutTensor(prefix + name, value);
+  }
+  for (const auto& [name, value] : other.scalars) {
+    PutScalar(prefix + name, value);
+  }
+}
+
+StateDict StateDict::Extract(const std::string& prefix) const {
+  StateDict out;
+  for (const auto& [name, value] : tensors) {
+    if (name.rfind(prefix, 0) == 0) {
+      out.tensors.emplace(name.substr(prefix.size()), value);
+    }
+  }
+  for (const auto& [name, value] : scalars) {
+    if (name.rfind(prefix, 0) == 0) {
+      out.scalars.emplace(name.substr(prefix.size()), value);
+    }
+  }
+  return out;
+}
+
+}  // namespace hire

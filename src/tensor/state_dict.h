@@ -1,0 +1,54 @@
+#ifndef HIRE_TENSOR_STATE_DICT_H_
+#define HIRE_TENSOR_STATE_DICT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hire {
+
+/// Ordered, named collection of tensors and 64-bit scalars. This is the
+/// in-memory form of a training snapshot: model parameters, optimiser
+/// moments, step counters and RNG words all live in one StateDict, which
+/// `nn::SaveStateDict`/`nn::LoadStateDict` move to and from disk.
+///
+/// Keys are hierarchical dotted names ("model.encoder.weight",
+/// "optim.lamb.step_count"). Both maps are std::map so iteration order — and
+/// therefore the serialised byte stream — is deterministic.
+struct StateDict {
+  std::map<std::string, Tensor> tensors;
+  std::map<std::string, uint64_t> scalars;
+
+  /// Inserts a tensor; duplicate names throw.
+  void PutTensor(const std::string& name, Tensor value);
+  /// Fetches a tensor; missing names throw.
+  const Tensor& GetTensor(const std::string& name) const;
+  bool HasTensor(const std::string& name) const;
+
+  /// Inserts a scalar; duplicate names throw.
+  void PutScalar(const std::string& name, uint64_t value);
+  /// Fetches a scalar; missing names throw.
+  uint64_t GetScalar(const std::string& name) const;
+  bool HasScalar(const std::string& name) const;
+
+  /// Floats are stored as their exact bit pattern so a save/load round trip
+  /// is bitwise lossless (required for bitwise-identical resume).
+  void PutFloat(const std::string& name, float value);
+  float GetFloat(const std::string& name) const;
+
+  /// Copies every entry of `other` into this dictionary with `prefix`
+  /// prepended to the key; collisions throw.
+  void Merge(const StateDict& other, const std::string& prefix = "");
+
+  /// Sub-dictionary of all entries whose key starts with `prefix`, with the
+  /// prefix stripped.
+  StateDict Extract(const std::string& prefix) const;
+
+  bool empty() const { return tensors.empty() && scalars.empty(); }
+};
+
+}  // namespace hire
+
+#endif  // HIRE_TENSOR_STATE_DICT_H_

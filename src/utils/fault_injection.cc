@@ -1,0 +1,122 @@
+#include "utils/fault_injection.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "utils/check.h"
+#include "utils/logging.h"
+#include "utils/string_utils.h"
+
+namespace hire {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Reset() {
+  crash_at_step_ = -1;
+  nan_loss_steps_.clear();
+  truncate_checkpoint_ = false;
+  bitflip_checkpoint_ = false;
+}
+
+void FaultInjector::LoadFromEnv() {
+  if (const char* value = std::getenv("HIRE_FAULT_CRASH_AT_STEP")) {
+    crash_at_step_ = ParseInt64(value);
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_NAN_LOSS_AT_STEPS")) {
+    for (const std::string& field : Split(value, ',')) {
+      const std::string token = Trim(field);
+      if (!token.empty()) nan_loss_steps_.insert(ParseInt64(token));
+    }
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_TRUNCATE_CHECKPOINT")) {
+    truncate_checkpoint_ = std::string(value) != "0";
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_BITFLIP_CHECKPOINT")) {
+    bitflip_checkpoint_ = std::string(value) != "0";
+  }
+}
+
+void FaultInjector::ArmCrashAtStep(int64_t step) { crash_at_step_ = step; }
+
+void FaultInjector::ArmNanLossAtSteps(std::set<int64_t> steps) {
+  nan_loss_steps_ = std::move(steps);
+}
+
+void FaultInjector::ArmTruncateCheckpoint(bool on) {
+  truncate_checkpoint_ = on;
+}
+
+void FaultInjector::ArmBitflipCheckpoint(bool on) {
+  bitflip_checkpoint_ = on;
+}
+
+void FaultInjector::MaybeCrash(int64_t step) {
+  if (crash_at_step_ < 0 || step != crash_at_step_) return;
+  HIRE_LOG(Warning) << "fault injection: SIGKILL at step " << step;
+  std::raise(SIGKILL);
+  // SIGKILL cannot be handled; if raise somehow returns, hard-exit anyway so
+  // the harness still observes an abnormal termination.
+  std::_Exit(137);
+}
+
+bool FaultInjector::ConsumeNanLoss(int64_t step) {
+  auto it = nan_loss_steps_.find(step);
+  if (it == nan_loss_steps_.end()) return false;
+  nan_loss_steps_.erase(it);
+  HIRE_LOG(Warning) << "fault injection: poisoning loss with NaN at step "
+                    << step;
+  return true;
+}
+
+void FaultInjector::MaybeCorruptCheckpoint(const std::string& path) {
+  if (truncate_checkpoint_) {
+    const uint64_t size = FileSize(path);
+    TruncateFile(path, size / 2);
+    HIRE_LOG(Warning) << "fault injection: truncated checkpoint '" << path
+                      << "' to " << size / 2 << " bytes";
+  }
+  if (bitflip_checkpoint_) {
+    const uint64_t size = FileSize(path);
+    HIRE_CHECK_GT(size, 0u);
+    FlipFileBit(path, size / 2, 3);
+    HIRE_LOG(Warning) << "fault injection: flipped a bit in checkpoint '"
+                      << path << "'";
+  }
+}
+
+void TruncateFile(const std::string& path, uint64_t keep_bytes) {
+  std::error_code error;
+  std::filesystem::resize_file(path, keep_bytes, error);
+  HIRE_CHECK(!error) << "cannot truncate '" << path
+                     << "': " << error.message();
+}
+
+void FlipFileBit(const std::string& path, uint64_t byte_offset, int bit) {
+  HIRE_CHECK(bit >= 0 && bit < 8);
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  HIRE_CHECK(file.is_open()) << "cannot open '" << path << "' to flip a bit";
+  file.seekg(static_cast<std::streamoff>(byte_offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  HIRE_CHECK(file.good()) << "offset " << byte_offset << " past end of '"
+                          << path << "'";
+  byte = static_cast<char>(byte ^ (1 << bit));
+  file.seekp(static_cast<std::streamoff>(byte_offset));
+  file.write(&byte, 1);
+  HIRE_CHECK(file.good()) << "cannot write flipped byte to '" << path << "'";
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code error;
+  const uint64_t size = std::filesystem::file_size(path, error);
+  HIRE_CHECK(!error) << "cannot stat '" << path << "': " << error.message();
+  return size;
+}
+
+}  // namespace hire

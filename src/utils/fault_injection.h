@@ -1,0 +1,78 @@
+#ifndef HIRE_UTILS_FAULT_INJECTION_H_
+#define HIRE_UTILS_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace hire {
+
+/// Process-wide fault-injection harness for robustness testing. The trainer
+/// and checkpoint writer consult it at well-defined points; in production
+/// nothing is armed and every hook is a cheap no-op.
+///
+/// Faults are armed from environment variables the first time Global() is
+/// called (or programmatically from tests):
+///
+///   HIRE_FAULT_CRASH_AT_STEP=k        raise SIGKILL when training step k
+///                                     begins (simulates a hard kill / OOM)
+///   HIRE_FAULT_NAN_LOSS_AT_STEPS=a,b  poison the loss with NaN at the
+///                                     listed steps (one-shot per step, like
+///                                     a transient numeric fault)
+///   HIRE_FAULT_TRUNCATE_CHECKPOINT=1  truncate every checkpoint just after
+///                                     it is written
+///   HIRE_FAULT_BITFLIP_CHECKPOINT=1   flip one payload bit in every
+///                                     checkpoint just after it is written
+class FaultInjector {
+ public:
+  /// Singleton; arms faults from the environment on first use.
+  static FaultInjector& Global();
+
+  /// Disarms everything (tests call this between cases).
+  void Reset();
+
+  /// Re-reads the HIRE_FAULT_* environment variables.
+  void LoadFromEnv();
+
+  void ArmCrashAtStep(int64_t step);
+  void ArmNanLossAtSteps(std::set<int64_t> steps);
+  void ArmTruncateCheckpoint(bool on);
+  void ArmBitflipCheckpoint(bool on);
+
+  /// Kills the process (SIGKILL) if a crash is armed for `step`.
+  void MaybeCrash(int64_t step);
+
+  /// True exactly once per armed step: the caller should poison that step's
+  /// loss with NaN. One-shot so a post-rollback re-run of the same step
+  /// index succeeds, modelling a transient fault.
+  bool ConsumeNanLoss(int64_t step);
+
+  /// Applies the armed checkpoint corruption (truncate / bit flip) to the
+  /// file at `path`. Called by the checkpoint writer after each write.
+  void MaybeCorruptCheckpoint(const std::string& path);
+
+  bool AnyCheckpointCorruptionArmed() const {
+    return truncate_checkpoint_ || bitflip_checkpoint_;
+  }
+
+ private:
+  FaultInjector() { LoadFromEnv(); }
+
+  int64_t crash_at_step_ = -1;
+  std::set<int64_t> nan_loss_steps_;
+  bool truncate_checkpoint_ = false;
+  bool bitflip_checkpoint_ = false;
+};
+
+/// Truncates the file at `path` to its first `keep_bytes` bytes.
+void TruncateFile(const std::string& path, uint64_t keep_bytes);
+
+/// Flips bit `bit` (0-7) of the byte at `byte_offset` in the file at `path`.
+void FlipFileBit(const std::string& path, uint64_t byte_offset, int bit);
+
+/// Size in bytes of the file at `path`; throws if it cannot be stat'd.
+uint64_t FileSize(const std::string& path);
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_FAULT_INJECTION_H_

@@ -1,0 +1,444 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hire_config.h"
+#include "core/hire_model.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "optim/adam.h"
+#include "optim/lamb.h"
+#include "optim/lookahead.h"
+#include "optim/sgd.h"
+#include "tensor/random.h"
+#include "utils/check.h"
+#include "utils/fault_injection.h"
+
+namespace hire {
+namespace core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+data::Dataset SmallDataset(uint64_t seed = 1) {
+  data::SyntheticConfig config;
+  config.num_users = 48;
+  config.num_items = 48;
+  config.num_ratings = 900;
+  config.user_schema = {{"age", 4}, {"gender", 2}};
+  config.item_schema = {{"genre", 5}};
+  return data::GenerateSyntheticDataset(config, seed);
+}
+
+HireConfig SmallConfig() {
+  HireConfig config;
+  config.num_him_blocks = 2;
+  config.num_heads = 2;
+  config.head_dim = 4;
+  config.attr_embed_dim = 4;
+  return config;
+}
+
+TrainerConfig SmallTrainer(int64_t steps) {
+  TrainerConfig config;
+  config.num_steps = steps;
+  config.batch_size = 2;
+  config.context_users = 6;
+  config.context_items = 6;
+  config.log_every = 0;
+  config.num_threads = 1;
+  config.seed = 17;
+  return config;
+}
+
+/// Bitwise comparison of two models' parameters.
+void ExpectBitwiseEqual(const nn::Module& a, const nn::Module& b) {
+  const auto pa = a.NamedParameters();
+  const auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t p = 0; p < pa.size(); ++p) {
+    const Tensor& ta = pa[p].second.value();
+    const Tensor& tb = pb[p].second.value();
+    ASSERT_TRUE(ta.SameShape(tb)) << pa[p].first;
+    for (int64_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta.flat(i), tb.flat(i))
+          << pa[p].first << " diverges at flat index " << i;
+    }
+  }
+}
+
+void ExpectAllFinite(const nn::Module& module) {
+  for (const auto& [name, variable] : module.NamedParameters()) {
+    const Tensor& value = variable.value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(value.flat(i)))
+          << name << " has a non-finite entry";
+    }
+  }
+}
+
+/// Scratch directory unique to the running test.
+std::string ScratchDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/hire_ckpt_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer StateDict round trips: a restored optimizer must continue the
+// update stream bitwise.
+// ---------------------------------------------------------------------------
+
+std::vector<ag::Variable> MakeParams(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ag::Variable> params;
+  params.emplace_back(RandomNormal({4, 3}, 0.0f, 1.0f, &rng), true);
+  params.emplace_back(RandomNormal({3}, 0.0f, 1.0f, &rng), true);
+  return params;
+}
+
+void ApplyGrad(std::vector<ag::Variable>* params, uint64_t seed) {
+  Rng rng(seed);
+  for (ag::Variable& param : *params) {
+    param.ZeroGrad();
+    param.impl()->AccumulateGrad(
+        RandomNormal(param.shape(), 0.0f, 0.5f, &rng));
+  }
+}
+
+void ExpectParamsBitwiseEqual(const std::vector<ag::Variable>& a,
+                              const std::vector<ag::Variable>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    const Tensor& ta = a[p].value();
+    const Tensor& tb = b[p].value();
+    ASSERT_TRUE(ta.SameShape(tb));
+    for (int64_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta.flat(i), tb.flat(i)) << "param " << p << " index " << i;
+    }
+  }
+}
+
+template <typename MakeOptimizer>
+void CheckOptimizerResume(MakeOptimizer make) {
+  // Reference: 6 uninterrupted steps.
+  auto params_a = MakeParams(7);
+  auto opt_a = make(params_a);
+  for (uint64_t s = 0; s < 6; ++s) {
+    ApplyGrad(&params_a, 100 + s);
+    opt_a->Step();
+  }
+
+  // Interrupted: 3 steps, capture, restore into a fresh optimizer over
+  // parameters holding the captured values, then 3 more steps.
+  auto params_b = MakeParams(7);
+  auto opt_b = make(params_b);
+  for (uint64_t s = 0; s < 3; ++s) {
+    ApplyGrad(&params_b, 100 + s);
+    opt_b->Step();
+  }
+  const StateDict state = opt_b->StateDict();
+
+  auto params_c = MakeParams(7);
+  for (size_t p = 0; p < params_c.size(); ++p) {
+    params_c[p].mutable_value() = params_b[p].value();
+  }
+  auto opt_c = make(params_c);
+  opt_c->LoadStateDict(state);
+  for (uint64_t s = 3; s < 6; ++s) {
+    ApplyGrad(&params_c, 100 + s);
+    opt_c->Step();
+  }
+
+  ExpectParamsBitwiseEqual(params_a, params_c);
+}
+
+TEST(OptimizerStateDictTest, SgdMomentumResumesBitwise) {
+  CheckOptimizerResume([](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Sgd>(std::move(params), 0.05f, 0.9f);
+  });
+}
+
+TEST(OptimizerStateDictTest, AdamResumesBitwise) {
+  CheckOptimizerResume([](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Adam>(std::move(params),
+                                         optim::AdamConfig{});
+  });
+}
+
+TEST(OptimizerStateDictTest, LambResumesBitwise) {
+  CheckOptimizerResume([](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Lamb>(std::move(params),
+                                         optim::LambConfig{});
+  });
+}
+
+TEST(OptimizerStateDictTest, LookaheadLambResumesBitwise) {
+  // sync_period 2 so slow-weight syncs happen inside both segments.
+  CheckOptimizerResume([](std::vector<ag::Variable> params) {
+    auto lamb = std::make_unique<optim::Lamb>(std::move(params),
+                                              optim::LambConfig{});
+    return std::make_unique<optim::Lookahead>(std::move(lamb), 0.5f, 2);
+  });
+}
+
+TEST(OptimizerStateDictTest, ShapeMismatchOnLoadThrows) {
+  auto params = MakeParams(9);
+  optim::Adam adam(params, optim::AdamConfig{});
+  StateDict bad = adam.StateDict();
+  bad.tensors["adam.m.0"] = Tensor::Zeros({2, 2});
+  EXPECT_THROW(adam.LoadStateDict(bad), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer kill/resume equivalence.
+// ---------------------------------------------------------------------------
+
+class TrainerCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    dataset_ = std::make_unique<data::Dataset>(SmallDataset());
+    graph_ = std::make_unique<graph::BipartiteGraph>(
+        dataset_->num_users(), dataset_->num_items(), dataset_->ratings());
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    if (!scratch_.empty()) std::filesystem::remove_all(scratch_);
+  }
+
+  HireModel MakeModel() { return HireModel(dataset_.get(), SmallConfig(), 5); }
+
+  TrainStats Train(HireModel* model, const TrainerConfig& config) {
+    graph::NeighborhoodSampler sampler;
+    return TrainHire(model, *graph_, sampler, config);
+  }
+
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<graph::BipartiteGraph> graph_;
+  std::string scratch_;
+};
+
+TEST_F(TrainerCheckpointTest, InterruptedRunResumesBitwiseIdentical) {
+  scratch_ = ScratchDir("resume");
+
+  // Reference: 24 uninterrupted steps, no checkpointing.
+  HireModel reference = MakeModel();
+  Train(&reference, SmallTrainer(24));
+
+  // Same run with checkpointing on (snapshots at 5, 10, 15, 20).
+  // Checkpointing must not perturb training.
+  {
+    HireModel writer = MakeModel();
+    TrainerConfig config = SmallTrainer(24);
+    config.checkpoint_every = 5;
+    config.checkpoint_keep = 10;
+    config.checkpoint_dir = scratch_;
+    const TrainStats stats = Train(&writer, config);
+    EXPECT_EQ(stats.checkpoints_written, 4);
+    ExpectBitwiseEqual(reference, writer);
+  }
+
+  // Simulate a crash between steps 15 and 20: the ckpt-20 snapshot was
+  // never written. Resume in a fresh process-equivalent (new model object,
+  // same seed/flags) must redo 15..23 and land bitwise on the reference —
+  // including steps past the cosine-anneal boundary (0.7 * 24 ≈ 17).
+  std::filesystem::remove(scratch_ + "/" + CheckpointFileName(20));
+
+  HireModel resumed = MakeModel();
+  TrainerConfig config = SmallTrainer(24);
+  config.checkpoint_every = 5;
+  config.checkpoint_keep = 10;
+  config.checkpoint_dir = scratch_;
+  config.resume = true;
+  const TrainStats stats = Train(&resumed, config);
+  EXPECT_EQ(stats.start_step, 15);
+
+  ExpectBitwiseEqual(reference, resumed);
+}
+
+TEST_F(TrainerCheckpointTest, CorruptNewestCheckpointFallsBackToOlderValid) {
+  scratch_ = ScratchDir("fallback");
+
+  HireModel reference = MakeModel();
+  Train(&reference, SmallTrainer(24));
+
+  {
+    HireModel writer = MakeModel();
+    TrainerConfig config = SmallTrainer(24);
+    config.checkpoint_every = 5;
+    config.checkpoint_keep = 10;
+    config.checkpoint_dir = scratch_;
+    Train(&writer, config);
+  }
+
+  // Flip one bit in the newest snapshot: the checksum must reject it and
+  // resume must fall back to the previous one — and still match the
+  // uninterrupted run bitwise.
+  const std::string newest = scratch_ + "/" + CheckpointFileName(20);
+  FlipFileBit(newest, FileSize(newest) / 2, 5);
+
+  HireModel resumed = MakeModel();
+  TrainerConfig config = SmallTrainer(24);
+  config.checkpoint_every = 5;
+  config.checkpoint_keep = 10;
+  config.checkpoint_dir = scratch_;
+  config.resume = true;
+  const TrainStats stats = Train(&resumed, config);
+  EXPECT_EQ(stats.start_step, 15);
+
+  ExpectBitwiseEqual(reference, resumed);
+}
+
+TEST_F(TrainerCheckpointTest, TruncatedCheckpointIsRejected) {
+  scratch_ = ScratchDir("truncated");
+
+  {
+    HireModel model = MakeModel();
+    TrainerConfig config = SmallTrainer(12);
+    config.checkpoint_every = 5;
+    config.checkpoint_dir = scratch_;
+    Train(&model, config);
+  }
+  const std::string newest = scratch_ + "/" + CheckpointFileName(10);
+  TruncateFile(newest, FileSize(newest) / 3);
+
+  const auto loaded = LoadLatestCheckpoint(scratch_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->path, scratch_ + "/" + CheckpointFileName(5));
+}
+
+TEST_F(TrainerCheckpointTest, HarnessCorruptedCheckpointsForceFreshStart) {
+  scratch_ = ScratchDir("allcorrupt");
+
+  // The harness bit-flips every checkpoint as it is written.
+  FaultInjector::Global().ArmBitflipCheckpoint(true);
+  {
+    HireModel model = MakeModel();
+    TrainerConfig config = SmallTrainer(12);
+    config.checkpoint_every = 4;
+    config.checkpoint_dir = scratch_;
+    Train(&model, config);
+  }
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(LoadLatestCheckpoint(scratch_).has_value());
+
+  // Resume finds nothing usable and starts from scratch instead of dying.
+  HireModel resumed = MakeModel();
+  TrainerConfig config = SmallTrainer(6);
+  config.checkpoint_dir = scratch_;
+  config.resume = true;
+  const TrainStats stats = Train(&resumed, config);
+  EXPECT_EQ(stats.start_step, 0);
+}
+
+TEST_F(TrainerCheckpointTest, RetentionKeepsOnlyNewestK) {
+  scratch_ = ScratchDir("retention");
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(20);
+  config.checkpoint_every = 4;  // checkpoints at 4, 8, 12, 16, 20
+  config.checkpoint_keep = 2;
+  config.checkpoint_dir = scratch_;
+  Train(&model, config);
+
+  const std::vector<int64_t> steps = ListCheckpointSteps(scratch_);
+  EXPECT_EQ(steps, (std::vector<int64_t>{16, 20}));
+}
+
+// ---------------------------------------------------------------------------
+// Divergence guards.
+// ---------------------------------------------------------------------------
+
+TEST_F(TrainerCheckpointTest, NanLossStepIsSkippedWithoutAborting) {
+  FaultInjector::Global().ArmNanLossAtSteps({3});
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(8);
+  config.max_bad_steps = 3;
+  const TrainStats stats = Train(&model, config);
+
+  EXPECT_EQ(stats.skipped_steps, 1);
+  EXPECT_EQ(stats.rollbacks, 0);
+  // 8 scheduled steps minus the skipped one produced updates.
+  EXPECT_EQ(stats.step_losses.size(), 7u);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  ExpectAllFinite(model);
+}
+
+TEST_F(TrainerCheckpointTest, ConsecutiveNanStepsTriggerRollbackAndBackoff) {
+  scratch_ = ScratchDir("rollback");
+  FaultInjector::Global().ArmNanLossAtSteps({5, 6, 7});
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(12);
+  config.checkpoint_every = 2;
+  config.checkpoint_dir = scratch_;
+  config.max_bad_steps = 3;
+  const TrainStats stats = Train(&model, config);
+
+  EXPECT_EQ(stats.skipped_steps, 3);
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  ExpectAllFinite(model);
+}
+
+TEST_F(TrainerCheckpointTest, GuardDisabledStillRunsToCompletion) {
+  FaultInjector::Global().ArmNanLossAtSteps({2});
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(4);
+  config.max_bad_steps = 0;  // guard off: NaN reaches the parameters
+  const TrainStats stats = Train(&model, config);
+  EXPECT_EQ(stats.skipped_steps, 0);
+  EXPECT_EQ(stats.step_losses.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// CaptureTrainingState / RestoreTrainingState round trip.
+// ---------------------------------------------------------------------------
+
+TEST_F(TrainerCheckpointTest, CaptureRestoreRoundTripsRngAndLoopState) {
+  HireModel model = MakeModel();
+  auto lamb = std::make_unique<optim::Lamb>(model.Parameters(),
+                                            optim::LambConfig{});
+  optim::Lookahead optimizer(std::move(lamb), 0.5f, 6);
+  Rng rng(99);
+  rng.Normal();  // populate the Box–Muller cache
+
+  const StateDict state =
+      CaptureTrainingState(model, optimizer, rng, ResumeInfo{42, 0.25f});
+
+  HireModel other = MakeModel();
+  auto lamb2 = std::make_unique<optim::Lamb>(other.Parameters(),
+                                             optim::LambConfig{});
+  optim::Lookahead optimizer2(std::move(lamb2), 0.5f, 6);
+  Rng rng2(1);
+  const ResumeInfo info =
+      RestoreTrainingState(state, &other, &optimizer2, &rng2);
+
+  EXPECT_EQ(info.next_step, 42);
+  EXPECT_EQ(info.lr_scale, 0.25f);
+  ExpectBitwiseEqual(model, other);
+  // The restored stream continues exactly.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(rng.Next(), rng2.Next());
+  }
+  ASSERT_EQ(rng.Normal(), rng2.Normal());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hire

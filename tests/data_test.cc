@@ -431,6 +431,87 @@ TEST_F(CsvLoaderTest, OutOfRangeRatingThrows) {
   EXPECT_THROW(LoadCsvDataset(spec), CheckError);
 }
 
+TEST_F(CsvLoaderTest, MalformedRowReportsFileAndLineNumber) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("line_ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1,4\n"
+                                "u2,i1,oops\n");
+  files_ = {spec.ratings_path};
+  try {
+    LoadCsvDataset(spec);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line_ratings.csv:3"), std::string::npos)
+        << "error should name the file and line: " << message;
+    EXPECT_NE(message.find("oops"), std::string::npos) << message;
+  }
+}
+
+TEST_F(CsvLoaderTest, ShortRowReportsFileAndLineNumber) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("short_ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1\n");
+  files_ = {spec.ratings_path};
+  try {
+    LoadCsvDataset(spec);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("short_ratings.csv:2"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(CsvLoaderTest, NonFiniteRatingThrows) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    CsvDatasetSpec spec;
+    spec.ratings_path = WriteFile("nonfinite_ratings.csv",
+                                  std::string("user,item,rating\n"
+                                              "u1,i1,") +
+                                      bad + "\n");
+    files_ = {spec.ratings_path};
+    EXPECT_THROW(LoadCsvDataset(spec), CheckError) << bad;
+  }
+}
+
+TEST_F(CsvLoaderTest, EmptyFileThrowsWithClearMessage) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("empty_ratings.csv", "user,item,rating\n");
+  files_ = {spec.ratings_path};
+  try {
+    LoadCsvDataset(spec);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("no data rows"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(CsvLoaderTest, RaggedAttributeRowReportsFileAndLineNumber) {
+  CsvDatasetSpec spec;
+  spec.ratings_path = WriteFile("rag_ratings.csv",
+                                "user,item,rating\n"
+                                "u1,i1,4\n");
+  // The first data row fixes the column count; the ragged one is line 3.
+  spec.user_attributes_path = WriteFile("rag_users.csv",
+                                        "user,age,job\n"
+                                        "u1,young,teacher\n"
+                                        "u2,old,doctor,extra\n");
+  files_ = {spec.ratings_path, spec.user_attributes_path};
+  try {
+    LoadCsvDataset(spec);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("rag_users.csv:3"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace hire

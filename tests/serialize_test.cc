@@ -1,0 +1,207 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "nn/mlp.h"
+#include "tensor/random.h"
+#include "tensor/state_dict.h"
+#include "utils/check.h"
+#include "utils/fault_injection.h"
+
+namespace hire {
+namespace nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StateDict container.
+// ---------------------------------------------------------------------------
+
+TEST(StateDictTest, RoundTripsTensorsScalarsAndFloatBits) {
+  Rng rng(11);
+  StateDict state;
+  state.PutTensor("a.weight", RandomNormal({3, 4}, 0.0f, 1.0f, &rng));
+  state.PutTensor("b.bias", RandomUniform({5}, -2.0f, 2.0f, &rng));
+  state.PutScalar("step", 42);
+  state.PutFloat("lr_scale", 1.0f / 3.0f);  // not exactly representable text
+
+  const std::string path = testing::TempDir() + "/hire_statedict.snap";
+  SaveStateDict(state, path);
+  const StateDict loaded = LoadStateDict(path);
+
+  EXPECT_EQ(loaded.GetScalar("step"), 42u);
+  // Float scalars must survive with their exact bit pattern.
+  EXPECT_EQ(loaded.GetFloat("lr_scale"), 1.0f / 3.0f);
+  ASSERT_TRUE(loaded.HasTensor("a.weight"));
+  const Tensor& a = state.GetTensor("a.weight");
+  const Tensor& a_loaded = loaded.GetTensor("a.weight");
+  ASSERT_TRUE(a_loaded.SameShape(a));
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a_loaded.flat(i), a.flat(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StateDictTest, DuplicateAndMissingKeysThrow) {
+  StateDict state;
+  state.PutScalar("x", 1);
+  EXPECT_THROW(state.PutScalar("x", 2), CheckError);
+  EXPECT_THROW(state.GetScalar("y"), CheckError);
+  EXPECT_THROW(state.GetTensor("z"), CheckError);
+}
+
+TEST(StateDictTest, MergeWithPrefixAndExtract) {
+  StateDict inner;
+  inner.PutScalar("step_count", 7);
+  inner.PutTensor("m.0", Tensor::Zeros({2}));
+  StateDict outer;
+  outer.Merge(inner, "optim.");
+  EXPECT_EQ(outer.GetScalar("optim.step_count"), 7u);
+  const StateDict extracted = outer.Extract("optim.");
+  EXPECT_EQ(extracted.GetScalar("step_count"), 7u);
+  EXPECT_TRUE(extracted.HasTensor("m.0"));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot failure modes: truncation, corruption, wrong magic/version.
+// ---------------------------------------------------------------------------
+
+class SnapshotFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    StateDict state;
+    state.PutTensor("w", RandomNormal({8, 8}, 0.0f, 1.0f, &rng));
+    state.PutScalar("step", 9);
+    path_ = testing::TempDir() + "/hire_snapshot_failures.snap";
+    SaveStateDict(state, path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(SnapshotFile, LoadsWhenIntact) {
+  const StateDict loaded = LoadStateDict(path_);
+  EXPECT_EQ(loaded.GetScalar("step"), 9u);
+}
+
+TEST_F(SnapshotFile, AtomicSaveLeavesNoTempFile) {
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(SnapshotFile, TruncatedFileThrows) {
+  TruncateFile(path_, FileSize(path_) / 2);
+  EXPECT_THROW(LoadStateDict(path_), CheckError);
+}
+
+TEST_F(SnapshotFile, TruncatedToHeaderOnlyThrows) {
+  TruncateFile(path_, 12);
+  EXPECT_THROW(LoadStateDict(path_), CheckError);
+}
+
+TEST_F(SnapshotFile, BitFlipInPayloadFailsChecksum) {
+  FlipFileBit(path_, FileSize(path_) / 2, 0);
+  try {
+    LoadStateDict(path_);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SnapshotFile, WrongMagicThrows) {
+  FlipFileBit(path_, 0, 1);
+  EXPECT_THROW(LoadStateDict(path_), CheckError);
+}
+
+TEST_F(SnapshotFile, UnsupportedVersionThrows) {
+  // Bytes 8..11 hold the little-endian version field.
+  FlipFileBit(path_, 8, 6);
+  try {
+    LoadStateDict(path_);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos)
+        << error.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter save/load on top of the snapshot container.
+// ---------------------------------------------------------------------------
+
+TEST(SerializeV2Test, ParameterNameMismatchThrows) {
+  Rng rng(31);
+  Mlp mlp({3, 4, 1}, Activation::kRelu, &rng);
+  StateDict state;
+  state.PutTensor("not.a.real.parameter", Tensor::Zeros({3, 4}));
+  EXPECT_THROW(ImportParameters(&mlp, "", state), CheckError);
+}
+
+TEST(SerializeV2Test, CorruptedParameterFileThrows) {
+  Rng rng(32);
+  Mlp original({3, 4, 1}, Activation::kRelu, &rng);
+  Mlp restored({3, 4, 1}, Activation::kRelu, &rng);
+  const std::string path = testing::TempDir() + "/hire_params_bitflip.snap";
+  SaveParameters(original, path);
+  FlipFileBit(path, FileSize(path) - 16, 2);
+  EXPECT_THROW(LoadParameters(&restored, path), CheckError);
+  std::remove(path.c_str());
+}
+
+// Pre-version ("HIREPARAMS1") files written by older builds must keep
+// loading. This writes the legacy byte stream by hand.
+TEST(SerializeV2Test, LegacyParameterFileStillLoads) {
+  Rng rng(33);
+  Mlp original({2, 3, 1}, Activation::kRelu, &rng);
+  Mlp restored({2, 3, 1}, Activation::kRelu, &rng);
+
+  const std::string path = testing::TempDir() + "/hire_params_legacy.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    auto write_u64 = [&out](uint64_t value) {
+      out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    };
+    const auto named = original.NamedParameters();
+    out.write("HIREPARAMS1", 11);
+    write_u64(named.size());
+    for (const auto& [name, variable] : named) {
+      write_u64(name.size());
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      const Tensor& value = variable.value();
+      write_u64(static_cast<uint64_t>(value.dim()));
+      for (int64_t extent : value.shape()) {
+        write_u64(static_cast<uint64_t>(extent));
+      }
+      out.write(reinterpret_cast<const char*>(value.data()),
+                static_cast<std::streamsize>(value.size() * sizeof(float)));
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  LoadParameters(&restored, path);
+  const auto original_params = original.NamedParameters();
+  const auto restored_params = restored.NamedParameters();
+  ASSERT_EQ(original_params.size(), restored_params.size());
+  for (size_t p = 0; p < original_params.size(); ++p) {
+    const Tensor& a = original_params[p].second.value();
+    const Tensor& b = restored_params[p].second.value();
+    ASSERT_TRUE(a.SameShape(b));
+    for (int64_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.flat(i), b.flat(i)) << original_params[p].first;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace hire

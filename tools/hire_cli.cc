@@ -55,6 +55,14 @@ train:
   --head-dim <int>     per-head width (8)
   --embed-dim <int>    per-attribute embedding width f (8)
   --out <path>         where to save the trained parameters (required)
+  --checkpoint-dir <dir>    directory for training snapshots (off by default)
+  --checkpoint-every <int>  snapshot every N steps (50; needs --checkpoint-dir)
+  --checkpoint-keep <int>   retain the newest K snapshots (3)
+  --resume             continue from the newest valid snapshot in
+                       --checkpoint-dir; resumed runs are bitwise identical
+                       to uninterrupted ones
+  --max-bad-steps <int>     consecutive non-finite steps tolerated before
+                            rollback + learning-rate backoff (3; 0 disables)
 
 evaluate:
   --model <path>       trained parameters from `train` (required)
@@ -122,11 +130,30 @@ int Train(const Flags& flags) {
   trainer.context_items = trainer.context_users;
   trainer.batch_size = flags.GetInt("batch", 2);
   trainer.log_every = flags.GetInt("log-every", 100);
+  trainer.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  trainer.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  trainer.checkpoint_every =
+      trainer.checkpoint_dir.empty() ? 0 : flags.GetInt("checkpoint-every", 50);
+  trainer.checkpoint_keep =
+      static_cast<int>(flags.GetInt("checkpoint-keep", 3));
+  trainer.resume = flags.GetBool("resume", false);
+  trainer.max_bad_steps = static_cast<int>(flags.GetInt("max-bad-steps", 3));
   const core::TrainStats stats =
       core::TrainHire(&model, graph, sampler, trainer);
-  std::cout << "trained: loss " << FormatDouble(stats.step_losses.front(), 4)
-            << " -> " << FormatDouble(stats.final_loss, 4) << " in "
-            << FormatDouble(stats.train_seconds, 1) << "s\n";
+  if (stats.start_step > 0) {
+    std::cout << "resumed from step " << stats.start_step << "\n";
+  }
+  if (stats.skipped_steps > 0 || stats.rollbacks > 0) {
+    std::cout << "divergence guard: skipped " << stats.skipped_steps
+              << " step(s), " << stats.rollbacks << " rollback(s)\n";
+  }
+  if (stats.step_losses.empty()) {
+    std::cout << "trained: no steps executed (already complete)\n";
+  } else {
+    std::cout << "trained: loss " << FormatDouble(stats.step_losses.front(), 4)
+              << " -> " << FormatDouble(stats.final_loss, 4) << " in "
+              << FormatDouble(stats.train_seconds, 1) << "s\n";
+  }
 
   nn::SaveParameters(model, out);
   std::cout << "saved parameters to " << out << "\n";
@@ -240,6 +267,11 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const hire::CheckError& error) {
     std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  } catch (const std::exception& error) {
+    // bad_alloc, filesystem errors, ... — fail with a message and a non-zero
+    // exit code instead of std::terminate.
+    std::cerr << "fatal: " << error.what() << "\n";
     return 1;
   }
 }
