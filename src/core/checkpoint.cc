@@ -123,7 +123,10 @@ std::optional<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
       loaded.state = nn::LoadStateDict(path);
       loaded.path = path;
       return loaded;
-    } catch (const CheckError& error) {
+    } catch (const std::exception& error) {
+      // Catch std::exception, not just CheckError: a corrupt snapshot can
+      // also surface as bad_alloc/length_error/filesystem_error, and any of
+      // them must fall back to the next-older snapshot, not abort resume.
       HIRE_LOG(Warning) << "skipping unusable checkpoint '" << path
                         << "': " << error.what();
     }

@@ -76,6 +76,7 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   // checkpointing disabled the anchor is the starting state.
   StateDict last_good;
   bool has_anchor = false;
+  size_t anchor_loss_count = 0;
   if (config.max_bad_steps > 0) {
     last_good = CaptureTrainingState(*model, optimizer, rng,
                                      ResumeInfo{step, lr_scale});
@@ -134,9 +135,20 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
       if (consecutive_bad >= config.max_bad_steps && has_anchor) {
         const ResumeInfo info =
             RestoreTrainingState(last_good, model, &optimizer, &rng);
-        lr_scale = info.lr_scale * config.divergence_lr_backoff;
+        // Compound off the running scale, not the anchor's stored one: the
+        // anchor only refreshes at checkpoint writes, so re-reading its
+        // scale on a second rollback would restore identical params/RNG
+        // with an identical rate and replay the same diverging trajectory
+        // forever.
+        lr_scale *= config.divergence_lr_backoff;
+        stats.step_losses.resize(anchor_loss_count);
         ++stats.rollbacks;
         consecutive_bad = 0;
+        HIRE_CHECK(config.max_rollbacks <= 0 ||
+                   stats.rollbacks <= config.max_rollbacks)
+            << "training rolled back " << stats.rollbacks
+            << " times without recovering (lr scale down to " << lr_scale
+            << "); aborting";
         HIRE_LOG(Warning) << "rolled back to step " << info.next_step
                           << " with lr scale " << lr_scale;
         step = info.next_step - 1;  // loop increment lands on next_step
@@ -170,12 +182,14 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
           !faults.AnyCheckpointCorruptionArmed()) {
         last_good = std::move(snapshot);
         has_anchor = true;
+        anchor_loss_count = stats.step_losses.size();
       }
     }
   }
 
   stats.final_loss =
       stats.step_losses.empty() ? 0.0f : stats.step_losses.back();
+  stats.final_lr_scale = lr_scale;
   stats.train_seconds = stopwatch.ElapsedSeconds();
   const KernelTimers::Snapshot run_delta = KernelTimers::Take() - run_start;
   stats.matmul_seconds = run_delta.Seconds(KernelCategory::kMatMul);

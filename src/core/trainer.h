@@ -55,9 +55,14 @@ struct TrainerConfig {
   /// Divergence guard: a step whose loss or gradient norm is non-finite is
   /// skipped (no optimizer update). After `max_bad_steps` consecutive bad
   /// steps the trainer rolls back to the last good snapshot and multiplies
-  /// the learning rate by `divergence_lr_backoff`. 0 disables the guard.
+  /// the learning rate by `divergence_lr_backoff`; the backoff compounds
+  /// across successive rollbacks. 0 disables the guard.
   int max_bad_steps = 3;
   float divergence_lr_backoff = 0.5f;
+  /// Hard cap on rollbacks per run: exceeding it aborts with CheckError
+  /// instead of retraining forever on a run that cannot recover.
+  /// 0 disables the cap.
+  int64_t max_rollbacks = 8;
 
   /// Worker threads for the tensor kernels: > 0 resizes the process-wide
   /// pool, 0 keeps the current setting (--threads flag / HIRE_NUM_THREADS
@@ -69,7 +74,9 @@ struct TrainerConfig {
 
 /// Result of a training run.
 struct TrainStats {
-  /// Loss of every executed (non-skipped) step in this process.
+  /// Loss of every executed (non-skipped) step in this process. Losses from
+  /// trajectories discarded by a divergence rollback are removed, so entries
+  /// always describe the surviving trajectory.
   std::vector<float> step_losses;
   float final_loss = 0.0f;
   double train_seconds = 0.0;
@@ -78,6 +85,9 @@ struct TrainStats {
   /// Divergence-guard counters.
   int64_t skipped_steps = 0;
   int64_t rollbacks = 0;
+  /// Learning-rate multiplier at the end of the run: divergence_lr_backoff
+  /// compounded once per rollback (1.0 when no rollback happened).
+  float final_lr_scale = 1.0f;
   int64_t checkpoints_written = 0;
   /// Kernel-time breakdown accumulated over the run (attention overlaps
   /// matmul/softmax: it wraps whole MHSA forwards).

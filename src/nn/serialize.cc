@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <unordered_map>
 #include <vector>
@@ -71,7 +72,9 @@ class PayloadReader {
       : buffer_(buffer), path_(path) {}
 
   void Read(void* dst, size_t size) {
-    HIRE_CHECK(offset_ + size <= buffer_.size())
+    // Overflow-safe: offset_ <= buffer_.size() is an invariant, so the
+    // subtraction cannot wrap the way `offset_ + size` could for huge sizes.
+    HIRE_CHECK(size <= buffer_.size() - offset_)
         << "truncated snapshot payload in '" << path_ << "'";
     std::memcpy(dst, buffer_.data() + offset_, size);
     offset_ += size;
@@ -85,7 +88,7 @@ class PayloadReader {
 
   std::string ReadString() {
     const uint64_t size = ReadU64();
-    HIRE_CHECK(offset_ + size <= buffer_.size())
+    HIRE_CHECK(size <= buffer_.size() - offset_)
         << "truncated snapshot payload in '" << path_ << "'";
     std::string text(buffer_.data() + offset_, size);
     offset_ += size;
@@ -262,6 +265,21 @@ StateDict LoadStateDict(const std::string& path) {
   in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
   HIRE_CHECK(in.good()) << "truncated snapshot header in '" << path << "'";
 
+  // The header is not covered by the CRC, so validate the size field against
+  // the on-disk size before allocating: a corrupted size must surface as
+  // CheckError (which recovery paths skip past), not length_error/bad_alloc.
+  constexpr uint64_t kEnvelopeBytes = sizeof(kSnapMagic) + sizeof(uint32_t) +
+                                      sizeof(uint64_t) + sizeof(uint32_t);
+  std::error_code size_error;
+  const uint64_t file_size = std::filesystem::file_size(path, size_error);
+  HIRE_CHECK(!size_error)
+      << "cannot stat '" << path << "': " << size_error.message();
+  HIRE_CHECK(file_size >= kEnvelopeBytes &&
+             payload_size == file_size - kEnvelopeBytes)
+      << "snapshot '" << path << "' header claims a " << payload_size
+      << "-byte payload but the file holds " << file_size
+      << " bytes — header is corrupt or the file is truncated";
+
   std::string payload(payload_size, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_size));
   HIRE_CHECK(in.good() &&
@@ -319,16 +337,18 @@ void LoadParameters(Module* module, const std::string& path) {
   // "HIREPARAMS1", current snapshots with "HIRESNAP".
   std::ifstream in(path, std::ios::binary);
   HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
-  char magic[kLegacyMagicLen];
+  char magic[kLegacyMagicLen] = {};
   in.read(magic, static_cast<std::streamsize>(kLegacyMagicLen));
-  if (in.good() &&
+  const size_t sniffed = static_cast<size_t>(in.gcount());
+  if (sniffed == kLegacyMagicLen &&
       std::memcmp(magic, kLegacyMagic, kLegacyMagicLen) == 0) {
     LoadLegacyParameters(module, in, path);
     return;
   }
   in.close();
 
-  HIRE_CHECK(std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) == 0)
+  HIRE_CHECK(sniffed >= sizeof(kSnapMagic) &&
+             std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) == 0)
       << "'" << path << "' is not a HIRE parameter file";
   const StateDict state = LoadStateDict(path);
   HIRE_CHECK_EQ(module->NamedParameters().size(), state.tensors.size())

@@ -43,7 +43,7 @@ void FaultInjector::LoadFromEnv() {
 
 void FaultInjector::ArmCrashAtStep(int64_t step) { crash_at_step_ = step; }
 
-void FaultInjector::ArmNanLossAtSteps(std::set<int64_t> steps) {
+void FaultInjector::ArmNanLossAtSteps(std::multiset<int64_t> steps) {
   nan_loss_steps_ = std::move(steps);
 }
 

@@ -17,8 +17,10 @@ namespace hire {
 ///   HIRE_FAULT_CRASH_AT_STEP=k        raise SIGKILL when training step k
 ///                                     begins (simulates a hard kill / OOM)
 ///   HIRE_FAULT_NAN_LOSS_AT_STEPS=a,b  poison the loss with NaN at the
-///                                     listed steps (one-shot per step, like
-///                                     a transient numeric fault)
+///                                     listed steps (one-shot per listed
+///                                     entry, like a transient numeric
+///                                     fault; list a step twice to also
+///                                     poison its post-rollback replay)
 ///   HIRE_FAULT_TRUNCATE_CHECKPOINT=1  truncate every checkpoint just after
 ///                                     it is written
 ///   HIRE_FAULT_BITFLIP_CHECKPOINT=1   flip one payload bit in every
@@ -35,16 +37,17 @@ class FaultInjector {
   void LoadFromEnv();
 
   void ArmCrashAtStep(int64_t step);
-  void ArmNanLossAtSteps(std::set<int64_t> steps);
+  void ArmNanLossAtSteps(std::multiset<int64_t> steps);
   void ArmTruncateCheckpoint(bool on);
   void ArmBitflipCheckpoint(bool on);
 
   /// Kills the process (SIGKILL) if a crash is armed for `step`.
   void MaybeCrash(int64_t step);
 
-  /// True exactly once per armed step: the caller should poison that step's
-  /// loss with NaN. One-shot so a post-rollback re-run of the same step
-  /// index succeeds, modelling a transient fault.
+  /// True exactly once per armed entry: the caller should poison that step's
+  /// loss with NaN. Each entry is one-shot so a post-rollback re-run of the
+  /// same step index succeeds, modelling a transient fault; arming a step
+  /// multiple times poisons that many visits to it.
   bool ConsumeNanLoss(int64_t step);
 
   /// Applies the armed checkpoint corruption (truncate / bit flip) to the
@@ -59,7 +62,7 @@ class FaultInjector {
   FaultInjector() { LoadFromEnv(); }
 
   int64_t crash_at_step_ = -1;
-  std::set<int64_t> nan_loss_steps_;
+  std::multiset<int64_t> nan_loss_steps_;
   bool truncate_checkpoint_ = false;
   bool bitflip_checkpoint_ = false;
 };

@@ -320,6 +320,27 @@ TEST_F(TrainerCheckpointTest, TruncatedCheckpointIsRejected) {
   EXPECT_EQ(loaded->path, scratch_ + "/" + CheckpointFileName(5));
 }
 
+TEST_F(TrainerCheckpointTest, CorruptHeaderSizeFieldFallsBackToOlderValid) {
+  scratch_ = ScratchDir("badsize");
+
+  {
+    HireModel model = MakeModel();
+    TrainerConfig config = SmallTrainer(12);
+    config.checkpoint_every = 5;
+    config.checkpoint_dir = scratch_;
+    Train(&model, config);
+  }
+  // The payload-size field (bytes 12..19) is outside the CRC. Blowing its
+  // high byte up must still be detected and skipped — not abort resume with
+  // a bad_alloc — so recovery lands on the older valid snapshot.
+  const std::string newest = scratch_ + "/" + CheckpointFileName(10);
+  FlipFileBit(newest, 19, 7);
+
+  const auto loaded = LoadLatestCheckpoint(scratch_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->path, scratch_ + "/" + CheckpointFileName(5));
+}
+
 TEST_F(TrainerCheckpointTest, HarnessCorruptedCheckpointsForceFreshStart) {
   scratch_ = ScratchDir("allcorrupt");
 
@@ -391,8 +412,48 @@ TEST_F(TrainerCheckpointTest, ConsecutiveNanStepsTriggerRollbackAndBackoff) {
 
   EXPECT_EQ(stats.skipped_steps, 3);
   EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_FLOAT_EQ(stats.final_lr_scale, 0.5f);
   EXPECT_TRUE(std::isfinite(stats.final_loss));
   ExpectAllFinite(model);
+}
+
+TEST_F(TrainerCheckpointTest, RepeatedDivergenceCompoundsBackoff) {
+  scratch_ = ScratchDir("compound");
+  // Each step is armed twice: the replayed trajectory after the first
+  // rollback diverges again at the same steps. The backoff must compound
+  // (0.5 then 0.25) rather than re-deriving 0.5 from the static anchor —
+  // the latter replays an identical trajectory and livelocks.
+  FaultInjector::Global().ArmNanLossAtSteps({5, 5, 6, 6});
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(12);
+  config.checkpoint_every = 2;
+  config.checkpoint_dir = scratch_;
+  config.max_bad_steps = 2;
+  const TrainStats stats = Train(&model, config);
+
+  EXPECT_EQ(stats.skipped_steps, 4);
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_FLOAT_EQ(stats.final_lr_scale, 0.25f);
+  // Rolled-back trajectories are truncated from the loss log, so the 12
+  // surviving steps report exactly 12 losses (no double counting).
+  EXPECT_EQ(stats.step_losses.size(), 12u);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  ExpectAllFinite(model);
+}
+
+TEST_F(TrainerCheckpointTest, RollbackCapAbortsUnrecoverableRun) {
+  // Step 3 diverges on every visit (armed three times); with no
+  // checkpointing the anchor is the starting state, so every rollback
+  // replays from step 0. The cap must abort with CheckError instead of
+  // retrying forever.
+  FaultInjector::Global().ArmNanLossAtSteps({3, 3, 3});
+
+  HireModel model = MakeModel();
+  TrainerConfig config = SmallTrainer(8);
+  config.max_bad_steps = 1;
+  config.max_rollbacks = 2;
+  EXPECT_THROW(Train(&model, config), CheckError);
 }
 
 TEST_F(TrainerCheckpointTest, GuardDisabledStillRunsToCompletion) {

@@ -122,6 +122,30 @@ TEST_F(SnapshotFile, WrongMagicThrows) {
   EXPECT_THROW(LoadStateDict(path_), CheckError);
 }
 
+TEST_F(SnapshotFile, CorruptedPayloadSizeFieldThrowsCheckError) {
+  // Bytes 12..19 hold the little-endian payload size, which the CRC does
+  // not cover. Flipping its high byte claims an absurd payload; the loader
+  // must reject it as CheckError (which recovery paths skip past), not die
+  // in std::length_error/bad_alloc allocating the buffer.
+  FlipFileBit(path_, 19, 6);
+  try {
+    LoadStateDict(path_);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("payload"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SnapshotFile, TrailingGarbageAfterChecksumThrows) {
+  // The on-disk size must match the header exactly; appended bytes mean the
+  // file is not the one that was written.
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out.write("junk", 4);
+  out.close();
+  EXPECT_THROW(LoadStateDict(path_), CheckError);
+}
+
 TEST_F(SnapshotFile, UnsupportedVersionThrows) {
   // Bytes 8..11 hold the little-endian version field.
   FlipFileBit(path_, 8, 6);
@@ -144,6 +168,20 @@ TEST(SerializeV2Test, ParameterNameMismatchThrows) {
   StateDict state;
   state.PutTensor("not.a.real.parameter", Tensor::Zeros({3, 4}));
   EXPECT_THROW(ImportParameters(&mlp, "", state), CheckError);
+}
+
+TEST(SerializeV2Test, FileShorterThanAnyMagicThrowsCheckError) {
+  // A file too short to hold either magic must fail cleanly: the format
+  // sniffer may not compare uninitialized bytes or take an arbitrary path.
+  Rng rng(33);
+  Mlp mlp({3, 4, 1}, Activation::kRelu, &rng);
+  const std::string path = testing::TempDir() + "/hire_params_tiny.snap";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("HIRE", 4);
+  }
+  EXPECT_THROW(LoadParameters(&mlp, path), CheckError);
+  std::remove(path.c_str());
 }
 
 TEST(SerializeV2Test, CorruptedParameterFileThrows) {

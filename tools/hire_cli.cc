@@ -63,6 +63,9 @@ train:
                        to uninterrupted ones
   --max-bad-steps <int>     consecutive non-finite steps tolerated before
                             rollback + learning-rate backoff (3; 0 disables)
+  --max-rollbacks <int>     rollbacks tolerated before aborting the run
+                            (8; 0 = unlimited); the backoff compounds
+                            across rollbacks
 
 evaluate:
   --model <path>       trained parameters from `train` (required)
@@ -138,6 +141,7 @@ int Train(const Flags& flags) {
       static_cast<int>(flags.GetInt("checkpoint-keep", 3));
   trainer.resume = flags.GetBool("resume", false);
   trainer.max_bad_steps = static_cast<int>(flags.GetInt("max-bad-steps", 3));
+  trainer.max_rollbacks = flags.GetInt("max-rollbacks", 8);
   const core::TrainStats stats =
       core::TrainHire(&model, graph, sampler, trainer);
   if (stats.start_step > 0) {
