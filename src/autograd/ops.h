@@ -121,6 +121,18 @@ Variable EmbeddingLookup(const Variable& table,
 Variable SegmentMean(const Variable& x, const std::vector<int64_t>& segments,
                      int64_t num_segments);
 
+// ---------------------------------------------------------------------------
+// Tracing support.
+// ---------------------------------------------------------------------------
+
+/// Identity whose backward runs `hook()` before routing the gradient to `x`.
+/// Backward executes in reverse topological order, so a hook attached to a
+/// region's *output* fires before the region's backward closures and a hook
+/// attached to its *input* fires after them — a pair of hooks delimits the
+/// region's backward span without touching the tape internals. The forward
+/// value is deep-copied, so only attach hooks when tracing is enabled.
+Variable WithBackwardHook(const Variable& x, std::function<void()> hook);
+
 }  // namespace ag
 }  // namespace hire
 

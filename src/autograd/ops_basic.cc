@@ -1,6 +1,8 @@
 #include <cmath>
+#include <utility>
 
 #include "autograd/ops.h"
+#include "obs/kernel_timers.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 
@@ -190,6 +192,7 @@ Variable MSE(const Variable& pred, const Tensor& target) {
 
 Variable EmbeddingLookup(const Variable& table,
                          const std::vector<int64_t>& indices) {
+  ScopedKernelTimer timer(KernelCategory::kEmbedding);
   HIRE_CHECK_EQ(table.value().dim(), 2);
   const int64_t vocab = table.value().shape(0);
   const int64_t width = table.value().shape(1);
@@ -206,6 +209,7 @@ Variable EmbeddingLookup(const Variable& table,
   }
 
   return Make(std::move(out), {table}, [table, indices, width](const Tensor& up) {
+    ScopedKernelTimer timer(KernelCategory::kEmbedding);
     Tensor grad(table.value().shape());
     for (size_t i = 0; i < indices.size(); ++i) {
       const int64_t row = indices[i];
@@ -272,6 +276,17 @@ Variable Dropout(const Variable& x, float p, bool training, Rng* rng) {
   Tensor y = ops::Mul(x.value(), mask);
   return Make(std::move(y), {x}, [x, mask](const Tensor& up) {
     x.impl()->AccumulateGrad(ops::Mul(up, mask));
+  });
+}
+
+Variable WithBackwardHook(const Variable& x, std::function<void()> hook) {
+  HIRE_CHECK(x.defined());
+  HIRE_CHECK(hook != nullptr);
+  Tensor value = x.value();
+  return Make(std::move(value), {x},
+              [x, hook = std::move(hook)](const Tensor& up) {
+    hook();
+    x.impl()->AccumulateGrad(up);
   });
 }
 

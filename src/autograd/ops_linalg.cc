@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "obs/kernel_timers.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 
@@ -254,6 +255,7 @@ Variable Softmax(const Variable& a) {
 
 Variable LayerNorm(const Variable& x, const Variable& gamma,
                    const Variable& beta, float epsilon) {
+  ScopedKernelTimer timer(KernelCategory::kLayerNorm);
   HIRE_CHECK_EQ(gamma.value().dim(), 1);
   HIRE_CHECK_EQ(beta.value().dim(), 1);
   const int64_t d = x.value().shape(-1);
@@ -287,6 +289,7 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
 
   return Make(std::move(y), {x, gamma, beta},
               [x, gamma, beta, xhat, inv_std, d](const Tensor& up) {
+    ScopedKernelTimer timer(KernelCategory::kLayerNorm);
     const int64_t rows = xhat.size() / d;
     if (gamma.requires_grad() || beta.requires_grad()) {
       Tensor dgamma({d});

@@ -1,10 +1,13 @@
 #include "baselines/pointwise_trainer.h"
 
 #include "autograd/ops.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "tensor/random.h"
 #include "utils/check.h"
 #include "utils/logging.h"
+#include "utils/stopwatch.h"
 
 namespace hire {
 namespace baselines {
@@ -23,9 +26,15 @@ float FitPointwise(PointwiseModel* model,
   adam_config.weight_decay = config.weight_decay;
   optim::Adam optimizer(model->Parameters(), adam_config);
 
+  obs::TelemetrySink& telemetry = obs::TelemetrySink::Global();
+  const int64_t telemetry_every =
+      config.telemetry_every > 0 ? config.telemetry_every : 1;
+
   float last_loss = 0.0f;
   const int64_t pool = static_cast<int64_t>(train_ratings.size());
   for (int64_t step = 0; step < config.num_steps; ++step) {
+    HIRE_TRACE_SCOPE("baseline_step");
+    Stopwatch step_watch;
     std::vector<std::pair<int64_t, int64_t>> pairs;
     std::vector<float> targets;
     pairs.reserve(static_cast<size_t>(config.batch_size));
@@ -49,6 +58,16 @@ float FitPointwise(PointwiseModel* model,
     if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
       HIRE_LOG(Info) << model->name() << " step " << (step + 1) << "/"
                      << config.num_steps << " loss " << last_loss;
+    }
+    if (telemetry.enabled() && (step + 1) % telemetry_every == 0) {
+      obs::StepTelemetry record;
+      record.source = model->name();
+      record.step = step + 1;
+      record.total_steps = config.num_steps;
+      record.loss = last_loss;
+      record.lr = config.learning_rate;
+      record.wall_seconds = step_watch.ElapsedSeconds();
+      telemetry.WriteStep(record);
     }
   }
   model->SetTraining(false);

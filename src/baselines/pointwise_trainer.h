@@ -21,6 +21,9 @@ struct PointwiseTrainConfig {
   float weight_decay = 0.0f;
   uint64_t seed = 11;
   int64_t log_every = 0;
+  /// When the process-wide obs::TelemetrySink is open, write one JSONL step
+  /// record (source = model name) every this many steps (<= 0 acts as 1).
+  int64_t telemetry_every = 1;
 };
 
 /// Fits a pointwise model on the observed training ratings with Adam + MSE.

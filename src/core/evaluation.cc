@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "graph/context_builder.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
 #include "utils/thread_pool.h"
@@ -32,6 +35,7 @@ HirePredictor::HirePredictor(HireModel* model,
 std::vector<float> HirePredictor::PredictForUser(
     int64_t user, const std::vector<int64_t>& items,
     const graph::BipartiteGraph& visible_graph) {
+  HIRE_TRACE_SCOPE("predict_user");
   std::vector<float> predictions;
   predictions.reserve(items.size());
 
@@ -62,11 +66,15 @@ std::vector<float> HirePredictor::PredictForUser(
       seed_items.push_back(support);
     }
 
-    graph::ContextSelection selection =
-        sampler_->Sample(visible_graph, {user}, seed_items, context_users_,
-                         context_items_, &rng_);
-    graph::PredictionContext context =
-        graph::AssembleContext(visible_graph, std::move(selection));
+    graph::PredictionContext context;
+    {
+      ScopedKernelTimer timer(KernelCategory::kSampling);
+      HIRE_TRACE_SCOPE("context_sampling");
+      graph::ContextSelection selection =
+          sampler_->Sample(visible_graph, {user}, seed_items, context_users_,
+                           context_items_, &rng_);
+      context = graph::AssembleContext(visible_graph, std::move(selection));
+    }
 
     // Thin the context's observed ratings to the training density (the
     // paper keeps 10% visible at test time as well). The target user's
@@ -178,6 +186,10 @@ EvalResult EvaluateColdStart(RatingPredictor* predictor,
   for (const auto& [k, metrics_list] : per_user) {
     result.by_k[k] = metrics::AverageMetrics(metrics_list);
   }
+  obs::TelemetrySink::Global().WriteEvent(
+      "eval_complete", /*step=*/0,
+      {{"num_lists", std::to_string(result.num_lists)},
+       {"predict_seconds", obs::JsonNumber(result.predict_seconds)}});
   return result;
 }
 

@@ -1,6 +1,10 @@
 #include "core/hire_model.h"
 
+#include <memory>
+#include <string>
+
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 
 namespace hire {
@@ -32,12 +36,38 @@ HireModel::HireModel(const data::Dataset* dataset, const HireConfig& config,
 }
 
 ag::Variable HireModel::Forward(const graph::PredictionContext& context) {
+  HIRE_TRACE_SCOPE("model_forward");
   const int64_t n = context.num_users();
   const int64_t m = context.num_items();
 
   ag::Variable h = encoder_->Encode(context);
-  for (const auto& him : him_blocks_) {
-    h = him->Forward(h, &rng_);
+  const bool tracing = obs::Tracer::Enabled();
+  for (size_t k = 0; k < him_blocks_.size(); ++k) {
+    if (!tracing) {
+      h = him_blocks_[k]->Forward(h, &rng_);
+      continue;
+    }
+    // Per-block forward span plus a backward-hook bracket (see
+    // ag::WithBackwardHook): the input hook emits "him_block_<k>_backward"
+    // between the timestamps stamped by the pair.
+    const std::string label = "him_block_" + std::to_string(k);
+    std::shared_ptr<uint64_t> backward_start;
+    if (h.requires_grad()) {
+      backward_start = std::make_shared<uint64_t>(0);
+      auto start = backward_start;
+      const std::string span = label + "_backward";
+      h = ag::WithBackwardHook(h, [start, span] {
+        obs::EmitSpan(span, *start, obs::TraceNowNanos());
+      });
+    }
+    {
+      obs::TraceScope scope(label + "_forward");
+      h = him_blocks_[k]->Forward(h, &rng_);
+    }
+    if (backward_start != nullptr && h.requires_grad()) {
+      auto start = backward_start;
+      h = ag::WithBackwardHook(h, [start] { *start = obs::TraceNowNanos(); });
+    }
   }
   // R_hat = alpha * sigmoid(g_theta(H^(A)))  (Eq. 16).
   ag::Variable logits = decoder_->Forward(h);          // [n, m, 1]

@@ -8,6 +8,10 @@
 #include "autograd/ops.h"
 #include "core/checkpoint.h"
 #include "graph/context_builder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/lamb.h"
 #include "optim/lookahead.h"
 #include "optim/lr_scheduler.h"
@@ -50,6 +54,24 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   Stopwatch stopwatch;
   const KernelTimers::Snapshot run_start = KernelTimers::Take();
   KernelTimers::Snapshot window_start = run_start;
+  KernelTimers::Snapshot telemetry_window = run_start;
+
+  obs::TelemetrySink& telemetry = obs::TelemetrySink::Global();
+  const int64_t telemetry_every =
+      config.telemetry_every > 0 ? config.telemetry_every : 1;
+  // Registry handles are stable pointers; resolving them once keeps the step
+  // loop free of registry lookups.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Gauge* loss_gauge = registry.GetGauge("train.loss");
+  obs::Gauge* grad_norm_gauge = registry.GetGauge("train.grad_norm");
+  obs::Gauge* lr_gauge = registry.GetGauge("train.lr");
+  obs::Counter* steps_counter = registry.GetCounter("train.steps");
+  obs::Counter* skipped_counter = registry.GetCounter("train.skipped_steps");
+  obs::Counter* rollback_counter = registry.GetCounter("train.rollbacks");
+  obs::Counter* checkpoint_counter =
+      registry.GetCounter("train.checkpoints_written");
+  obs::Histogram* step_seconds_hist =
+      registry.GetHistogram("train.step_seconds");
 
   const bool checkpointing =
       config.checkpoint_every > 0 && !config.checkpoint_dir.empty();
@@ -57,6 +79,7 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   float lr_scale = 1.0f;
 
   if (config.resume && !config.checkpoint_dir.empty()) {
+    HIRE_TRACE_SCOPE("checkpoint_load");
     if (auto loaded = LoadLatestCheckpoint(config.checkpoint_dir)) {
       const ResumeInfo info =
           RestoreTrainingState(loaded->state, model, &optimizer, &rng);
@@ -64,6 +87,9 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
       lr_scale = info.lr_scale;
       HIRE_LOG(Info) << "resumed from '" << loaded->path << "' at step "
                      << step << " (lr scale " << lr_scale << ")";
+      telemetry.WriteEvent("resume", step,
+                           {{"path", obs::JsonString(loaded->path)},
+                            {"lr_scale", obs::JsonNumber(lr_scale)}});
     } else {
       HIRE_LOG(Info) << "no usable checkpoint in '" << config.checkpoint_dir
                      << "'; starting from scratch";
@@ -87,6 +113,8 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
 
   for (; step < config.num_steps; ++step) {
     faults.MaybeCrash(step);
+    HIRE_TRACE_SCOPE("train_step");
+    Stopwatch step_watch;
     optimizer.set_learning_rate(schedule.LearningRate(step) * lr_scale);
     {
       ScopedKernelTimer timer(KernelCategory::kOptimizer);
@@ -95,27 +123,34 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
 
     // Accumulate the mini-batch loss (line 5-12 of Algorithm 1).
     ag::Variable batch_loss;
-    for (int64_t b = 0; b < config.batch_size; ++b) {
-      graph::PredictionContext context = graph::BuildTrainingContext(
-          graph, sampler, config.context_users, config.context_items,
-          config.visible_fraction, &rng);
-      ag::Variable prediction = model->Forward(context);
-      ag::Variable loss = ag::MaskedMSE(prediction, context.target_ratings,
-                                        context.target_mask);
-      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+    {
+      HIRE_TRACE_SCOPE("forward");
+      for (int64_t b = 0; b < config.batch_size; ++b) {
+        graph::PredictionContext context = graph::BuildTrainingContext(
+            graph, sampler, config.context_users, config.context_items,
+            config.visible_fraction, &rng);
+        ag::Variable prediction = model->Forward(context);
+        ag::Variable loss = ag::MaskedMSE(prediction, context.target_ratings,
+                                          context.target_mask);
+        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+      }
+      batch_loss = ag::MulScalar(batch_loss,
+                                 1.0f / static_cast<float>(config.batch_size));
     }
-    batch_loss =
-        ag::MulScalar(batch_loss, 1.0f / static_cast<float>(config.batch_size));
     if (faults.ConsumeNanLoss(step)) {
       batch_loss = ag::MulScalar(batch_loss,
                                  std::numeric_limits<float>::quiet_NaN());
     }
 
-    batch_loss.Backward();
+    {
+      HIRE_TRACE_SCOPE("backward");
+      batch_loss.Backward();
+    }
     const float loss_value = batch_loss.value().flat(0);
     float grad_norm = 0.0f;
     {
       ScopedKernelTimer timer(KernelCategory::kOptimizer);
+      HIRE_TRACE_SCOPE("grad_clip");
       grad_norm =
           optim::ClipGradNorm(optimizer.parameters(), config.gradient_clip);
     }
@@ -128,10 +163,16 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
         (!std::isfinite(loss_value) || !std::isfinite(grad_norm))) {
       ++stats.skipped_steps;
       ++consecutive_bad;
+      skipped_counter->Increment();
       HIRE_LOG(Warning) << "step " << step << ": non-finite loss ("
                         << loss_value << ") or grad norm (" << grad_norm
                         << "); skipping update (" << consecutive_bad << "/"
                         << config.max_bad_steps << " before rollback)";
+      telemetry.WriteEvent(
+          "nonfinite_step_skipped", step,
+          {{"loss", obs::JsonNumber(loss_value)},
+           {"grad_norm", obs::JsonNumber(grad_norm)},
+           {"consecutive_bad", std::to_string(consecutive_bad)}});
       if (consecutive_bad >= config.max_bad_steps && has_anchor) {
         const ResumeInfo info =
             RestoreTrainingState(last_good, model, &optimizer, &rng);
@@ -143,6 +184,11 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
         lr_scale *= config.divergence_lr_backoff;
         stats.step_losses.resize(anchor_loss_count);
         ++stats.rollbacks;
+        rollback_counter->Increment();
+        telemetry.WriteEvent("rollback", step,
+                             {{"restored_step",
+                               std::to_string(info.next_step)},
+                              {"lr_scale", obs::JsonNumber(lr_scale)}});
         consecutive_bad = 0;
         HIRE_CHECK(config.max_rollbacks <= 0 ||
                    stats.rollbacks <= config.max_rollbacks)
@@ -159,10 +205,16 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
 
     {
       ScopedKernelTimer timer(KernelCategory::kOptimizer);
+      HIRE_TRACE_SCOPE("optimizer_step");
       optimizer.Step();
     }
 
     stats.step_losses.push_back(loss_value);
+    steps_counter->Increment();
+    loss_gauge->Set(loss_value);
+    grad_norm_gauge->Set(grad_norm);
+    lr_gauge->Set(optimizer.learning_rate());
+    step_seconds_hist->Record(step_watch.ElapsedSeconds());
     if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
       const KernelTimers::Snapshot now = KernelTimers::Take();
       HIRE_LOG(Info) << "step " << (step + 1) << "/" << config.num_steps
@@ -171,13 +223,33 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
                      << (now - window_start).ToString();
       window_start = now;
     }
+    if (telemetry.enabled() && (step + 1) % telemetry_every == 0) {
+      obs::StepTelemetry record;
+      record.step = step + 1;
+      record.total_steps = config.num_steps;
+      record.loss = loss_value;
+      record.grad_norm = grad_norm;
+      record.lr = optimizer.learning_rate();
+      record.lr_scale = lr_scale;
+      record.wall_seconds = step_watch.ElapsedSeconds();
+      const KernelTimers::Snapshot now = KernelTimers::Take();
+      record.kernel_delta = now - telemetry_window;
+      record.has_kernel_delta = true;
+      telemetry_window = now;
+      telemetry.WriteStep(record);
+    }
 
     if (checkpointing && (step + 1) % config.checkpoint_every == 0) {
+      HIRE_TRACE_SCOPE("checkpoint_write");
       StateDict snapshot = CaptureTrainingState(
           *model, optimizer, rng, ResumeInfo{step + 1, lr_scale});
-      WriteCheckpoint(config.checkpoint_dir, step + 1, snapshot,
-                      config.checkpoint_keep);
+      const std::string path =
+          WriteCheckpoint(config.checkpoint_dir, step + 1, snapshot,
+                          config.checkpoint_keep);
       ++stats.checkpoints_written;
+      checkpoint_counter->Increment();
+      telemetry.WriteEvent("checkpoint_write", step + 1,
+                           {{"path", obs::JsonString(path)}});
       if (config.max_bad_steps > 0 &&
           !faults.AnyCheckpointCorruptionArmed()) {
         last_good = std::move(snapshot);
@@ -196,6 +268,11 @@ TrainStats TrainHire(HireModel* model, const graph::BipartiteGraph& graph,
   stats.softmax_seconds = run_delta.Seconds(KernelCategory::kSoftmax);
   stats.attention_seconds = run_delta.Seconds(KernelCategory::kAttention);
   stats.optimizer_seconds = run_delta.Seconds(KernelCategory::kOptimizer);
+  stats.layernorm_seconds = run_delta.Seconds(KernelCategory::kLayerNorm);
+  stats.embedding_seconds = run_delta.Seconds(KernelCategory::kEmbedding);
+  stats.sampling_seconds = run_delta.Seconds(KernelCategory::kSampling);
+  stats.checkpoint_io_seconds =
+      run_delta.Seconds(KernelCategory::kCheckpointIo);
   if (config.log_every > 0) {
     HIRE_LOG(Info) << "kernel-time breakdown over " << config.num_steps
                    << " steps: " << run_delta.ToString();

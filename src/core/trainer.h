@@ -40,6 +40,11 @@ struct TrainerConfig {
   /// Log the running loss every this many steps (0 disables).
   int64_t log_every = 0;
 
+  /// When the process-wide obs::TelemetrySink is open, write one JSONL step
+  /// record every this many steps (<= 0 behaves like 1). Has no effect while
+  /// the sink is closed.
+  int64_t telemetry_every = 1;
+
   /// Fault tolerance. With a non-empty `checkpoint_dir` and
   /// `checkpoint_every > 0`, a full training snapshot (model + optimizer
   /// moments + slow weights + schedule position + sampler RNG stream) is
@@ -95,6 +100,10 @@ struct TrainStats {
   double softmax_seconds = 0.0;
   double attention_seconds = 0.0;
   double optimizer_seconds = 0.0;
+  double layernorm_seconds = 0.0;
+  double embedding_seconds = 0.0;
+  double sampling_seconds = 0.0;
+  double checkpoint_io_seconds = 0.0;
 };
 
 /// Trains `model` on contexts sampled from `graph` with `sampler`

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/kernel_timers.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 
 namespace hire {
@@ -77,6 +79,8 @@ PredictionContext BuildTrainingContext(const BipartiteGraph& graph,
                                        const ContextSampler& sampler,
                                        int64_t num_users, int64_t num_items,
                                        double visible_fraction, Rng* rng) {
+  ScopedKernelTimer timer(KernelCategory::kSampling);
+  HIRE_TRACE_SCOPE("context_sampling");
   HIRE_CHECK(rng != nullptr);
   HIRE_CHECK_GT(graph.num_edges(), 0) << "graph has no ratings";
 

@@ -1,8 +1,10 @@
 #include "nn/multi_head_self_attention.h"
 
 #include <cmath>
+#include <memory>
 
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
 
@@ -33,6 +35,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(const MhsaConfig& config,
 
 ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) const {
   ScopedKernelTimer timer(KernelCategory::kAttention);
+  HIRE_TRACE_SCOPE("mhsa_forward");
   HIRE_CHECK_EQ(x.value().dim(), 3)
       << "MHSA expects [batch, tokens, dim], got " << x.value().ShapeString();
   const int64_t batch = x.value().shape(0);
@@ -40,6 +43,19 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) const {
   HIRE_CHECK_EQ(x.value().shape(2), config_.embed_dim);
   const int64_t heads = config_.num_heads;
   const int64_t head_dim = config_.head_dim;
+
+  // Backward-span bracket: the hook on the *input* runs last in backward
+  // (records the span), the hook on the *output* runs first (stamps the
+  // start). Only attached while tracing, as the hooks deep-copy values.
+  ag::Variable input = x;
+  std::shared_ptr<uint64_t> backward_start;
+  if (obs::Tracer::Enabled() && x.requires_grad()) {
+    backward_start = std::make_shared<uint64_t>(0);
+    auto start = backward_start;
+    input = ag::WithBackwardHook(x, [start] {
+      obs::EmitSpan("mhsa_backward", *start, obs::TraceNowNanos());
+    });
+  }
 
   // Project and split into heads: [B, t, l*dk] -> [B*l, t, dk].
   auto split_heads = [&](const ag::Variable& proj) {
@@ -49,9 +65,9 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) const {
     return ag::Reshape(permuted, {batch * heads, tokens, head_dim});
   };
 
-  ag::Variable q = split_heads(query_->Forward(x));
-  ag::Variable k = split_heads(key_->Forward(x));
-  ag::Variable v = split_heads(value_->Forward(x));
+  ag::Variable q = split_heads(query_->Forward(input));
+  ag::Variable k = split_heads(key_->Forward(input));
+  ag::Variable v = split_heads(value_->Forward(input));
 
   // Attention weights A = softmax(QK^T / sqrt(d_k)): [B*l, t, t].
   ag::Variable scores = ag::BatchedMatMulTransposedB(q, k);
@@ -69,7 +85,13 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) const {
   fused = ag::Reshape(fused, {batch, heads, tokens, head_dim});
   fused = ag::Permute(fused, {0, 2, 1, 3});
   fused = ag::Reshape(fused, {batch, tokens, heads * head_dim});
-  return output_->Forward(fused);
+  ag::Variable out = output_->Forward(fused);
+  if (backward_start != nullptr && out.requires_grad()) {
+    auto start = backward_start;
+    out = ag::WithBackwardHook(
+        out, [start] { *start = obs::TraceNowNanos(); });
+  }
+  return out;
 }
 
 }  // namespace nn

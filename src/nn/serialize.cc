@@ -14,6 +14,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/kernel_timers.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 
 namespace hire {
@@ -222,6 +224,8 @@ void LoadLegacyParameters(Module* module, std::ifstream& in,
 }  // namespace
 
 void SaveStateDict(const StateDict& state, const std::string& path) {
+  ScopedKernelTimer timer(KernelCategory::kCheckpointIo);
+  HIRE_TRACE_SCOPE("checkpoint_serialize");
   const std::string payload = EncodePayload(state);
   const uint32_t crc = Crc32(payload.data(), payload.size());
 
@@ -248,6 +252,8 @@ void SaveStateDict(const StateDict& state, const std::string& path) {
 }
 
 StateDict LoadStateDict(const std::string& path) {
+  ScopedKernelTimer timer(KernelCategory::kCheckpointIo);
+  HIRE_TRACE_SCOPE("checkpoint_deserialize");
   std::ifstream in(path, std::ios::binary);
   HIRE_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
 

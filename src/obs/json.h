@@ -1,0 +1,40 @@
+#ifndef HIRE_OBS_JSON_H_
+#define HIRE_OBS_JSON_H_
+
+#include <string>
+
+namespace hire {
+namespace obs {
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Does not add the surrounding quotes.
+std::string JsonEscape(const std::string& text);
+
+/// `text` escaped and wrapped in double quotes.
+std::string JsonString(const std::string& text);
+
+/// Formats a double as a JSON number with round-trip precision. Non-finite
+/// values (which JSON cannot represent) are emitted as null.
+std::string JsonNumber(double value);
+
+/// Validates that `text` is one complete JSON value (object, array, string,
+/// number, or literal) with nothing but whitespace after it. On failure
+/// returns false and, when `error` is non-null, describes the first problem
+/// with its byte offset.
+bool JsonValidate(const std::string& text, std::string* error);
+
+/// Scans a flat JSON object line for `"key":<number>` and returns the number
+/// via `out`. Intended for telemetry JSONL post-processing (tests, tools);
+/// it does a textual scan, not a full parse, so validate the line first.
+bool FindJsonNumberField(const std::string& line, const std::string& key,
+                         double* out);
+
+/// Scans a flat JSON object line for `"key":"value"` and returns the raw
+/// (still escaped) value via `out`.
+bool FindJsonStringField(const std::string& line, const std::string& key,
+                         std::string* out);
+
+}  // namespace obs
+}  // namespace hire
+
+#endif  // HIRE_OBS_JSON_H_

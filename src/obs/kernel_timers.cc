@@ -1,0 +1,66 @@
+#include "obs/kernel_timers.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace hire {
+
+namespace {
+
+constexpr const char* kNames[KernelTimers::kNumCategories] = {
+    "matmul",    "softmax",   "attention", "optim",
+    "layernorm", "embedding", "sampling",  "ckpt-io"};
+
+// Registry counter names use identifier-safe spellings.
+constexpr const char* kCounterNames[KernelTimers::kNumCategories] = {
+    "kernel.matmul_nanos",    "kernel.softmax_nanos",
+    "kernel.attention_nanos", "kernel.optimizer_nanos",
+    "kernel.layernorm_nanos", "kernel.embedding_nanos",
+    "kernel.sampling_nanos",  "kernel.checkpoint_io_nanos"};
+
+std::array<obs::Counter*, KernelTimers::kNumCategories>& Totals() {
+  static std::array<obs::Counter*, KernelTimers::kNumCategories> counters = [] {
+    std::array<obs::Counter*, KernelTimers::kNumCategories> handles{};
+    for (int i = 0; i < KernelTimers::kNumCategories; ++i) {
+      handles[static_cast<size_t>(i)] =
+          obs::MetricsRegistry::Global().GetCounter(kCounterNames[i]);
+    }
+    return handles;
+  }();
+  return counters;
+}
+
+}  // namespace
+
+const char* KernelTimers::Name(KernelCategory category) {
+  return kNames[static_cast<int>(category)];
+}
+
+std::string KernelTimers::Snapshot::ToString() const {
+  std::ostringstream out;
+  for (int i = 0; i < kNumCategories; ++i) {
+    if (i > 0) out << " | ";
+    out << kNames[i] << " " << static_cast<double>(nanos[i]) * 1e-9 << "s";
+  }
+  return out.str();
+}
+
+void KernelTimers::Add(KernelCategory category, uint64_t nanos) {
+  Totals()[static_cast<size_t>(static_cast<int>(category))]->Increment(nanos);
+}
+
+KernelTimers::Snapshot KernelTimers::Take() {
+  Snapshot snapshot;
+  const auto& totals = Totals();
+  for (int i = 0; i < kNumCategories; ++i) {
+    snapshot.nanos[i] = totals[static_cast<size_t>(i)]->Value();
+  }
+  return snapshot;
+}
+
+void KernelTimers::Reset() {
+  for (obs::Counter* counter : Totals()) counter->Reset();
+}
+
+}  // namespace hire

@@ -1,0 +1,92 @@
+#ifndef HIRE_OBS_KERNEL_TIMERS_H_
+#define HIRE_OBS_KERNEL_TIMERS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hire {
+
+/// Coarse hot-path categories tracked by KernelTimers. kMatMul and kSoftmax
+/// are charged inside the tensor ops, kAttention around whole MHSA forwards
+/// (so it overlaps the former two), kOptimizer around the optimiser update.
+/// kLayerNorm and kEmbedding are charged inside their autograd kernels
+/// (forward and backward), kSampling around context sampling/assembly, and
+/// kCheckpointIo around snapshot serialisation to and from disk.
+enum class KernelCategory : int {
+  kMatMul = 0,
+  kSoftmax,
+  kAttention,
+  kOptimizer,
+  kLayerNorm,
+  kEmbedding,
+  kSampling,
+  kCheckpointIo,
+};
+
+/// Process-wide accumulator of time spent per KernelCategory, backed by
+/// counters in obs::MetricsRegistry (names "kernel.<category>_nanos"), so
+/// kernel time shows up in metrics snapshots alongside everything else.
+/// Thread-safe; the trainer snapshots it to print a per-epoch breakdown.
+class KernelTimers {
+ public:
+  static constexpr int kNumCategories = 8;
+
+  /// Display/export names, indexed by KernelCategory.
+  static const char* Name(KernelCategory category);
+
+  /// Per-category totals at one instant, subtractable for interval deltas.
+  struct Snapshot {
+    std::array<uint64_t, kNumCategories> nanos{};
+
+    double Seconds(KernelCategory category) const {
+      return static_cast<double>(nanos[static_cast<int>(category)]) * 1e-9;
+    }
+
+    Snapshot operator-(const Snapshot& other) const {
+      Snapshot delta;
+      for (int i = 0; i < kNumCategories; ++i) {
+        delta.nanos[i] = nanos[i] - other.nanos[i];
+      }
+      return delta;
+    }
+
+    /// e.g. "matmul 1.23s | softmax 0.40s | attention 1.71s | optim 0.25s
+    /// | layernorm 0.02s | embedding 0.01s | sampling 0.05s | ckpt-io 0s".
+    std::string ToString() const;
+  };
+
+  static void Add(KernelCategory category, uint64_t nanos);
+  static Snapshot Take();
+  static void Reset();
+};
+
+/// RAII accumulator: charges the scope's wall time to one KernelCategory.
+/// Cheap enough for per-op use on matrix-sized work (one steady_clock read
+/// on entry and exit); keep it off per-element paths.
+class ScopedKernelTimer {
+ public:
+  explicit ScopedKernelTimer(KernelCategory category)
+      : category_(category), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedKernelTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    KernelTimers::Add(
+        category_,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  KernelCategory category_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hire
+
+#endif  // HIRE_OBS_KERNEL_TIMERS_H_

@@ -1,0 +1,146 @@
+#ifndef HIRE_OBS_METRICS_H_
+#define HIRE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hire {
+namespace obs {
+
+/// Monotonic counter. Handles returned by MetricsRegistry are stable for the
+/// process lifetime, so hot paths can cache the pointer and increment without
+/// touching the registry lock.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Rewinds to zero. Only epoch-style accumulators (kernel timers, tests)
+  /// should use this; exported counters are otherwise monotonic.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+namespace internal {
+/// Doubles stored bit-packed in atomic<uint64_t>: portable and lock-free
+/// where atomic<double> may not be.
+uint64_t EncodeDoubleBits(double value);
+double DecodeDoubleBits(uint64_t bits);
+}  // namespace internal
+
+/// Last-write-wins instantaneous value (loss, learning rate, queue depth).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(internal::EncodeDoubleBits(value), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return internal::DecodeDoubleBits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Exponential bucket layout: bucket i spans (bound[i-1], bound[i]] with
+/// bound[i] = first_bound * growth^i; values above the last bound land in a
+/// dedicated overflow bucket, values <= first_bound in bucket 0.
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  int num_buckets = 32;
+};
+
+/// Point-in-time copy of one histogram; subtractable and mergeable.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;     // size num_buckets
+  std::vector<uint64_t> bucket_counts;  // size num_buckets + 1 (overflow last)
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Adds another snapshot's population (bucket layouts must match).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Population recorded since `earlier` (same histogram, earlier in time).
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+
+  std::string ToJson() const;
+};
+
+/// Thread-safe histogram with lock-free recording.
+class Histogram {
+ public:
+  void Record(double value);
+  HistogramSnapshot Take() const;
+  void Reset();
+  const HistogramOptions& options() const { return options_; }
+
+  /// Index of the bucket `value` falls into (num_buckets = overflow).
+  int BucketIndex(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const HistogramOptions& options);
+  HistogramOptions options_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // num_buckets + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double stored as bits, CAS-added
+};
+
+/// Process-wide namespace of named metrics. Lookup takes a mutex; the
+/// returned handles are lock-free and never invalidated.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the named metric, creating it on first use. Requesting an
+  /// existing name with a different metric kind throws hire::CheckError.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const HistogramOptions& options = {});
+
+  /// Point-in-time copy of every registered metric.
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /// Counters and histograms are differenced against `earlier`; gauges
+    /// keep their current value.
+    Snapshot Delta(const Snapshot& earlier) const;
+
+    std::string ToJson() const;
+  };
+
+  Snapshot Take() const;
+
+  /// Testing escape hatch: zeroes every counter and histogram (gauges keep
+  /// their last value).
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace hire
+
+#endif  // HIRE_OBS_METRICS_H_

@@ -1,0 +1,32 @@
+#ifndef HIRE_OBS_STOPWATCH_H_
+#define HIRE_OBS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hire {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// efficiency experiments (Fig. 6).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hire
+
+#endif  // HIRE_OBS_STOPWATCH_H_

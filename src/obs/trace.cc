@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace obs {
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{1};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+struct TraceEvent {
+  char name[kMaxSpanName];
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  int tid;
+};
+
+/// Cap per thread buffer so a runaway traced loop cannot exhaust memory;
+/// spans beyond the cap are counted in g_dropped.
+constexpr size_t kMaxEventsPerThread = 1u << 21;
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended except while a collector reads
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+std::atomic<uint64_t> g_total_spans{0};
+std::atomic<uint64_t> g_dropped_spans{0};
+std::atomic<uint64_t> g_trace_epoch_ns{0};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  // The shared_ptr keeps a finished thread's events alive until export.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    created->tid = CurrentThreadId();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    g_dropped_spans.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  std::strncpy(event.name, name, sizeof(event.name) - 1);
+  event.name[sizeof(event.name) - 1] = '\0';
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.tid = buffer.tid;
+  buffer.events.push_back(event);
+  g_total_spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  if (!Tracer::Enabled()) return;
+  internal::RecordSpan(name, start_ns, end_ns);
+}
+
+void EmitSpan(const std::string& name, uint64_t start_ns, uint64_t end_ns) {
+  EmitSpan(name.c_str(), start_ns, end_ns);
+}
+
+void Tracer::Start() {
+  Clear();
+  internal::g_trace_epoch_ns.store(internal::NowNanos(),
+                                   std::memory_order_relaxed);
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  internal::BufferRegistry& registry = internal::Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  internal::g_total_spans.store(0, std::memory_order_relaxed);
+  internal::g_dropped_spans.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::TotalSpans() {
+  return internal::g_total_spans.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::DroppedSpans() {
+  return internal::g_dropped_spans.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::ToChromeTraceJson() {
+  const uint64_t epoch =
+      internal::g_trace_epoch_ns.load(std::memory_order_relaxed);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  internal::BufferRegistry& registry = internal::Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const auto& event : buffer->events) {
+      if (!first) out += ",";
+      first = false;
+      const double ts_us =
+          static_cast<double>(event.start_ns -
+                              std::min(event.start_ns, epoch)) *
+          1e-3;
+      const double dur_us = static_cast<double>(event.dur_ns) * 1e-3;
+      out += "{\"name\":" + JsonString(event.name) +
+             ",\"cat\":\"hire\",\"ph\":\"X\",\"ts\":" + JsonNumber(ts_us) +
+             ",\"dur\":" + JsonNumber(dur_us) +
+             ",\"pid\":1,\"tid\":" + std::to_string(event.tid) + "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::WriteChromeTrace(const std::string& path) {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HIRE_CHECK(file != nullptr) << "cannot open trace output '" << path << "'";
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int closed = std::fclose(file);
+  HIRE_CHECK(written == json.size() && closed == 0)
+      << "short write to trace output '" << path << "'";
+}
+
+}  // namespace obs
+}  // namespace hire

@@ -1,0 +1,124 @@
+#ifndef HIRE_OBS_TRACE_H_
+#define HIRE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hire {
+namespace obs {
+
+/// Small, stable, per-thread integer id (1, 2, 3, ... in first-use order).
+/// Used as the `tid` in trace events and log lines; far more readable than
+/// std::thread::id.
+int CurrentThreadId();
+
+namespace internal {
+
+/// Runtime on/off switch. Kept in an extern atomic so the disabled path of
+/// HIRE_TRACE_SCOPE compiles down to one relaxed load and a branch.
+extern std::atomic<bool> g_trace_enabled;
+
+/// Nanoseconds on the steady clock (same timebase as span timestamps).
+uint64_t NowNanos();
+
+/// Appends one completed span to the calling thread's buffer.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+constexpr int kMaxSpanName = 48;
+
+}  // namespace internal
+
+/// Scoped-span tracer emitting Chrome trace-event JSON (load the file in
+/// Perfetto or chrome://tracing). Spans are buffered per thread behind a
+/// per-buffer mutex that is uncontended except during collection, so the
+/// enabled hot path never takes a shared lock; the disabled hot path is a
+/// single relaxed atomic load.
+class Tracer {
+ public:
+  static bool Enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all buffered spans and starts recording.
+  static void Start();
+
+  /// Stops recording; buffered spans remain available for export.
+  static void Stop();
+
+  /// Drops all buffered spans (does not change the enabled state).
+  static void Clear();
+
+  /// Spans recorded since the last Start()/Clear() across all threads.
+  static uint64_t TotalSpans();
+
+  /// Spans discarded because a thread buffer hit its size cap.
+  static uint64_t DroppedSpans();
+
+  /// Serialises every buffered span as a Chrome trace-event JSON document:
+  /// {"displayTimeUnit":"ms","traceEvents":[{"name":...,"ph":"X",...}]}.
+  static std::string ToChromeTraceJson();
+
+  /// Writes ToChromeTraceJson() to `path`. Throws hire::CheckError when the
+  /// file cannot be written.
+  static void WriteChromeTrace(const std::string& path);
+};
+
+/// Emits one completed span with explicit endpoints (timebase:
+/// internal::NowNanos). Used where a scope cannot straddle the region, e.g.
+/// backward-pass spans delimited by autograd hooks. No-op when disabled.
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+void EmitSpan(const std::string& name, uint64_t start_ns, uint64_t end_ns);
+
+/// Nanosecond timestamp for use with EmitSpan.
+inline uint64_t TraceNowNanos() { return internal::NowNanos(); }
+
+/// RAII span: records [construction, destruction) under `name` on the
+/// calling thread. When tracing is disabled, construction is one relaxed
+/// atomic load and destruction one predictable branch.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (!Tracer::Enabled()) return;
+    Arm(name);
+  }
+
+  explicit TraceScope(const std::string& name) {
+    if (!Tracer::Enabled()) return;
+    Arm(name.c_str());
+  }
+
+  ~TraceScope() {
+    if (!armed_) return;
+    internal::RecordSpan(name_, start_, internal::NowNanos());
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void Arm(const char* name) {
+    // Copy the name: dynamic strings may die before the destructor runs.
+    std::strncpy(name_, name, sizeof(name_) - 1);
+    name_[sizeof(name_) - 1] = '\0';
+    start_ = internal::NowNanos();
+    armed_ = true;
+  }
+
+  bool armed_ = false;
+  uint64_t start_ = 0;
+  char name_[internal::kMaxSpanName] = {0};
+};
+
+}  // namespace obs
+}  // namespace hire
+
+#define HIRE_OBS_CONCAT_INNER(a, b) a##b
+#define HIRE_OBS_CONCAT(a, b) HIRE_OBS_CONCAT_INNER(a, b)
+
+/// Opens an RAII trace span covering the rest of the enclosing scope.
+#define HIRE_TRACE_SCOPE(name) \
+  ::hire::obs::TraceScope HIRE_OBS_CONCAT(hire_trace_scope_, __LINE__)(name)
+
+#endif  // HIRE_OBS_TRACE_H_

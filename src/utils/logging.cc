@@ -1,16 +1,19 @@
 #include "utils/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace hire {
 
 namespace {
-
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,30 +35,125 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+int InitialLevelFromEnv() {
+  if (const char* env = std::getenv("HIRE_LOG_LEVEL")) {
+    LogLevel level;
+    if (ParseLogLevel(env, &level)) return static_cast<int>(level);
+    std::fprintf(stderr, "[WARN logging.cc] unrecognised HIRE_LOG_LEVEL '%s'\n",
+                 env);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int>& LogLevelVar() {
+  static std::atomic<int> level{InitialLevelFromEnv()};
+  return level;
+}
+
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
+
+/// 2026-08-06T12:34:56.789Z (UTC, millisecond resolution).
+void FormatTimestamp(char* buf, size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  std::snprintf(buf, len, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LogLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(LogLevelVar().load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_log_format.load(std::memory_order_relaxed));
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < static_cast<int>(GetLogLevel())) {
     return;
   }
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  char timestamp[48];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  const int tid = obs::CurrentThreadId();
+  const char* base = Basename(file_);
+
+  std::string line;
+  line.reserve(96 + stream_.str().size());
+  if (GetLogFormat() == LogFormat::kJson) {
+    line += "{\"ts\":\"";
+    line += timestamp;
+    line += "\",\"level\":\"";
+    line += LevelName(level_);
+    line += "\",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"src\":\"";
+    line += base;
+    line += ":";
+    line += std::to_string(line_);
+    line += "\",\"msg\":";
+    line += obs::JsonString(stream_.str());
+    line += "}\n";
+  } else {
+    line += "[";
+    line += timestamp;
+    line += " ";
+    line += LevelName(level_);
+    line += " t";
+    line += std::to_string(tid);
+    line += " ";
+    line += base;
+    line += ":";
+    line += std::to_string(line_);
+    line += "] ";
+    line += stream_.str();
+    line += "\n";
+  }
+  // One fwrite per message: concurrent loggers cannot shred each other's
+  // lines (POSIX stdio streams lock around each call).
+  std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
 }
 

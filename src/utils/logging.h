@@ -14,16 +14,35 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-/// Sets the minimum severity that is emitted. Defaults to kInfo.
+/// Output format for log lines.
+enum class LogFormat : int {
+  kText = 0,  // [2026-08-06T12:34:56.789Z INFO t1 file.cc:42] message
+  kJson = 1,  // {"ts":"...","level":"info","tid":1,"src":"file.cc:42",...}
+};
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo, or to the
+/// HIRE_LOG_LEVEL environment variable (debug|info|warn|error, or 0-3) when
+/// set at process start.
 void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum severity.
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warn" / "warning" / "error" (case-insensitive)
+/// or a numeric 0-3 into `out`. Returns false on unrecognised input.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Switches between human-readable text lines and structured JSON lines.
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction when the
-/// message's severity is at or above the configured threshold.
+/// Accumulates one log line and emits it on destruction when the message's
+/// severity is at or above the configured threshold. The fully formatted
+/// line (ISO-8601 UTC timestamp, severity, thread id, source location) is
+/// written to stderr with a single fwrite, so concurrent threads can log
+/// without interleaving fragments of each other's lines.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -40,6 +59,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -1,138 +1,12 @@
 #ifndef HIRE_UTILS_STOPWATCH_H_
 #define HIRE_UTILS_STOPWATCH_H_
 
-#include <array>
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <sstream>
-#include <string>
+// Compatibility shim: Stopwatch and the kernel-time accounting moved into
+// the observability subsystem (src/obs/). Existing includes of
+// "utils/stopwatch.h" keep compiling; new code should include
+// "obs/stopwatch.h" and "obs/kernel_timers.h" directly.
 
-namespace hire {
-
-/// Monotonic wall-clock stopwatch used by the benchmark harness and the
-/// efficiency experiments (Fig. 6).
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  /// Restarts timing from now.
-  void Reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Milliseconds elapsed since construction or the last Reset().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
-
-// ---------------------------------------------------------------------------
-// Kernel time accounting.
-// ---------------------------------------------------------------------------
-
-/// Coarse hot-path categories tracked by KernelTimers. kMatMul and kSoftmax
-/// are charged inside the tensor ops, kAttention around whole MHSA forwards
-/// (so it overlaps the former two), kOptimizer around the optimiser update.
-enum class KernelCategory : int {
-  kMatMul = 0,
-  kSoftmax,
-  kAttention,
-  kOptimizer,
-};
-
-/// Process-wide accumulator of time spent per KernelCategory. Thread-safe;
-/// the trainer snapshots it to print a per-epoch kernel-time breakdown.
-class KernelTimers {
- public:
-  static constexpr int kNumCategories = 4;
-
-  /// Per-category totals at one instant, subtractable for interval deltas.
-  struct Snapshot {
-    std::array<uint64_t, kNumCategories> nanos{};
-
-    double Seconds(KernelCategory category) const {
-      return static_cast<double>(nanos[static_cast<int>(category)]) * 1e-9;
-    }
-
-    Snapshot operator-(const Snapshot& other) const {
-      Snapshot delta;
-      for (int i = 0; i < kNumCategories; ++i) {
-        delta.nanos[i] = nanos[i] - other.nanos[i];
-      }
-      return delta;
-    }
-
-    /// e.g. "matmul 1.23s | softmax 0.40s | attention 1.71s | optim 0.25s".
-    std::string ToString() const {
-      static constexpr const char* kNames[kNumCategories] = {
-          "matmul", "softmax", "attention", "optim"};
-      std::ostringstream out;
-      for (int i = 0; i < kNumCategories; ++i) {
-        if (i > 0) out << " | ";
-        out << kNames[i] << " " << static_cast<double>(nanos[i]) * 1e-9
-            << "s";
-      }
-      return out.str();
-    }
-  };
-
-  static void Add(KernelCategory category, uint64_t nanos) {
-    Totals()[static_cast<int>(category)].fetch_add(
-        nanos, std::memory_order_relaxed);
-  }
-
-  static Snapshot Take() {
-    Snapshot snapshot;
-    for (int i = 0; i < kNumCategories; ++i) {
-      snapshot.nanos[i] = Totals()[i].load(std::memory_order_relaxed);
-    }
-    return snapshot;
-  }
-
-  static void Reset() {
-    for (int i = 0; i < kNumCategories; ++i) {
-      Totals()[i].store(0, std::memory_order_relaxed);
-    }
-  }
-
- private:
-  static std::array<std::atomic<uint64_t>, kNumCategories>& Totals() {
-    static std::array<std::atomic<uint64_t>, kNumCategories> totals{};
-    return totals;
-  }
-};
-
-/// RAII accumulator: charges the scope's wall time to one KernelCategory.
-/// Cheap enough for per-op use on matrix-sized work (one steady_clock read
-/// on entry and exit); keep it off per-element paths.
-class ScopedKernelTimer {
- public:
-  explicit ScopedKernelTimer(KernelCategory category)
-      : category_(category), start_(std::chrono::steady_clock::now()) {}
-
-  ~ScopedKernelTimer() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    KernelTimers::Add(
-        category_,
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
-  }
-
-  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
-  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
-
- private:
-  KernelCategory category_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace hire
+#include "obs/kernel_timers.h"  // IWYU pragma: export
+#include "obs/stopwatch.h"      // IWYU pragma: export
 
 #endif  // HIRE_UTILS_STOPWATCH_H_

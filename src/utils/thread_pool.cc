@@ -6,6 +6,7 @@
 #include <exception>
 #include <memory>
 
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/flags.h"
 
@@ -58,7 +59,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      HIRE_TRACE_SCOPE("pool_task");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

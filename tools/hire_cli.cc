@@ -21,6 +21,10 @@
 #include "core/evaluation.h"
 #include "core/hire_model.h"
 #include "core/trainer.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "utils/logging.h"
 #include "data/csv_loader.h"
 #include "data/splits.h"
 #include "data/synthetic.h"
@@ -46,6 +50,12 @@ common flags:
   --seed <int>                               global seed (7)
   --threads <int>      tensor kernel threads (0 = HIRE_NUM_THREADS env,
                        then hardware concurrency)
+  --metrics-out <path> write JSONL telemetry (per-step records, events,
+                       final metrics snapshot); appends when resuming
+  --trace-out <path>   record scoped spans and write Chrome trace-event
+                       JSON (open in Perfetto / chrome://tracing)
+  --log-level <debug|info|warn|error>  log threshold (also HIRE_LOG_LEVEL)
+  --log-json           emit log lines as JSON objects
 
 train:
   --steps <int>        training steps (300)
@@ -66,6 +76,8 @@ train:
   --max-rollbacks <int>     rollbacks tolerated before aborting the run
                             (8; 0 = unlimited); the backoff compounds
                             across rollbacks
+  --telemetry-every <int>   JSONL step record every N steps (1; needs
+                            --metrics-out)
 
 evaluate:
   --model <path>       trained parameters from `train` (required)
@@ -142,6 +154,7 @@ int Train(const Flags& flags) {
   trainer.resume = flags.GetBool("resume", false);
   trainer.max_bad_steps = static_cast<int>(flags.GetInt("max-bad-steps", 3));
   trainer.max_rollbacks = flags.GetInt("max-rollbacks", 8);
+  trainer.telemetry_every = flags.GetInt("telemetry-every", 1);
   const core::TrainStats stats =
       core::TrainHire(&model, graph, sampler, trainer);
   if (stats.start_step > 0) {
@@ -264,11 +277,55 @@ int main(int argc, char** argv) {
   try {
     const hire::Flags flags = hire::Flags::Parse(argc - 1, argv + 1);
     hire::InitGlobalThreadsFromFlags(flags);
-    if (command == "train") return Train(flags);
-    if (command == "evaluate") return Evaluate(flags);
-    if (command == "generate") return Generate(flags);
-    std::cerr << "unknown command '" << command << "'\n" << kUsage;
-    return 2;
+
+    const std::string log_level = flags.GetString("log-level", "");
+    if (!log_level.empty()) {
+      hire::LogLevel level;
+      HIRE_CHECK(hire::ParseLogLevel(log_level, &level))
+          << "unrecognised --log-level '" << log_level << "'";
+      hire::SetLogLevel(level);
+    }
+    if (flags.GetBool("log-json", false)) {
+      hire::SetLogFormat(hire::LogFormat::kJson);
+    }
+
+    const std::string metrics_out = flags.GetString("metrics-out", "");
+    const std::string trace_out = flags.GetString("trace-out", "");
+    if (!metrics_out.empty()) {
+      // A resumed run extends the original stream rather than replacing it.
+      hire::obs::TelemetrySink::Global().Open(metrics_out,
+                                       flags.GetBool("resume", false));
+    }
+    if (!trace_out.empty()) hire::obs::Tracer::Start();
+
+    int exit_code = 2;
+    if (command == "train") {
+      exit_code = Train(flags);
+    } else if (command == "evaluate") {
+      exit_code = Evaluate(flags);
+    } else if (command == "generate") {
+      exit_code = Generate(flags);
+    } else {
+      std::cerr << "unknown command '" << command << "'\n" << kUsage;
+    }
+
+    if (!trace_out.empty()) {
+      hire::obs::Tracer::Stop();
+      hire::obs::Tracer::WriteChromeTrace(trace_out);
+      std::cout << "wrote " << hire::obs::Tracer::TotalSpans() << " trace span(s) to "
+                << trace_out;
+      if (hire::obs::Tracer::DroppedSpans() > 0) {
+        std::cout << " (" << hire::obs::Tracer::DroppedSpans() << " dropped)";
+      }
+      std::cout << "\n";
+    }
+    if (!metrics_out.empty()) {
+      hire::obs::TelemetrySink& sink = hire::obs::TelemetrySink::Global();
+      sink.WriteMetricsSnapshot(hire::obs::MetricsRegistry::Global().Take());
+      sink.Close();
+      std::cout << "wrote telemetry to " << metrics_out << "\n";
+    }
+    return exit_code;
   } catch (const hire::CheckError& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -2,17 +2,46 @@
 # Configures a Release build, runs the tensor micro-benchmark harness at
 # 1/2/all threads, and writes BENCH_tensor.json at the repo root. Usage:
 #   tools/run_bench.sh [build_dir] [extra bench flags...]
+#
+# Trace-capture mode: instead of the micro-benchmarks, run a short traced
+# training job and write BENCH_trace.json (Chrome trace-event format, open in
+# Perfetto) plus BENCH_telemetry.jsonl at the repo root:
+#   tools/run_bench.sh --trace [build_dir] [extra hire_cli train flags...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+mode="bench"
+if [ "${1:-}" = "--trace" ]; then
+  mode="trace"
+  shift
+fi
+
 build_dir="${1:-${repo_root}/build}"
 shift || true
 
 nproc_count="$(nproc 2>/dev/null || echo 1)"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+
+if [ "${mode}" = "trace" ]; then
+  cmake --build "${build_dir}" --target hire_cli -j "${nproc_count}"
+  work="$(mktemp -d "${TMPDIR:-/tmp}/hire_bench_trace.XXXXXX")"
+  trap 'rm -rf "${work}"' EXIT
+  "${build_dir}/tools/hire_cli" train \
+    --profile=movielens --scale=0.05 --steps=50 --context=16 \
+    --log-every=10 \
+    --trace-out="${repo_root}/BENCH_trace.json" \
+    --metrics-out="${repo_root}/BENCH_telemetry.jsonl" \
+    --out="${work}/model.bin" \
+    "$@"
+  echo "wrote ${repo_root}/BENCH_trace.json and BENCH_telemetry.jsonl"
+  exit 0
+fi
+
 # 1, 2, nproc, and an 8-way row for cross-machine comparability (deduped).
 threads="$(printf '%s\n' 1 2 "${nproc_count}" 8 | sort -nu | paste -sd,)"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" --target bench_micro_tensor -j "${nproc_count}"
 
 "${build_dir}/bench/bench_micro_tensor" \

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Observability drill for hire_cli: train a tiny model with tracing and
+# telemetry enabled, then validate the artifacts — the trace must be one
+# valid Chrome trace-event JSON document containing the span names the step
+# loop is instrumented with, and the telemetry JSONL must carry one step
+# record per step plus a final metrics snapshot.
+#
+# Usage: run_trace_test.sh <path-to-hire_cli> <path-to-validate_telemetry>
+# Registered as the `trace_validate` ctest; also runnable by hand.
+set -u
+
+CLI="${1:?usage: run_trace_test.sh <hire_cli> <validate_telemetry>}"
+VALIDATOR="${2:?usage: run_trace_test.sh <hire_cli> <validate_telemetry>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/hire_trace_test.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+STEPS=20
+# Checkpointing is on so the checkpoint_write span and telemetry event appear.
+"$CLI" train --profile=movielens --scale=0.02 --steps="$STEPS" --context=6 \
+    --him-blocks=2 --heads=2 --head-dim=4 --embed-dim=4 \
+    --seed=7 --threads=2 --log-every=0 \
+    --checkpoint-dir="$WORK/ckpt" --checkpoint-every=10 \
+    --trace-out="$WORK/trace.json" --metrics-out="$WORK/metrics.jsonl" \
+    --out="$WORK/model.bin" || fail "traced training run"
+
+[ -s "$WORK/trace.json" ] || fail "trace file missing or empty"
+[ -s "$WORK/metrics.jsonl" ] || fail "metrics file missing or empty"
+
+"$VALIDATOR" \
+    --trace="$WORK/trace.json" \
+    --expect-spans=train_step,forward,backward,mhsa_forward,mhsa_backward,him_block_0_forward,optimizer_step,context_sampling,checkpoint_write,pool_task \
+    --metrics="$WORK/metrics.jsonl" \
+    --min-steps="$STEPS" || fail "artifact validation"
+
+echo "PASS: trace and telemetry artifacts validate"
