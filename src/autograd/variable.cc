@@ -1,11 +1,19 @@
 #include "autograd/variable.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "utils/check.h"
 
 namespace hire {
 namespace ag {
+
+namespace {
+
+thread_local bool t_grad_mode_enabled = true;
+std::atomic<uint64_t> g_tape_nodes_created{0};
+
+}  // namespace
 
 namespace internal {
 
@@ -66,6 +74,7 @@ void Variable::ZeroGrad() {
 Variable Variable::MakeNode(
     Tensor value, std::vector<Variable> parents,
     std::function<void(const Tensor& upstream)> backward) {
+  g_tape_nodes_created.fetch_add(1, std::memory_order_relaxed);
   Variable out(std::move(value), /*requires_grad=*/true);
   out.impl_->parents.reserve(parents.size());
   for (Variable& parent : parents) {
@@ -112,10 +121,23 @@ void Variable::Backward() {
 }
 
 bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
+  if (!t_grad_mode_enabled) return false;
   for (const Variable& input : inputs) {
     if (input.requires_grad()) return true;
   }
   return false;
+}
+
+bool GradModeEnabled() { return t_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_mode_enabled) {
+  t_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_mode_enabled = previous_; }
+
+uint64_t TapeNodesCreated() {
+  return g_tape_nodes_created.load(std::memory_order_relaxed);
 }
 
 }  // namespace ag

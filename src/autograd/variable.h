@@ -96,8 +96,33 @@ class Variable {
 };
 
 /// True if any input requires a gradient (how ops decide whether to record a
-/// backward edge).
+/// backward edge). Always false while a NoGradGuard is live on the calling
+/// thread, so every op downstream of the guard produces detached leaves.
 bool AnyRequiresGrad(const std::vector<Variable>& inputs);
+
+/// True unless the calling thread is inside a NoGradGuard scope.
+bool GradModeEnabled();
+
+/// RAII scope that disables gradient recording on the calling thread
+/// (PyTorch's torch.no_grad()). Inside the scope every op returns a detached
+/// leaf: no tape nodes, no parent edges, no backward closures. This is what
+/// keeps the serving/inference hot path free of autograd allocations.
+/// Nestable; the previous mode is restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Process-wide count of tape nodes created by Variable::MakeNode since
+/// start-up. Monotonic; tests snapshot it around a region to assert the
+/// region allocates no autograd state (e.g. HireModel::Predict).
+uint64_t TapeNodesCreated();
 
 }  // namespace ag
 }  // namespace hire

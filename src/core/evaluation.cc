@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "graph/context_builder.h"
 #include "obs/json.h"
@@ -14,6 +15,82 @@
 namespace hire {
 namespace core {
 
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ SplitMix64(b));
+}
+
+// Uniform double in [0, 1) derived from the hash of `x`.
+double Hash01(uint64_t x) {
+  return static_cast<double>(SplitMix64(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+UserContextPlan BuildUserContextPlan(const graph::BipartiteGraph& graph,
+                                     const graph::ContextSampler& sampler,
+                                     int64_t user, int64_t context_users,
+                                     int64_t context_items, uint64_t seed) {
+  ScopedKernelTimer timer(KernelCategory::kSampling);
+  HIRE_TRACE_SCOPE("context_sampling");
+  HIRE_CHECK_GT(context_users, 0);
+  HIRE_CHECK_GT(context_items, 0);
+
+  // Reserve part of the item budget for the user's own visible (support)
+  // items: they carry the collaborative evidence HIRE's user row needs. The
+  // rest of the pool is filled by the sampler's neighborhood walk.
+  const std::vector<int64_t>& support_items = graph.ItemsOfUser(user);
+  const int64_t support_reserve = std::min<int64_t>(
+      static_cast<int64_t>(support_items.size()), context_items / 2);
+  const std::vector<int64_t> seed_items(
+      support_items.begin(), support_items.begin() + support_reserve);
+
+  // The rng is a pure function of (seed, user): the plan never depends on
+  // caller rng state or call history, which is what makes predictions
+  // deterministic and the plan cacheable across serving requests.
+  Rng rng(MixSeed(seed, static_cast<uint64_t>(user)));
+  graph::ContextSelection selection = sampler.Sample(
+      graph, {user}, seed_items, context_users, context_items, &rng);
+
+  UserContextPlan plan;
+  plan.user = user;
+  plan.context_users = std::move(selection.users);
+  plan.base_items = std::move(selection.items);
+  plan.num_support_items = support_reserve;
+  HIRE_CHECK(!plan.context_users.empty());
+  HIRE_CHECK_EQ(plan.context_users[0], user);
+  return plan;
+}
+
+void ThinObservedCells(graph::PredictionContext* context, int64_t keep_rows,
+                       double visible_fraction, uint64_t seed) {
+  HIRE_CHECK(context != nullptr);
+  if (visible_fraction >= 1.0) return;
+  const int64_t n = context->num_users();
+  const int64_t m = context->num_items();
+  for (int64_t r = keep_rows; r < n; ++r) {
+    const uint64_t row_hash =
+        MixSeed(seed, static_cast<uint64_t>(context->users[r]));
+    for (int64_t c = 0; c < m; ++c) {
+      if (context->observed_mask.at(r, c) <= 0.0f) continue;
+      const uint64_t cell =
+          MixSeed(row_hash, static_cast<uint64_t>(context->items[c]));
+      if (Hash01(cell) >= visible_fraction) {
+        context->observed_mask.at(r, c) = 0.0f;
+        context->observed_ratings.at(r, c) = 0.0f;
+      }
+    }
+  }
+}
+
 HirePredictor::HirePredictor(HireModel* model,
                              const graph::ContextSampler* sampler,
                              int64_t context_users, int64_t context_items,
@@ -23,7 +100,7 @@ HirePredictor::HirePredictor(HireModel* model,
       context_users_(context_users),
       context_items_(context_items),
       context_visible_fraction_(context_visible_fraction),
-      rng_(seed) {
+      seed_(seed) {
   HIRE_CHECK(model_ != nullptr);
   HIRE_CHECK(sampler_ != nullptr);
   HIRE_CHECK_GT(context_users_, 0);
@@ -39,14 +116,14 @@ std::vector<float> HirePredictor::PredictForUser(
   std::vector<float> predictions;
   predictions.reserve(items.size());
 
-  // Reserve part of the item budget for the cold user's own visible
-  // (support) items: they carry the collaborative evidence HIRE's user row
-  // needs. The remaining capacity processes query items in chunks.
-  const std::vector<int64_t>& support_items = visible_graph.ItemsOfUser(user);
-  const int64_t support_reserve = std::min<int64_t>(
-      static_cast<int64_t>(support_items.size()), context_items_ / 2);
+  // One sampler walk per call: the context rows and the base item pool
+  // (support first, then neighborhood fill) are shared by every chunk.
+  const UserContextPlan plan = BuildUserContextPlan(
+      visible_graph, *sampler_, user, context_users_, context_items_, seed_);
+  const std::unordered_set<int64_t> pool_lookup(plan.base_items.begin(),
+                                                plan.base_items.end());
   const int64_t chunk_capacity =
-      std::max<int64_t>(1, context_items_ - support_reserve);
+      std::max<int64_t>(1, context_items_ - plan.num_support_items);
 
   for (size_t begin = 0; begin < items.size();
        begin += static_cast<size_t>(chunk_capacity)) {
@@ -55,47 +132,29 @@ std::vector<float> HirePredictor::PredictForUser(
     const std::vector<int64_t> chunk(items.begin() + begin,
                                      items.begin() + end);
 
-    // Seed with the query chunk first (so predictions line up with the
-    // leading columns), then the support items.
-    std::vector<int64_t> seed_items = chunk;
-    for (int64_t support : support_items) {
-      if (static_cast<int64_t>(seed_items.size()) >=
-          static_cast<int64_t>(chunk.size()) + support_reserve) {
-        break;
-      }
-      seed_items.push_back(support);
+    // Columns: the query chunk first (so predictions line up with the
+    // leading columns), then base-pool items (support first) until the item
+    // budget is reached. The column set depends only on the chunk contents,
+    // never on other chunks.
+    std::vector<int64_t> columns = chunk;
+    std::unordered_set<int64_t> in_columns(chunk.begin(), chunk.end());
+    for (int64_t base : plan.base_items) {
+      if (static_cast<int64_t>(columns.size()) >= context_items_) break;
+      if (in_columns.insert(base).second) columns.push_back(base);
     }
 
-    graph::PredictionContext context;
-    {
-      ScopedKernelTimer timer(KernelCategory::kSampling);
-      HIRE_TRACE_SCOPE("context_sampling");
-      graph::ContextSelection selection =
-          sampler_->Sample(visible_graph, {user}, seed_items, context_users_,
-                           context_items_, &rng_);
-      context = graph::AssembleContext(visible_graph, std::move(selection));
-    }
+    graph::ContextSelection selection;
+    selection.users = plan.context_users;
+    selection.items = std::move(columns);
+    graph::PredictionContext context =
+        graph::AssembleContext(visible_graph, std::move(selection));
 
     // Thin the context's observed ratings to the training density (the
     // paper keeps 10% visible at test time as well). The target user's
-    // support row is always preserved.
-    if (context_visible_fraction_ < 1.0) {
-      std::vector<int64_t> other_cells;
-      for (int64_t flat = 0; flat < context.observed_mask.size(); ++flat) {
-        const int64_t row = flat / context.num_items();
-        if (row == 0) continue;  // target user's row
-        if (context.observed_mask.flat(flat) > 0.0f) {
-          other_cells.push_back(flat);
-        }
-      }
-      rng_.Shuffle(&other_cells);
-      const size_t keep = static_cast<size_t>(
-          context_visible_fraction_ * static_cast<double>(other_cells.size()));
-      for (size_t c = keep; c < other_cells.size(); ++c) {
-        context.observed_mask.flat(other_cells[c]) = 0.0f;
-        context.observed_ratings.flat(other_cells[c]) = 0.0f;
-      }
-    }
+    // support row is always preserved, and the per-cell hash keeps the
+    // visible set independent of the chunk partition.
+    ThinObservedCells(&context, /*keep_rows=*/1, context_visible_fraction_,
+                      seed_);
 
     const Tensor predicted = model_->Predict(context);
 

@@ -33,10 +33,56 @@ class RatingPredictor {
       const graph::BipartiteGraph& visible_graph) = 0;
 };
 
+/// The reusable half of a user's prediction context: the sampled context
+/// user rows and a base item pool (the user's own support items first, then
+/// neighborhood fill). Sampled once per (user, graph) and reused across
+/// query chunks by HirePredictor, and across requests by the serving
+/// context cache — a pure function of (graph, sampler, user, seed), so two
+/// plans built from the same inputs are identical.
+struct UserContextPlan {
+  int64_t user = 0;
+  /// Context rows, target user first. Size <= the row budget.
+  std::vector<int64_t> context_users;
+  /// Column pool: support items first (up to the reserve), then sampled
+  /// neighborhood items. Size <= the item budget.
+  std::vector<int64_t> base_items;
+  /// How many leading base_items are the user's own support items.
+  int64_t num_support_items = 0;
+
+  /// Rough heap footprint, used by the serving cache for accounting.
+  size_t ApproxBytes() const {
+    return sizeof(UserContextPlan) +
+           (context_users.capacity() + base_items.capacity()) *
+               sizeof(int64_t);
+  }
+};
+
+/// Samples a user's context plan: rows seeded with the user, columns seeded
+/// with the user's visible (support) items. Deterministic given `seed`
+/// (independent of any caller rng state or call history).
+UserContextPlan BuildUserContextPlan(const graph::BipartiteGraph& graph,
+                                     const graph::ContextSampler& sampler,
+                                     int64_t user, int64_t context_users,
+                                     int64_t context_items, uint64_t seed);
+
+/// Thins `context`'s observed ratings to approximately `visible_fraction`
+/// via a per-cell hash of (seed, row entity, column entity): whether a cell
+/// stays visible depends only on its own identity, never on which other
+/// cells share the context. The first `keep_rows` rows (the target users)
+/// are always fully preserved.
+void ThinObservedCells(graph::PredictionContext* context, int64_t keep_rows,
+                       double visible_fraction, uint64_t seed);
+
 /// Adapter exposing a trained HireModel through RatingPredictor: builds a
 /// prediction context seeded with (user, query items), assembles visible
 /// ratings, and reads the predicted cells off the decoded rating matrix.
 /// Query lists longer than the item budget are processed in chunks.
+///
+/// Prediction is stateless: the context rows are sampled once per user from
+/// a seed derived from (seed, user) and reused across every chunk, and the
+/// visibility thinning is per-cell deterministic. Consequently the
+/// predictions for a chunk depend only on (graph, seed, user, chunk
+/// contents) — not on preceding chunks, other users, or call history.
 class HirePredictor : public RatingPredictor {
  public:
   /// `context_visible_fraction` matches the paper's test protocol: only this
@@ -59,7 +105,7 @@ class HirePredictor : public RatingPredictor {
   int64_t context_users_;
   int64_t context_items_;
   double context_visible_fraction_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 /// Cold-start evaluation configuration (paper §VI-A).

@@ -78,10 +78,11 @@ ag::Variable HireModel::Forward(const graph::PredictionContext& context) {
 Tensor HireModel::Predict(const graph::PredictionContext& context) {
   const bool was_training = training();
   SetTraining(false);
-  // Forward on detached parameter copies would be wasteful; instead rely on
-  // ops producing tape nodes and simply never calling Backward. To avoid
-  // tape overhead entirely we run with gradients suppressed by cloning the
-  // output value.
+  // Inference must not pay for autograd: the guard makes every op in the
+  // forward return a detached leaf, so no tape nodes, parent edges or
+  // backward closures are allocated (tests/core_test.cc pins this down via
+  // ag::TapeNodesCreated).
+  ag::NoGradGuard no_grad;
   ag::Variable prediction = Forward(context);
   SetTraining(was_training);
   return prediction.value();

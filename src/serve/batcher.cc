@@ -1,0 +1,340 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/evaluation.h"
+#include "graph/context_builder.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace hire {
+namespace serve {
+
+namespace {
+
+RatingResponse FailedResponse(std::string error) {
+  RatingResponse response;
+  response.ok = false;
+  response.error = std::move(error);
+  return response;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(
+    const BatcherConfig& config, InferenceEngine* engine, ContextCache* cache,
+    const graph::ContextSampler* sampler,
+    std::function<std::shared_ptr<const VersionedGraph>()> graph_provider)
+    : config_(config),
+      engine_(engine),
+      cache_(cache),
+      sampler_(sampler),
+      graph_provider_(std::move(graph_provider)),
+      queue_(config.queue_capacity) {
+  HIRE_CHECK(engine_ != nullptr);
+  HIRE_CHECK(cache_ != nullptr);
+  HIRE_CHECK(sampler_ != nullptr);
+  HIRE_CHECK(graph_provider_ != nullptr);
+  HIRE_CHECK_GT(config_.max_batch_users, 0);
+  HIRE_CHECK_GT(config_.context_users, 0);
+  HIRE_CHECK_GT(config_.context_items, 0);
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Start() {
+  HIRE_CHECK(!started_) << "batcher already started";
+  started_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void MicroBatcher::Stop() {
+  if (!started_) return;
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+}
+
+std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
+                                                 std::vector<int64_t> items) {
+  PendingRequest request;
+  request.user = user;
+  request.items = std::move(items);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<RatingResponse> future = request.promise.get_future();
+
+  if (request.items.empty()) {
+    request.promise.set_value(FailedResponse("bad request: empty item list"));
+    return future;
+  }
+  if (static_cast<int64_t>(request.items.size()) > config_.context_items) {
+    request.promise.set_value(FailedResponse(
+        "bad request: " + std::to_string(request.items.size()) +
+        " items exceed the context item budget of " +
+        std::to_string(config_.context_items)));
+    return future;
+  }
+  if (!queue_.TryPush(std::move(request))) {
+    // `request` is only moved from when the push succeeds, so the promise
+    // is still ours to resolve here.
+    request.promise.set_value(
+        FailedResponse("overloaded: request queue is full"));
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.requests_rejected")
+        ->Increment();
+    return future;
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.queue_depth")
+      ->Set(static_cast<double>(queue_.size()));
+  return future;
+}
+
+void MicroBatcher::WorkerLoop() {
+  while (true) {
+    std::optional<PendingRequest> first = queue_.Pop();
+    if (!first.has_value()) return;  // closed and drained
+    ProcessBatch(CollectBatch(std::move(*first)));
+  }
+}
+
+std::vector<MicroBatcher::PendingRequest> MicroBatcher::CollectBatch(
+    PendingRequest first) {
+  std::vector<PendingRequest> batch;
+  std::unordered_set<int64_t> users{first.user};
+  batch.push_back(std::move(first));
+  if (config_.batch_window_us <= 0) return batch;
+
+  const auto deadline =
+      batch.front().enqueue_time +
+      std::chrono::microseconds(config_.batch_window_us);
+  while (static_cast<int64_t>(users.size()) < config_.max_batch_users) {
+    std::optional<PendingRequest> next = queue_.PopUntil(deadline);
+    if (!next.has_value()) break;  // window closed (or batcher stopping)
+    users.insert(next->user);
+    batch.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
+  HIRE_TRACE_SCOPE("serve_batch");
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("serve.queue_depth")
+      ->Set(static_cast<double>(queue_.size()));
+
+  std::shared_ptr<const VersionedGraph> versioned_graph;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  try {
+    versioned_graph = graph_provider_();
+    snapshot = engine_->Acquire();
+  } catch (const std::exception& error) {
+    for (PendingRequest& request : batch) {
+      request.promise.set_value(FailedResponse(error.what()));
+    }
+    return;
+  }
+  if (snapshot == nullptr || versioned_graph == nullptr) {
+    for (PendingRequest& request : batch) {
+      request.promise.set_value(FailedResponse("no model published"));
+    }
+    return;
+  }
+
+  // Partition the batch into groups whose distinct users fit the row budget
+  // and whose item union fits the column budget; each group shares one
+  // context and one forward.
+  const int64_t max_users =
+      std::min(config_.max_batch_users, config_.context_users);
+  std::vector<std::vector<PendingRequest>> groups;
+  std::unordered_set<int64_t> group_users;
+  std::unordered_set<int64_t> group_items;
+  for (PendingRequest& request : batch) {
+    int64_t new_users = group_users.count(request.user) ? 0 : 1;
+    int64_t new_items = 0;
+    for (int64_t item : request.items) {
+      if (group_items.count(item) == 0) ++new_items;
+    }
+    const bool fits =
+        !groups.empty() &&
+        static_cast<int64_t>(group_users.size()) + new_users <= max_users &&
+        static_cast<int64_t>(group_items.size()) + new_items <=
+            config_.context_items;
+    if (!fits) {
+      groups.emplace_back();
+      group_users.clear();
+      group_items.clear();
+    }
+    group_users.insert(request.user);
+    group_items.insert(request.items.begin(), request.items.end());
+    groups.back().push_back(std::move(request));
+  }
+
+  for (std::vector<PendingRequest>& group : groups) {
+    try {
+      ProcessGroup(std::move(group), *versioned_graph, *snapshot);
+    } catch (const std::exception& error) {
+      // ProcessGroup resolves promises as its last act; an exception means
+      // none of this group's requests were answered yet.
+      for (PendingRequest& request : group) {
+        request.promise.set_value(FailedResponse(error.what()));
+      }
+      registry.GetCounter("serve.batch_errors")->Increment();
+    }
+  }
+}
+
+void MicroBatcher::ProcessGroup(std::vector<PendingRequest> group,
+                                const VersionedGraph& versioned_graph,
+                                const ModelSnapshot& snapshot) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const graph::BipartiteGraph& graph = versioned_graph.graph;
+
+  // Distinct users in arrival order; fetch or build each user's context
+  // plan (the cacheable, graph-walk half of the work).
+  std::vector<int64_t> users;
+  std::unordered_map<int64_t, bool> cache_hit;
+  std::vector<std::shared_ptr<const core::UserContextPlan>> plans;
+  for (const PendingRequest& request : group) {
+    if (cache_hit.count(request.user)) continue;
+    users.push_back(request.user);
+    std::shared_ptr<const core::UserContextPlan> plan =
+        cache_->Get(request.user, versioned_graph.version);
+    cache_hit[request.user] = plan != nullptr;
+    if (plan == nullptr) {
+      plan = std::make_shared<core::UserContextPlan>(core::BuildUserContextPlan(
+          graph, *sampler_, request.user, config_.context_users,
+          config_.context_items, config_.seed));
+      cache_->Put(request.user, versioned_graph.version, plan);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Rows: the batch users first, then their sampled context neighbors
+  // round-robin until the row budget is filled.
+  std::vector<int64_t> rows = users;
+  std::unordered_set<int64_t> row_set(rows.begin(), rows.end());
+  for (size_t offset = 1;
+       static_cast<int64_t>(rows.size()) < config_.context_users; ++offset) {
+    bool any = false;
+    for (const auto& plan : plans) {
+      if (offset >= plan->context_users.size()) continue;
+      any = true;
+      const int64_t candidate = plan->context_users[offset];
+      if (row_set.insert(candidate).second) {
+        rows.push_back(candidate);
+        if (static_cast<int64_t>(rows.size()) >= config_.context_users) break;
+      }
+    }
+    if (!any) break;
+  }
+
+  // Columns: the union of queried items in arrival order, then base-pool
+  // items (support first) round-robin until the column budget is filled.
+  std::vector<int64_t> cols;
+  std::unordered_set<int64_t> col_set;
+  for (const PendingRequest& request : group) {
+    for (int64_t item : request.items) {
+      if (col_set.insert(item).second) cols.push_back(item);
+    }
+  }
+  for (size_t offset = 0;
+       static_cast<int64_t>(cols.size()) < config_.context_items; ++offset) {
+    bool any = false;
+    for (const auto& plan : plans) {
+      if (offset >= plan->base_items.size()) continue;
+      any = true;
+      const int64_t candidate = plan->base_items[offset];
+      if (col_set.insert(candidate).second) {
+        cols.push_back(candidate);
+        if (static_cast<int64_t>(cols.size()) >= config_.context_items) break;
+      }
+    }
+    if (!any) break;
+  }
+
+  graph::ContextSelection selection;
+  selection.users = rows;
+  selection.items = cols;
+  graph::PredictionContext context =
+      graph::AssembleContext(graph, std::move(selection));
+  core::ThinObservedCells(&context,
+                          /*keep_rows=*/static_cast<int64_t>(users.size()),
+                          config_.visible_fraction, config_.seed);
+
+  Tensor predicted;
+  {
+    HIRE_TRACE_SCOPE("serve_forward");
+    predicted = snapshot.model->Predict(context);
+  }
+
+  std::unordered_map<int64_t, int64_t> row_of_user;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    row_of_user[rows[r]] = static_cast<int64_t>(r);
+  }
+  std::unordered_map<int64_t, int64_t> col_of_item;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    col_of_item[cols[c]] = static_cast<int64_t>(c);
+  }
+
+  registry.GetCounter("serve.batches")->Increment();
+  registry.GetCounter("serve.batched_users")->Increment(users.size());
+  obs::HistogramOptions batch_options;
+  batch_options.first_bound = 1.0;
+  batch_options.growth = 2.0;
+  batch_options.num_buckets = 8;
+  registry.GetHistogram("serve.batch_users", batch_options)
+      ->Record(static_cast<double>(users.size()));
+  obs::Histogram* latency_hist = registry.GetHistogram(
+      "serve.request_latency_us",
+      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                            /*num_buckets=*/32});
+  obs::Counter* served = registry.GetCounter("serve.requests");
+
+  for (PendingRequest& request : group) {
+    RatingResponse response;
+    response.ok = true;
+    response.predictions.reserve(request.items.size());
+    const int64_t row = row_of_user.at(request.user);
+    for (int64_t item : request.items) {
+      response.predictions.push_back(
+          predicted.at(row, col_of_item.at(item)));
+    }
+    response.cache_hit = cache_hit.at(request.user);
+    response.batch_users = static_cast<int64_t>(users.size());
+    response.model_version = snapshot.version;
+    response.graph_version = versioned_graph.version;
+    response.latency_us = MicrosSince(request.enqueue_time);
+
+    served->Increment();
+    latency_hist->Record(response.latency_us);
+    if (obs::TelemetrySink::Global().enabled()) {
+      obs::ServeTelemetry record;
+      record.user = request.user;
+      record.num_items = static_cast<int64_t>(request.items.size());
+      record.latency_us = response.latency_us;
+      record.batch_users = response.batch_users;
+      record.cache_hit = response.cache_hit;
+      record.model_version = response.model_version;
+      record.graph_version = response.graph_version;
+      obs::TelemetrySink::Global().WriteServe(record);
+    }
+    request.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace serve
+}  // namespace hire

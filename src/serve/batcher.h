@@ -1,0 +1,131 @@
+#ifndef HIRE_SERVE_BATCHER_H_
+#define HIRE_SERVE_BATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hire_config.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "serve/bounded_queue.h"
+#include "serve/context_cache.h"
+#include "serve/inference_engine.h"
+
+namespace hire {
+namespace serve {
+
+/// One immutable published generation of the rating graph. Requests are
+/// answered against whichever generation is current when their batch runs;
+/// the version is part of the context-cache key.
+struct VersionedGraph {
+  VersionedGraph(graph::BipartiteGraph g, int64_t v)
+      : graph(std::move(g)), version(v) {}
+  graph::BipartiteGraph graph;
+  int64_t version;
+};
+
+/// Answer for one rating request.
+struct RatingResponse {
+  bool ok = false;
+  std::string error;              // set when !ok
+  std::vector<float> predictions; // one per requested item, in request order
+  bool cache_hit = false;         // this user's context plan was cached
+  int64_t batch_users = 0;        // distinct users sharing the forward
+  int64_t model_version = 0;
+  int64_t graph_version = 0;
+  double latency_us = 0.0;        // enqueue -> completion
+};
+
+struct BatcherConfig {
+  /// How long the worker keeps the batch open after the first request
+  /// arrives, waiting for co-batchable requests. 0 = no coalescing: every
+  /// request gets its own context and forward (the "one context per
+  /// request" baseline the load generator compares against).
+  int64_t batch_window_us = 2000;
+  /// Max distinct users coalesced into one shared context (bounded by the
+  /// context row budget).
+  int64_t max_batch_users = 8;
+  /// Prediction-context dimensions (rows x columns).
+  int64_t context_users = 16;
+  int64_t context_items = 16;
+  /// Share of non-target rows' observed ratings kept visible, matching the
+  /// training density (paper test protocol).
+  double visible_fraction = 0.1;
+  /// Seed for context sampling; predictions are deterministic given
+  /// (seed, graph, model).
+  uint64_t seed = 7;
+  /// Bound of the request queue; TryPush failures surface as 503s.
+  size_t queue_capacity = 256;
+};
+
+/// Dynamic micro-batcher: a bounded MPMC queue feeding one inference worker
+/// that coalesces requests arriving within the batch window into shared
+/// prediction contexts. k users sharing a context cost one HIM forward
+/// instead of k — the HIRE all-in-one property that makes serving
+/// batchable. A single worker drives the published model snapshot, so
+/// forwards never race while hot-swap (InferenceEngine::Load) proceeds
+/// concurrently.
+class MicroBatcher {
+ public:
+  /// `graph_provider` returns the current graph generation (called once per
+  /// batch). All pointers must outlive the batcher.
+  MicroBatcher(
+      const BatcherConfig& config, InferenceEngine* engine,
+      ContextCache* cache, const graph::ContextSampler* sampler,
+      std::function<std::shared_ptr<const VersionedGraph>()> graph_provider);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  void Start();
+  /// Fails queued and future requests, then joins the worker.
+  void Stop();
+
+  /// Enqueues a request. The future resolves when its batch completes. When
+  /// the queue is full or the batcher is stopped, the future is already
+  /// resolved with ok=false (callers map that to 503).
+  std::future<RatingResponse> Submit(int64_t user,
+                                     std::vector<int64_t> items);
+
+  const BatcherConfig& config() const { return config_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct PendingRequest {
+    int64_t user = 0;
+    std::vector<int64_t> items;
+    std::promise<RatingResponse> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void WorkerLoop();
+  std::vector<PendingRequest> CollectBatch(PendingRequest first);
+  void ProcessBatch(std::vector<PendingRequest> batch);
+  /// Runs one shared context + forward for a group of co-batched requests
+  /// and resolves their promises (the last thing it does, so a throw means
+  /// no promise in the group was touched).
+  void ProcessGroup(std::vector<PendingRequest> group,
+                    const VersionedGraph& versioned_graph,
+                    const ModelSnapshot& snapshot);
+
+  BatcherConfig config_;
+  InferenceEngine* engine_;
+  ContextCache* cache_;
+  const graph::ContextSampler* sampler_;
+  std::function<std::shared_ptr<const VersionedGraph>()> graph_provider_;
+
+  BoundedQueue<PendingRequest> queue_;
+  std::thread worker_;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_BATCHER_H_

@@ -1,0 +1,92 @@
+#include "serve/context_cache.h"
+
+#include <utility>
+
+#include "utils/check.h"
+
+namespace hire {
+namespace serve {
+
+ContextCache::ContextCache(size_t capacity)
+    : capacity_(capacity),
+      hits_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.context_cache.hits")),
+      misses_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.context_cache.misses")),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.context_cache.evictions")),
+      invalidations_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.context_cache.invalidations")),
+      size_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "serve.context_cache.size")) {
+  HIRE_CHECK_GT(capacity_, 0u);
+}
+
+std::shared_ptr<const core::UserContextPlan> ContextCache::Get(
+    int64_t user, int64_t graph_version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(Key{user, graph_version});
+  if (it == index_.end()) {
+    misses_->Increment();
+    return nullptr;
+  }
+  hits_->Increment();
+  TouchLocked(it->second);
+  return lru_.front().plan;
+}
+
+void ContextCache::Put(int64_t user, int64_t graph_version,
+                       std::shared_ptr<const core::UserContextPlan> plan) {
+  HIRE_CHECK(plan != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{user, graph_version};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    TouchLocked(it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_->Increment();
+  }
+  size_gauge_->Set(static_cast<double>(lru_.size()));
+}
+
+void ContextCache::InvalidateUser(int64_t user) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.user == user) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      invalidations_->Increment();
+    } else {
+      ++it;
+    }
+  }
+  size_gauge_->Set(static_cast<double>(lru_.size()));
+}
+
+void ContextCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  invalidations_->Increment(lru_.size());
+  lru_.clear();
+  index_.clear();
+  size_gauge_->Set(0.0);
+}
+
+size_t ContextCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ContextCache::TouchLocked(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  index_[lru_.front().key] = lru_.begin();
+}
+
+}  // namespace serve
+}  // namespace hire

@@ -1,0 +1,89 @@
+#ifndef HIRE_SERVE_CONTEXT_CACHE_H_
+#define HIRE_SERVE_CONTEXT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/evaluation.h"
+#include "obs/metrics.h"
+
+namespace hire {
+namespace serve {
+
+/// LRU cache of per-user context plans keyed by (user, graph version) — the
+/// sampled context rows and base item pool that the micro-batcher would
+/// otherwise have to re-walk the rating graph for on every request (the
+/// NIRec/GraphHINGE observation: serving latency is won by reusing
+/// neighborhood structure). Entries for an old graph version can never be
+/// returned; bumping the version is therefore an implicit full
+/// invalidation, and InvalidateAll also drops the memory eagerly.
+///
+/// Hit/miss/eviction/invalidation counts are published to the global
+/// obs::MetricsRegistry under "serve.context_cache.*".
+class ContextCache {
+ public:
+  explicit ContextCache(size_t capacity);
+
+  /// Returns the cached plan for (user, graph_version) or nullptr on miss.
+  /// Counts a hit or a miss either way.
+  std::shared_ptr<const core::UserContextPlan> Get(int64_t user,
+                                                   int64_t graph_version);
+
+  /// Inserts (replacing any entry with the same key) and marks the entry
+  /// most recently used. Evicts the LRU entry when over capacity.
+  void Put(int64_t user, int64_t graph_version,
+           std::shared_ptr<const core::UserContextPlan> plan);
+
+  /// Drops every entry for `user` across all graph versions (e.g. the
+  /// user's ratings changed).
+  void InvalidateUser(int64_t user);
+
+  /// Drops every entry (e.g. the rating graph was rebuilt).
+  void InvalidateAll();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    int64_t user;
+    int64_t graph_version;
+    bool operator==(const Key& other) const {
+      return user == other.user && graph_version == other.graph_version;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix-style mix of the two ids.
+      uint64_t x = static_cast<uint64_t>(key.user) * 0x9E3779B97F4A7C15ull ^
+                   static_cast<uint64_t>(key.graph_version);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const core::UserContextPlan> plan;
+  };
+
+  void TouchLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* invalidations_;
+  obs::Gauge* size_gauge_;
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_CONTEXT_CACHE_H_

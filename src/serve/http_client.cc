@@ -1,0 +1,168 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace hire {
+namespace serve {
+
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(int port, const std::string& host)
+    : host_(host), port_(port) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::EnsureConnected(std::string* error) {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host_;
+    Disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect(") + host_ + ":" + std::to_string(port_) +
+             ") failed: " + std::strerror(errno);
+    Disconnect();
+    return false;
+  }
+  timeval timeout;
+  timeout.tv_sec = 30;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+HttpClient::Result HttpClient::Request(const std::string& method,
+                                       const std::string& path,
+                                       const std::string& body) {
+  Result result = RequestOnce(method, path, body);
+  if (!result.ok) {
+    // The server may have recycled our keep-alive connection; retry once on
+    // a fresh one.
+    Disconnect();
+    result = RequestOnce(method, path, body);
+    if (!result.ok) Disconnect();
+  }
+  return result;
+}
+
+HttpClient::Result HttpClient::RequestOnce(const std::string& method,
+                                           const std::string& path,
+                                           const std::string& body) {
+  Result result;
+  if (!EnsureConnected(&result.error)) return result;
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  request += "Connection: keep-alive\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!body.empty()) request += "Content-Type: application/json\r\n";
+  request += "\r\n";
+  request += body;
+  if (!SendAll(fd_, request)) {
+    result.error = std::string("send failed: ") + std::strerror(errno);
+    return result;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  size_t head_end = std::string::npos;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      result.error = n == 0 ? "connection closed by server"
+                            : std::string("recv failed: ") +
+                                  std::strerror(errno);
+      return result;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  // Status line: HTTP/1.1 <code> <phrase>
+  const size_t space = buffer.find(' ');
+  if (space == std::string::npos || space + 4 > buffer.size()) {
+    result.error = "malformed status line";
+    return result;
+  }
+  result.status = std::atoi(buffer.c_str() + space + 1);
+
+  size_t content_length = 0;
+  {
+    // Case-insensitive scan for the Content-Length header.
+    std::string lower;
+    lower.reserve(head_end);
+    for (size_t i = 0; i < head_end; ++i) {
+      lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(buffer[i]))));
+    }
+    const size_t key = lower.find("content-length:");
+    if (key != std::string::npos) {
+      content_length = static_cast<size_t>(
+          std::strtoull(buffer.c_str() + key + 15, nullptr, 10));
+    }
+  }
+
+  const size_t body_begin = head_end + 4;
+  while (buffer.size() < body_begin + content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      result.error = "connection closed mid-body";
+      return result;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  result.body = buffer.substr(body_begin, content_length);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace serve
+}  // namespace hire

@@ -1,0 +1,52 @@
+#ifndef HIRE_SERVE_HTTP_CLIENT_H_
+#define HIRE_SERVE_HTTP_CLIENT_H_
+
+#include <string>
+
+namespace hire {
+namespace serve {
+
+/// Minimal blocking HTTP/1.1 client for loopback, the counterpart of
+/// HttpServer: one persistent keep-alive connection per instance, so a
+/// closed-loop load-generator client pays the TCP handshake once. Not
+/// thread-safe; use one instance per thread.
+class HttpClient {
+ public:
+  struct Result {
+    bool ok = false;     // transport-level success (a 500 is still ok=true)
+    int status = 0;
+    std::string body;
+    std::string error;   // set when !ok
+  };
+
+  explicit HttpClient(int port, const std::string& host = "127.0.0.1");
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues one request, reconnecting once if the persistent connection was
+  /// dropped (e.g. the server recycled it).
+  Result Request(const std::string& method, const std::string& path,
+                 const std::string& body = "");
+
+  Result Get(const std::string& path) { return Request("GET", path); }
+  Result Post(const std::string& path, const std::string& body) {
+    return Request("POST", path, body);
+  }
+
+ private:
+  bool EnsureConnected(std::string* error);
+  void Disconnect();
+  Result RequestOnce(const std::string& method, const std::string& path,
+                     const std::string& body);
+
+  const std::string host_;
+  const int port_;
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_HTTP_CLIENT_H_

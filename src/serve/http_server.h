@@ -1,0 +1,85 @@
+#ifndef HIRE_SERVE_HTTP_SERVER_H_
+#define HIRE_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "utils/thread_pool.h"
+
+namespace hire {
+namespace serve {
+
+struct HttpRequest {
+  std::string method;  // upper-case: "GET", "POST", ...
+  std::string path;    // target without query string
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Minimal dependency-free HTTP/1.1 server on POSIX sockets, loopback only.
+/// Enough protocol for this repo's serving endpoints and load generator:
+/// request line + headers, Content-Length bodies, keep-alive. No TLS, no
+/// chunked transfer, no multipart.
+///
+/// Connections are handled on a dedicated pool (`num_threads`), deliberately
+/// separate from the process-wide tensor pool so slow clients cannot starve
+/// model forwards. Handlers may run concurrently and must be thread-safe.
+class HttpServer {
+ public:
+  /// `port` 0 picks an ephemeral port; read it back with port() after
+  /// Start(). The server binds 127.0.0.1 only.
+  HttpServer(int port, int num_threads);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact (method, path) pair. Must be called
+  /// before Start().
+  void AddRoute(const std::string& method, const std::string& path,
+                HttpHandler handler);
+
+  /// Binds, listens, and spawns the accept loop. Throws hire::CheckError on
+  /// socket errors (e.g. port already in use).
+  void Start();
+
+  /// Stops accepting, drains in-flight connections, joins everything.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  const int requested_port_;
+  const int num_threads_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+
+  std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_HTTP_SERVER_H_

@@ -1,0 +1,57 @@
+#include "serve/inference_engine.h"
+
+#include <utility>
+
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace hire {
+namespace serve {
+
+InferenceEngine::InferenceEngine(const data::Dataset* dataset,
+                                 core::HireConfig config)
+    : dataset_(dataset), config_(config) {
+  HIRE_CHECK(dataset_ != nullptr);
+}
+
+int64_t InferenceEngine::Load(const std::string& snapshot_path) {
+  HIRE_TRACE_SCOPE("model_reload");
+  // Build and validate the replacement entirely outside the lock: a slow or
+  // failing load must not block Acquire.
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model =
+      std::make_unique<core::HireModel>(dataset_, config_, /*seed=*/0);
+  nn::LoadParameters(snapshot->model.get(), snapshot_path);
+  snapshot->model->SetTraining(false);
+  snapshot->source_path = snapshot_path;
+  snapshot->num_parameters = snapshot->model->NumParameters();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot->version = version_.load(std::memory_order_relaxed) + 1;
+    version_.store(snapshot->version, std::memory_order_relaxed);
+    published_ = std::move(snapshot);
+  }
+  obs::MetricsRegistry::Global().GetCounter("serve.model_loads")->Increment();
+  const auto published = Acquire();
+  HIRE_LOG(Info) << "published model v" << published->version << " from "
+                << snapshot_path << " (" << published->num_parameters
+                << " parameters)";
+  return published->version;
+}
+
+std::shared_ptr<const ModelSnapshot> InferenceEngine::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+bool InferenceEngine::loaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_ != nullptr;
+}
+
+}  // namespace serve
+}  // namespace hire

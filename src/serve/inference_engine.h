@@ -1,0 +1,70 @@
+#ifndef HIRE_SERVE_INFERENCE_ENGINE_H_
+#define HIRE_SERVE_INFERENCE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/hire_config.h"
+#include "core/hire_model.h"
+#include "data/dataset.h"
+
+namespace hire {
+namespace serve {
+
+/// One published model generation. Immutable after publication except for
+/// running forwards through `model` (HireModel is stateful only in its
+/// dropout stream, which eval mode never touches); the engine guarantees a
+/// snapshot is only ever driven by one micro-batcher worker at a time.
+struct ModelSnapshot {
+  std::unique_ptr<core::HireModel> model;
+  std::string source_path;
+  int64_t version = 0;
+  int64_t num_parameters = 0;
+};
+
+/// Owns the currently published model snapshot and supports atomic hot-swap
+/// to a newer HIRESNAP checkpoint while requests are in flight: Load builds
+/// the replacement completely off to the side, then swaps one shared_ptr
+/// under a mutex. Workers that called Acquire keep their (old) snapshot
+/// alive until their batch finishes — a reload never fails or stalls an
+/// in-flight request, and dropping the last reference frees the old
+/// parameters.
+class InferenceEngine {
+ public:
+  /// `dataset` supplies attribute schemas for model construction and must
+  /// outlive the engine. `config` must match the checkpoint being loaded
+  /// (shape mismatches throw on Load).
+  InferenceEngine(const data::Dataset* dataset, core::HireConfig config);
+
+  /// Loads `snapshot_path` (a HIRESNAP file written by SaveParameters /
+  /// training checkpoints) into a fresh model and publishes it. Returns the
+  /// new version number (1 for the first load). Throws hire::CheckError on
+  /// a missing/corrupt/mismatched snapshot, in which case the previously
+  /// published snapshot stays in place.
+  int64_t Load(const std::string& snapshot_path);
+
+  /// The currently published snapshot; never nullptr after the first
+  /// successful Load. Callers hold the returned pointer for the duration of
+  /// one batch so a concurrent Load cannot pull the model out from under
+  /// them.
+  std::shared_ptr<const ModelSnapshot> Acquire() const;
+
+  bool loaded() const;
+  int64_t version() const { return version_.load(std::memory_order_relaxed); }
+
+ private:
+  const data::Dataset* dataset_;
+  core::HireConfig config_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> published_;
+  std::atomic<int64_t> version_{0};
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_INFERENCE_ENGINE_H_

@@ -1,0 +1,270 @@
+#include "serve/server.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace hire {
+namespace serve {
+
+namespace {
+
+/// Parses a /predict body of the form {"user":u,"items":[i,...]}. Returns
+/// false with `error` set on malformed input.
+bool ParsePredictBody(const std::string& body, int64_t* user,
+                      std::vector<int64_t>* items, std::string* error) {
+  std::string json_error;
+  if (!obs::JsonValidate(body, &json_error)) {
+    *error = "invalid JSON: " + json_error;
+    return false;
+  }
+  double user_value = 0.0;
+  if (!obs::FindJsonNumberField(body, "user", &user_value)) {
+    *error = "missing numeric \"user\" field";
+    return false;
+  }
+  *user = static_cast<int64_t>(user_value);
+
+  const size_t key = body.find("\"items\"");
+  if (key == std::string::npos) {
+    *error = "missing \"items\" field";
+    return false;
+  }
+  size_t pos = body.find('[', key);
+  if (pos == std::string::npos) {
+    *error = "\"items\" must be an array";
+    return false;
+  }
+  ++pos;
+  items->clear();
+  while (pos < body.size()) {
+    while (pos < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[pos])) ||
+            body[pos] == ',')) {
+      ++pos;
+    }
+    if (pos < body.size() && body[pos] == ']') return true;
+    char* end = nullptr;
+    const long long value = std::strtoll(body.c_str() + pos, &end, 10);
+    if (end == body.c_str() + pos) {
+      *error = "\"items\" must contain only integers";
+      return false;
+    }
+    items->push_back(static_cast<int64_t>(value));
+    pos = static_cast<size_t>(end - body.c_str());
+  }
+  *error = "unterminated \"items\" array";
+  return false;
+}
+
+/// Maps a batcher error string onto an HTTP status.
+int StatusForError(const std::string& error) {
+  if (error.rfind("bad request", 0) == 0) return 400;
+  if (error.rfind("overloaded", 0) == 0) return 503;
+  if (error == "no model published") return 503;
+  return 500;
+}
+
+std::string RenderPredictResponse(int64_t user, const RatingResponse& r) {
+  std::string out = "{\"user\":" + std::to_string(user) + ",\"predictions\":[";
+  for (size_t i = 0; i < r.predictions.size(); ++i) {
+    if (i > 0) out += ",";
+    out += obs::JsonNumber(static_cast<double>(r.predictions[i]));
+  }
+  out += "],\"model_version\":" + std::to_string(r.model_version) +
+         ",\"graph_version\":" + std::to_string(r.graph_version) +
+         ",\"cache_hit\":" + std::string(r.cache_hit ? "true" : "false") +
+         ",\"batch_users\":" + std::to_string(r.batch_users) +
+         ",\"latency_us\":" + obs::JsonNumber(r.latency_us) + "}";
+  return out;
+}
+
+}  // namespace
+
+RatingServer::RatingServer(const data::Dataset* dataset,
+                           core::HireConfig model_config,
+                           graph::BipartiteGraph graph,
+                           const ServeConfig& config)
+    : config_(config),
+      engine_(dataset, model_config),
+      cache_(config.cache_capacity),
+      batcher_(config.batcher, &engine_, &cache_, &sampler_,
+               [this] {
+                 std::lock_guard<std::mutex> lock(graph_mutex_);
+                 return current_graph_;
+               }),
+      http_(config.port, config.http_threads) {
+  current_graph_ =
+      std::make_shared<VersionedGraph>(std::move(graph), /*version=*/1);
+  RegisterRoutes();
+}
+
+RatingServer::~RatingServer() { Stop(); }
+
+void RatingServer::Start() {
+  HIRE_CHECK(!started_) << "server already started";
+  if (!config_.model_path.empty()) engine_.Load(config_.model_path);
+  batcher_.Start();
+  http_.Start();
+  started_ = true;
+}
+
+void RatingServer::Stop() {
+  if (!started_) return;
+  http_.Stop();
+  batcher_.Stop();
+  started_ = false;
+}
+
+RatingResponse RatingServer::Predict(int64_t user, std::vector<int64_t> items) {
+  return PredictAsync(user, std::move(items)).get();
+}
+
+std::future<RatingResponse> RatingServer::PredictAsync(
+    int64_t user, std::vector<int64_t> items) {
+  // Bounds-check against the entity universe up front: the context
+  // assembler indexes attribute tables by id and must never see a
+  // out-of-range one.
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    num_users = current_graph_->graph.num_users();
+    num_items = current_graph_->graph.num_items();
+  }
+  std::string error;
+  if (user < 0 || user >= num_users) {
+    error = "bad request: user " + std::to_string(user) +
+            " outside [0, " + std::to_string(num_users) + ")";
+  } else {
+    for (int64_t item : items) {
+      if (item < 0 || item >= num_items) {
+        error = "bad request: item " + std::to_string(item) +
+                " outside [0, " + std::to_string(num_items) + ")";
+        break;
+      }
+    }
+  }
+  if (!error.empty()) {
+    std::promise<RatingResponse> rejected;
+    RatingResponse response;
+    response.ok = false;
+    response.error = std::move(error);
+    rejected.set_value(std::move(response));
+    return rejected.get_future();
+  }
+  return batcher_.Submit(user, std::move(items));
+}
+
+int64_t RatingServer::Reload(const std::string& snapshot_path) {
+  const std::string& path =
+      snapshot_path.empty() ? config_.model_path : snapshot_path;
+  HIRE_CHECK(!path.empty()) << "no model path to reload";
+  return engine_.Load(path);
+}
+
+void RatingServer::UpdateGraph(graph::BipartiteGraph graph) {
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    current_graph_ = std::make_shared<VersionedGraph>(
+        std::move(graph), current_graph_->version + 1);
+  }
+  cache_.InvalidateAll();
+  obs::MetricsRegistry::Global().GetCounter("serve.graph_updates")->Increment();
+  HIRE_LOG(Info) << "published graph v" << graph_version();
+}
+
+int64_t RatingServer::graph_version() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return current_graph_->version;
+}
+
+void RatingServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool RatingServer::WaitForShutdown(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] { return shutdown_requested_; });
+}
+
+void RatingServer::RegisterRoutes() {
+  http_.AddRoute("POST", "/predict", [this](const HttpRequest& request) {
+    int64_t user = 0;
+    std::vector<int64_t> items;
+    std::string error;
+    if (!ParsePredictBody(request.body, &user, &items, &error)) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":" + obs::JsonString(error) + "}"};
+    }
+    RatingResponse response = Predict(user, std::move(items));
+    if (!response.ok) {
+      return HttpResponse{StatusForError(response.error), "application/json",
+                          "{\"error\":" + obs::JsonString(response.error) +
+                              "}"};
+    }
+    return HttpResponse{200, "application/json",
+                        RenderPredictResponse(user, response)};
+  });
+
+  http_.AddRoute("GET", "/healthz", [this](const HttpRequest&) {
+    std::string body =
+        std::string("{\"status\":") +
+        (engine_.loaded() ? "\"ok\"" : "\"no model\"") +
+        ",\"model_version\":" + std::to_string(engine_.version()) +
+        ",\"graph_version\":" + std::to_string(graph_version()) +
+        ",\"queue_depth\":" + std::to_string(batcher_.queue_depth()) + "}";
+    return HttpResponse{engine_.loaded() ? 200 : 503, "application/json",
+                        body};
+  });
+
+  http_.AddRoute("GET", "/metrics", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        obs::MetricsRegistry::Global().Take().ToJson()};
+  });
+
+  http_.AddRoute("POST", "/reload", [this](const HttpRequest& request) {
+    std::string path;
+    if (!request.body.empty()) {
+      std::string json_error;
+      if (!obs::JsonValidate(request.body, &json_error)) {
+        return HttpResponse{400, "application/json",
+                            "{\"error\":" + obs::JsonString(
+                                                "invalid JSON: " + json_error) +
+                                "}"};
+      }
+      obs::FindJsonStringField(request.body, "model", &path);
+    }
+    try {
+      const int64_t version = Reload(path);
+      return HttpResponse{200, "application/json",
+                          "{\"model_version\":" + std::to_string(version) +
+                              "}"};
+    } catch (const std::exception& error) {
+      return HttpResponse{500, "application/json",
+                          "{\"error\":" +
+                              obs::JsonString(std::string(error.what())) +
+                              "}"};
+    }
+  });
+
+  http_.AddRoute("POST", "/shutdown", [this](const HttpRequest&) {
+    RequestShutdown();
+    return HttpResponse{200, "application/json",
+                        "{\"status\":\"shutting down\"}"};
+  });
+}
+
+}  // namespace serve
+}  // namespace hire

@@ -1,0 +1,113 @@
+#ifndef HIRE_SERVE_SERVER_H_
+#define HIRE_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/hire_config.h"
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+#include "graph/samplers.h"
+#include "serve/batcher.h"
+#include "serve/context_cache.h"
+#include "serve/http_server.h"
+#include "serve/inference_engine.h"
+
+namespace hire {
+namespace serve {
+
+struct ServeConfig {
+  /// HTTP listen port; 0 picks an ephemeral port (read back via port()).
+  int port = 0;
+  /// Connection-handling threads (separate from the tensor pool).
+  int http_threads = 4;
+  /// Context-plan LRU capacity (entries).
+  size_t cache_capacity = 1024;
+  /// Initial HIRESNAP checkpoint to publish; also the default for /reload
+  /// requests that name no model.
+  std::string model_path;
+  BatcherConfig batcher;
+};
+
+/// The assembled serving stack: InferenceEngine (hot-swappable model
+/// snapshot) + ContextCache + MicroBatcher + HttpServer, plus the in-process
+/// request path used by tests and the load generator.
+///
+/// Endpoints:
+///   POST /predict  {"user":u,"items":[i,...]} -> predictions
+///   GET  /healthz  liveness + published versions
+///   GET  /metrics  full obs::MetricsRegistry snapshot (JSON)
+///   POST /reload   {"model":path}? -> hot-swap to a new checkpoint
+///   POST /shutdown graceful stop (the CLI main loop watches
+///                  WaitForShutdown)
+class RatingServer {
+ public:
+  /// `dataset` must outlive the server. `graph` is the initial rating-graph
+  /// generation (version 1).
+  RatingServer(const data::Dataset* dataset, core::HireConfig model_config,
+               graph::BipartiteGraph graph, const ServeConfig& config);
+  ~RatingServer();
+
+  RatingServer(const RatingServer&) = delete;
+  RatingServer& operator=(const RatingServer&) = delete;
+
+  /// Loads config.model_path (when set), then starts the batcher worker and
+  /// the HTTP listener. Throws hire::CheckError on load/bind failure.
+  void Start();
+  void Stop();
+
+  int port() const { return http_.port(); }
+
+  /// In-process client path: identical semantics to POST /predict but with
+  /// no HTTP hop. Blocks until the micro-batch completes.
+  RatingResponse Predict(int64_t user, std::vector<int64_t> items);
+  std::future<RatingResponse> PredictAsync(int64_t user,
+                                           std::vector<int64_t> items);
+
+  /// Hot-swaps to `snapshot_path` (empty = config.model_path). Returns the
+  /// new model version.
+  int64_t Reload(const std::string& snapshot_path);
+
+  /// Publishes a new rating-graph generation: bumps the graph version (so
+  /// cached context plans can never be served against the old graph) and
+  /// eagerly drops the cache.
+  void UpdateGraph(graph::BipartiteGraph graph);
+  int64_t graph_version() const;
+
+  /// Signals the serving main loop to exit (POST /shutdown does this).
+  void RequestShutdown();
+  /// Waits up to `timeout_ms` for a shutdown request; true once requested.
+  bool WaitForShutdown(int timeout_ms);
+
+  InferenceEngine& engine() { return engine_; }
+  ContextCache& cache() { return cache_; }
+  MicroBatcher& batcher() { return batcher_; }
+
+ private:
+  void RegisterRoutes();
+
+  const ServeConfig config_;
+  InferenceEngine engine_;
+  ContextCache cache_;
+  graph::NeighborhoodSampler sampler_;
+
+  mutable std::mutex graph_mutex_;
+  std::shared_ptr<const VersionedGraph> current_graph_;
+
+  MicroBatcher batcher_;
+  HttpServer http_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_SERVER_H_

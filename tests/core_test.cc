@@ -545,6 +545,99 @@ TEST(EvaluationTest, HirePredictorUsesSupportEvidence) {
       << "support ratings do not influence HIRE's predictions";
 }
 
+TEST(HireModelTest, PredictAllocatesNoTapeNodes) {
+  data::Dataset dataset = SmallDataset(70);
+  HireModel model(&dataset, SmallConfig(), 71);
+  graph::PredictionContext context = SmallContext(dataset, 72);
+
+  // Sanity: a training-mode Forward does build a tape.
+  model.SetTraining(true);
+  const uint64_t before_forward = ag::TapeNodesCreated();
+  ag::Variable out = model.Forward(context);
+  EXPECT_GT(ag::TapeNodesCreated(), before_forward)
+      << "the tape counter is not seeing training forwards";
+  EXPECT_TRUE(out.requires_grad());
+
+  // The serving path: Predict must allocate zero autograd tape nodes.
+  const uint64_t before_predict = ag::TapeNodesCreated();
+  const Tensor predicted = model.Predict(context);
+  EXPECT_EQ(ag::TapeNodesCreated(), before_predict)
+      << "Predict leaked autograd tape allocations";
+  EXPECT_EQ(predicted.shape(0), static_cast<int64_t>(context.users.size()));
+  EXPECT_TRUE(model.training())
+      << "Predict must restore the caller's training mode";
+
+  // And the guard is scoped: gradients work again afterwards.
+  const uint64_t after = ag::TapeNodesCreated();
+  ag::Variable again = model.Forward(context);
+  EXPECT_GT(ag::TapeNodesCreated(), after);
+  EXPECT_TRUE(again.requires_grad());
+}
+
+TEST(EvaluationTest, HirePredictorIsDeterministicAcrossCalls) {
+  // Prediction is stateless: repeating a query — even interleaved with
+  // queries for other users — must reproduce bitwise-identical results.
+  data::Dataset dataset = SmallDataset(73);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  HireModel model(&dataset, SmallConfig(), 74);
+  graph::NeighborhoodSampler sampler;
+  HirePredictor predictor(&model, &sampler, 8, 8, 75);
+
+  const std::vector<int64_t> items{1, 2, 3, 4, 5};
+  const std::vector<float> first = predictor.PredictForUser(0, items, graph);
+  predictor.PredictForUser(7, {2, 3}, graph);  // unrelated interleaved call
+  predictor.PredictForUser(0, {9}, graph);     // same user, different query
+  const std::vector<float> second = predictor.PredictForUser(0, items, graph);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t j = 0; j < first.size(); ++j) {
+    EXPECT_EQ(first[j], second[j]) << "prediction drifted at item " << j;
+  }
+}
+
+TEST(EvaluationTest, HirePredictorChunkedCallMatchesPerChunkCalls) {
+  // A long query is answered chunk by chunk against one shared context
+  // plan. Each chunk's computation is a pure function of (graph, seed,
+  // user, chunk contents), so the chunked call must equal the concatenation
+  // of direct calls issued chunk by chunk.
+  data::Dataset dataset = SmallDataset(76);
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  HireModel model(&dataset, SmallConfig(), 77);
+  graph::NeighborhoodSampler sampler;
+  const int64_t context_items = 4;
+  const uint64_t seed = 78;
+  const int64_t user = 0;
+  HirePredictor predictor(&model, &sampler, 8, context_items, seed);
+
+  // Recover the predictor's chunk capacity from the (identical) plan.
+  const UserContextPlan plan =
+      BuildUserContextPlan(graph, sampler, user, 8, context_items, seed);
+  const int64_t capacity =
+      std::max<int64_t>(1, context_items - plan.num_support_items);
+
+  const std::vector<int64_t> items{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<float> chunked =
+      predictor.PredictForUser(user, items, graph);
+  ASSERT_EQ(chunked.size(), items.size());
+
+  for (size_t begin = 0; begin < items.size();
+       begin += static_cast<size_t>(capacity)) {
+    const size_t end =
+        std::min(items.size(), begin + static_cast<size_t>(capacity));
+    const std::vector<int64_t> chunk(items.begin() + begin,
+                                     items.begin() + end);
+    const std::vector<float> direct =
+        predictor.PredictForUser(user, chunk, graph);
+    ASSERT_EQ(direct.size(), chunk.size());
+    for (size_t j = 0; j < chunk.size(); ++j) {
+      EXPECT_EQ(chunked[begin + j], direct[j])
+          << "chunk [" << begin << ", " << end << ") diverged at offset "
+          << j;
+    }
+  }
+}
+
 TEST(EvaluationTest, HirePredictorReturnsOnePredictionPerItem) {
   data::Dataset dataset = SmallDataset(34);
   graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),

@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "nn/serialize.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/bounded_queue.h"
+#include "serve/context_cache.h"
+#include "serve/http_client.h"
+#include "serve/inference_engine.h"
+#include "serve/server.h"
+#include "utils/check.h"
+
+namespace hire {
+namespace serve {
+namespace {
+
+data::Dataset SmallDataset(uint64_t seed = 1) {
+  data::SyntheticConfig config;
+  config.num_users = 64;
+  config.num_items = 64;
+  config.num_ratings = 1200;
+  config.user_schema = {{"age", 4}, {"gender", 2}};
+  config.item_schema = {{"genre", 5}};
+  return data::GenerateSyntheticDataset(config, seed);
+}
+
+core::HireConfig SmallConfig() {
+  core::HireConfig config;
+  config.num_him_blocks = 2;
+  config.num_heads = 2;
+  config.head_dim = 4;
+  config.attr_embed_dim = 4;
+  return config;
+}
+
+/// Writes an (untrained) model snapshot for the given seed and returns its
+/// path. Serving correctness does not depend on training quality.
+std::string WriteModelSnapshot(const data::Dataset& dataset, uint64_t seed,
+                               const std::string& name) {
+  core::HireModel model(&dataset, SmallConfig(), seed);
+  const std::string path = testing::TempDir() + "/" + name;
+  nn::SaveParameters(model, path);
+  return path;
+}
+
+ServeConfig SmallServeConfig(const std::string& model_path,
+                             int64_t batch_window_us = 2000) {
+  ServeConfig config;
+  config.port = 0;  // ephemeral
+  config.http_threads = 2;
+  config.cache_capacity = 64;
+  config.model_path = model_path;
+  config.batcher.batch_window_us = batch_window_us;
+  config.batcher.max_batch_users = 4;
+  config.batcher.context_users = 8;
+  config.batcher.context_items = 8;
+  config.batcher.seed = 11;
+  config.batcher.queue_capacity = 128;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrderAndCapacityBound) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3)) << "push beyond capacity must fail";
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8)) << "pushes after Close must fail";
+  EXPECT_EQ(queue.Pop().value(), 7) << "queued items drain after Close";
+  EXPECT_FALSE(queue.Pop().has_value()) << "drained+closed pops nullopt";
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOutAndCloseWakesBlockedPop) {
+  BoundedQueue<int> queue(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(
+      queue.PopUntil(start + std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(20));
+
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  EXPECT_FALSE(queue.Pop().has_value()) << "Close must wake a blocked Pop";
+  closer.join();
+}
+
+// ---------------------------------------------------------------------------
+// ContextCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const core::UserContextPlan> FakePlan(int64_t user) {
+  auto plan = std::make_shared<core::UserContextPlan>();
+  plan->user = user;
+  plan->context_users = {user};
+  return plan;
+}
+
+TEST(ContextCacheTest, HitMissAndLruEviction) {
+  ContextCache cache(2);
+  EXPECT_EQ(cache.Get(1, 1), nullptr);
+  cache.Put(1, 1, FakePlan(1));
+  cache.Put(2, 1, FakePlan(2));
+  EXPECT_NE(cache.Get(1, 1), nullptr);  // 1 is now most recently used
+  cache.Put(3, 1, FakePlan(3));         // evicts 2, the LRU entry
+  EXPECT_EQ(cache.Get(2, 1), nullptr);
+  EXPECT_NE(cache.Get(1, 1), nullptr);
+  EXPECT_NE(cache.Get(3, 1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ContextCacheTest, GraphVersionIsPartOfTheKey) {
+  ContextCache cache(4);
+  cache.Put(1, 1, FakePlan(1));
+  EXPECT_EQ(cache.Get(1, 2), nullptr)
+      << "a plan for graph v1 must not serve graph v2";
+  EXPECT_NE(cache.Get(1, 1), nullptr);
+}
+
+TEST(ContextCacheTest, InvalidationDropsEntries) {
+  ContextCache cache(8);
+  cache.Put(1, 1, FakePlan(1));
+  cache.Put(1, 2, FakePlan(1));
+  cache.Put(2, 1, FakePlan(2));
+  cache.InvalidateUser(1);
+  EXPECT_EQ(cache.Get(1, 1), nullptr);
+  EXPECT_EQ(cache.Get(1, 2), nullptr);
+  EXPECT_NE(cache.Get(2, 1), nullptr);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.Get(2, 1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ContextCacheTest, CountersTrackHitsAndMisses) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto before = registry.Take();
+  ContextCache cache(4);
+  cache.Get(5, 1);            // miss
+  cache.Put(5, 1, FakePlan(5));
+  cache.Get(5, 1);            // hit
+  cache.Get(6, 1);            // miss
+  const auto delta = registry.Take().Delta(before);
+  EXPECT_EQ(delta.counters.at("serve.context_cache.hits"), 1u);
+  EXPECT_EQ(delta.counters.at("serve.context_cache.misses"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceEngine
+// ---------------------------------------------------------------------------
+
+TEST(InferenceEngineTest, LoadPublishesAndVersionsSnapshots) {
+  const data::Dataset dataset = SmallDataset(40);
+  const std::string path_a = WriteModelSnapshot(dataset, 41, "engine_a.snap");
+  const std::string path_b = WriteModelSnapshot(dataset, 42, "engine_b.snap");
+
+  InferenceEngine engine(&dataset, SmallConfig());
+  EXPECT_FALSE(engine.loaded());
+  EXPECT_EQ(engine.Acquire(), nullptr);
+
+  EXPECT_EQ(engine.Load(path_a), 1);
+  auto held = engine.Acquire();
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->version, 1);
+  EXPECT_EQ(held->source_path, path_a);
+
+  // Hot-swap: the old snapshot stays valid for holders of the old pointer.
+  EXPECT_EQ(engine.Load(path_b), 2);
+  EXPECT_EQ(held->version, 1) << "an acquired snapshot must stay immutable";
+  EXPECT_EQ(engine.Acquire()->version, 2);
+  EXPECT_EQ(engine.version(), 2);
+}
+
+TEST(InferenceEngineTest, FailedLoadKeepsPublishedSnapshot) {
+  const data::Dataset dataset = SmallDataset(43);
+  const std::string path = WriteModelSnapshot(dataset, 44, "engine_c.snap");
+  InferenceEngine engine(&dataset, SmallConfig());
+  ASSERT_EQ(engine.Load(path), 1);
+  EXPECT_THROW(engine.Load(testing::TempDir() + "/does_not_exist.snap"),
+               CheckError);
+  ASSERT_TRUE(engine.loaded());
+  EXPECT_EQ(engine.Acquire()->version, 1);
+}
+
+// ---------------------------------------------------------------------------
+// RatingServer: in-process path
+// ---------------------------------------------------------------------------
+
+TEST(RatingServerTest, PredictReturnsOnePredictionPerItemInRange) {
+  const data::Dataset dataset = SmallDataset(50);
+  const std::string model = WriteModelSnapshot(dataset, 51, "server_a.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+
+  const std::vector<int64_t> items{3, 9, 27};
+  const RatingResponse response = server.Predict(5, items);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_EQ(response.predictions.size(), items.size());
+  for (float p : response.predictions) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, dataset.max_rating());
+  }
+  EXPECT_EQ(response.model_version, 1);
+  EXPECT_EQ(response.graph_version, 1);
+  server.Stop();
+}
+
+TEST(RatingServerTest, RejectsMalformedAndOutOfRangeRequests) {
+  const data::Dataset dataset = SmallDataset(52);
+  const std::string model = WriteModelSnapshot(dataset, 53, "server_b.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+
+  EXPECT_FALSE(server.Predict(5, {}).ok) << "empty item list must fail";
+  EXPECT_FALSE(server.Predict(-1, {1}).ok);
+  EXPECT_FALSE(server.Predict(dataset.num_users(), {1}).ok);
+  EXPECT_FALSE(server.Predict(5, {dataset.num_items()}).ok);
+  EXPECT_FALSE(server.Predict(5, std::vector<int64_t>(64, 1)).ok)
+      << "more items than the context budget must fail";
+  // And a valid request still succeeds afterwards.
+  EXPECT_TRUE(server.Predict(5, {1, 2}).ok);
+  server.Stop();
+}
+
+TEST(RatingServerTest, ConcurrentRequestsCoalesceIntoSharedForwards) {
+  const data::Dataset dataset = SmallDataset(54);
+  const std::string model = WriteModelSnapshot(dataset, 55, "server_c.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  // Long window so every concurrently submitted request lands in one batch.
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model, /*batch_window_us=*/200000));
+  server.Start();
+
+  const auto before = obs::MetricsRegistry::Global().Take();
+  std::vector<std::future<RatingResponse>> futures;
+  for (int64_t user = 0; user < 4; ++user) {
+    futures.push_back(server.PredictAsync(user, {1, 2}));
+  }
+  int64_t max_batch_users = 0;
+  for (auto& future : futures) {
+    const RatingResponse response = future.get();
+    ASSERT_TRUE(response.ok) << response.error;
+    max_batch_users = std::max(max_batch_users, response.batch_users);
+  }
+  EXPECT_GT(max_batch_users, 1)
+      << "concurrent requests inside the window must share a forward";
+  const auto delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  EXPECT_EQ(delta.counters.at("serve.requests"), 4u);
+  EXPECT_LT(delta.counters.at("serve.batches"), 4u);
+  server.Stop();
+}
+
+TEST(RatingServerTest, CacheHitOnRepeatAndInvalidationOnGraphUpdate) {
+  const data::Dataset dataset = SmallDataset(56);
+  const std::string model = WriteModelSnapshot(dataset, 57, "server_d.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+
+  const RatingResponse cold = server.Predict(7, {1, 2});
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  const RatingResponse warm = server.Predict(7, {3, 4});
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cache_hit) << "second request for a user must hit the "
+                                 "context cache";
+  // Deterministic serving: an identical request replays bit-identically.
+  const RatingResponse replay = server.Predict(7, {1, 2});
+  ASSERT_TRUE(replay.ok);
+  ASSERT_EQ(replay.predictions.size(), cold.predictions.size());
+  for (size_t i = 0; i < cold.predictions.size(); ++i) {
+    EXPECT_EQ(replay.predictions[i], cold.predictions[i]);
+  }
+
+  // Publishing a new graph generation invalidates every cached plan.
+  graph::BipartiteGraph updated(dataset.num_users(), dataset.num_items(),
+                                dataset.ratings());
+  server.UpdateGraph(std::move(updated));
+  EXPECT_EQ(server.graph_version(), 2);
+  const RatingResponse after = server.Predict(7, {1, 2});
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.graph_version, 2);
+  server.Stop();
+}
+
+TEST(RatingServerTest, HotSwapUnderLoadNeverFailsARequest) {
+  const data::Dataset dataset = SmallDataset(58);
+  const std::string model_a = WriteModelSnapshot(dataset, 59, "swap_a.snap");
+  const std::string model_b = WriteModelSnapshot(dataset, 60, "swap_b.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model_a));
+  server.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> served{0};
+  int64_t max_version_seen = 0;
+  std::thread driver([&] {
+    int64_t user = 0;
+    while (!stop.load()) {
+      const RatingResponse response =
+          server.Predict(user % dataset.num_users(), {1, 2, 3});
+      if (!response.ok) {
+        failures.fetch_add(1);
+      } else {
+        served.fetch_add(1);
+        if (response.model_version > max_version_seen) {
+          max_version_seen = response.model_version;
+        }
+      }
+      ++user;
+    }
+  });
+  for (int swap = 0; swap < 4; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.Reload(swap % 2 == 0 ? model_b : model_a);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  driver.join();
+
+  EXPECT_EQ(failures.load(), 0)
+      << "hot-swap must never fail an in-flight request";
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(max_version_seen, 5) << "requests must observe the new model";
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(HttpEndToEndTest, PredictHealthzMetricsAndErrors) {
+  const data::Dataset dataset = SmallDataset(62);
+  const std::string model = WriteModelSnapshot(dataset, 63, "http_a.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+  ASSERT_GT(server.port(), 0) << "ephemeral port must be bound";
+
+  HttpClient client(server.port());
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  double version = 0.0;
+  EXPECT_TRUE(obs::FindJsonNumberField(health.body, "model_version", &version));
+  EXPECT_EQ(version, 1.0);
+
+  auto predict = client.Post("/predict", "{\"user\":3,\"items\":[1,2,5]}");
+  ASSERT_TRUE(predict.ok) << predict.error;
+  EXPECT_EQ(predict.status, 200) << predict.body;
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValidate(predict.body, &json_error)) << json_error;
+  EXPECT_NE(predict.body.find("\"predictions\":["), std::string::npos);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(obs::JsonValidate(metrics.body, &json_error)) << json_error;
+  EXPECT_NE(metrics.body.find("serve.requests"), std::string::npos);
+
+  EXPECT_EQ(client.Post("/predict", "{not json").status, 400);
+  EXPECT_EQ(client.Post("/predict", "{\"user\":3}").status, 400);
+  EXPECT_EQ(client.Post("/predict", "{\"user\":-5,\"items\":[1]}").status,
+            400);
+  EXPECT_EQ(client.Get("/nope").status, 404);
+  EXPECT_EQ(client.Get("/predict").status, 405);
+
+  auto reload = client.Post("/reload", "");
+  ASSERT_TRUE(reload.ok) << reload.error;
+  EXPECT_EQ(reload.status, 200) << reload.body;
+  EXPECT_TRUE(obs::FindJsonNumberField(reload.body, "model_version",
+                                       &version));
+  EXPECT_EQ(version, 2.0);
+
+  auto missing = client.Post("/reload",
+                             "{\"model\":\"/does/not/exist.snap\"}");
+  EXPECT_EQ(missing.status, 500);
+  double after = 0.0;
+  auto health2 = client.Get("/healthz");
+  EXPECT_TRUE(obs::FindJsonNumberField(health2.body, "model_version",
+                                       &after));
+  EXPECT_EQ(after, 2.0) << "failed reload must keep the published model";
+
+  server.Stop();
+}
+
+TEST(HttpEndToEndTest, ShutdownEndpointSignalsTheServeLoop) {
+  const data::Dataset dataset = SmallDataset(64);
+  const std::string model = WriteModelSnapshot(dataset, 65, "http_b.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+
+  EXPECT_FALSE(server.WaitForShutdown(/*timeout_ms=*/1));
+  HttpClient client(server.port());
+  EXPECT_EQ(client.Post("/shutdown", "").status, 200);
+  EXPECT_TRUE(server.WaitForShutdown(/*timeout_ms=*/2000));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace hire

@@ -5,15 +5,20 @@
 //             and save the parameters.
 //   evaluate  Run the cold-start evaluation protocol on a trained model.
 //   generate  Emit a synthetic dataset as CSV files for inspection.
+//   serve     Run the online rating server (batched inference, context
+//             cache, hot-swappable model).
 //
 // Examples:
 //   hire_cli train --profile=movielens --steps=300 --out=/tmp/model.bin
-//   hire_cli train --ratings=r.csv --user-attrs=u.csv --item-attrs=i.csv \
+//   hire_cli train --ratings=r.csv --user-attrs=u.csv --item-attrs=i.csv
 //       --out=/tmp/model.bin
-//   hire_cli evaluate --profile=movielens --model=/tmp/model.bin \
+//   hire_cli evaluate --profile=movielens --model=/tmp/model.bin
 //       --scenario=user-cold
 //   hire_cli generate --profile=douban --out-dir=/tmp/douban_csv
+//   hire_cli serve --profile=movielens --model=/tmp/model.bin --port=8080
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,6 +36,7 @@
 #include "graph/bipartite_graph.h"
 #include "graph/samplers.h"
 #include "nn/serialize.h"
+#include "serve/server.h"
 #include "utils/check.h"
 #include "utils/flags.h"
 #include "utils/string_utils.h"
@@ -41,7 +47,7 @@ namespace {
 
 using namespace hire;
 
-constexpr char kUsage[] = R"(hire_cli <train|evaluate|generate> [flags]
+constexpr char kUsage[] = R"(hire_cli <train|evaluate|generate|serve> [flags]
 
 common flags:
   --profile <movielens|bookcrossing|douban>  synthetic dataset profile
@@ -86,7 +92,33 @@ evaluate:
 
 generate:
   --out-dir <dir>      directory for ratings.csv/users.csv/items.csv
+
+serve:
+  --model <path>       trained parameters to publish (required); POST
+                       /reload hot-swaps to a newer file with zero downtime
+  --port <int>         HTTP listen port on 127.0.0.1 (0 = ephemeral; the
+                       bound port is printed as "SERVE_LISTENING port=N")
+  --http-threads <int>      connection-handling threads (4)
+  --batch-window-us <int>   micro-batching window; requests arriving within
+                            it share one model forward (2000; 0 = one
+                            context per request)
+  --max-batch-users <int>   distinct users coalesced per forward (8)
+  --context <int>      context users = items, must match training (16)
+  --visible-fraction <double>  observed-rating density in served contexts
+                            (0.1)
+  --cache-capacity <int>    context-plan LRU entries (1024)
+  --queue-capacity <int>    request queue bound; overflow returns 503 (256)
+
+  endpoints: POST /predict {"user":u,"items":[i,...]}   rating predictions
+             GET  /healthz                              liveness + versions
+             GET  /metrics                              metrics registry JSON
+             POST /reload {"model":path}?               hot-swap checkpoint
+             POST /shutdown                             graceful stop
 )";
+
+std::atomic<bool> g_interrupted{false};
+
+void HandleSignal(int) { g_interrupted.store(true); }
 
 data::Dataset LoadDataset(const Flags& flags) {
   const std::string ratings = flags.GetString("ratings", "");
@@ -266,6 +298,46 @@ int Generate(const Flags& flags) {
   return 0;
 }
 
+int Serve(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  HIRE_CHECK(!model_path.empty()) << "--model is required for serve";
+  const data::Dataset dataset = LoadDataset(flags);
+  std::cout << "dataset: " << dataset.Summary() << "\n";
+
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+
+  serve::ServeConfig config;
+  config.port = static_cast<int>(flags.GetInt("port", 0));
+  config.http_threads = static_cast<int>(flags.GetInt("http-threads", 4));
+  config.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 1024));
+  config.model_path = model_path;
+  config.batcher.batch_window_us = flags.GetInt("batch-window-us", 2000);
+  config.batcher.max_batch_users = flags.GetInt("max-batch-users", 8);
+  config.batcher.context_users = flags.GetInt("context", 16);
+  config.batcher.context_items = config.batcher.context_users;
+  config.batcher.visible_fraction = flags.GetDouble("visible-fraction", 0.1);
+  config.batcher.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  config.batcher.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-capacity", 256));
+
+  serve::RatingServer server(&dataset, ModelConfig(flags), std::move(graph),
+                             config);
+  server.Start();
+  // Machine-parseable line for scripts driving an ephemeral-port server.
+  std::cout << "SERVE_LISTENING port=" << server.port() << "\n" << std::flush;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!server.WaitForShutdown(/*timeout_ms=*/200)) {
+    if (g_interrupted.load()) break;
+  }
+  std::cout << "shutting down\n";
+  server.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,6 +377,8 @@ int main(int argc, char** argv) {
       exit_code = Evaluate(flags);
     } else if (command == "generate") {
       exit_code = Generate(flags);
+    } else if (command == "serve") {
+      exit_code = Serve(flags);
     } else {
       std::cerr << "unknown command '" << command << "'\n" << kUsage;
     }

@@ -7,6 +7,11 @@
 # training job and write BENCH_trace.json (Chrome trace-event format, open in
 # Perfetto) plus BENCH_telemetry.jsonl at the repo root:
 #   tools/run_bench.sh --trace [build_dir] [extra hire_cli train flags...]
+#
+# Serving mode: train a small model, then measure the serving subsystem with
+# the closed-loop load generator (batched vs unbatched, cold vs warm cache)
+# and write BENCH_serve.json at the repo root:
+#   tools/run_bench.sh --serve [build_dir] [extra serve_loadgen flags...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,6 +19,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode="bench"
 if [ "${1:-}" = "--trace" ]; then
   mode="trace"
+  shift
+elif [ "${1:-}" = "--serve" ]; then
+  mode="serve"
   shift
 fi
 
@@ -36,6 +44,26 @@ if [ "${mode}" = "trace" ]; then
     --out="${work}/model.bin" \
     "$@"
   echo "wrote ${repo_root}/BENCH_trace.json and BENCH_telemetry.jsonl"
+  exit 0
+fi
+
+if [ "${mode}" = "serve" ]; then
+  cmake --build "${build_dir}" --target hire_cli serve_loadgen -j "${nproc_count}"
+  work="$(mktemp -d "${TMPDIR:-/tmp}/hire_bench_serve.XXXXXX")"
+  trap 'rm -rf "${work}"' EXIT
+  # Dataset scale and context are chosen so batches actually coalesce:
+  # a 16-column context leaves room for several 3-item queries per forward.
+  "${build_dir}/tools/hire_cli" train \
+    --profile=movielens --scale=0.2 --steps=40 --context=16 \
+    --log-every=0 --out="${work}/model.bin"
+  "${build_dir}/tools/serve_loadgen" --mode=bench \
+    --model="${work}/model.bin" \
+    --profile=movielens --scale=0.2 --context=16 \
+    --clients=8 --requests-per-client=25 --items-per-request=3 \
+    --batch-window-us=2000 \
+    --out="${repo_root}/BENCH_serve.json" \
+    "$@"
+  echo "wrote ${repo_root}/BENCH_serve.json"
   exit 0
 fi
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Serving drill for hire_cli: train two tiny models, boot `hire_cli serve`
+# on an ephemeral port, drive concurrent /predict traffic through the real
+# HTTP stack while hot-swapping the model mid-flight, and then check that
+#   - no in-flight request failed across the swap,
+#   - /healthz reports the bumped model version,
+#   - /metrics shows request + context-cache counters moving,
+#   - POST /shutdown ends the serve loop cleanly, and
+#   - the telemetry JSONL carries one serve record per request.
+#
+# Usage: run_serve_test.sh <hire_cli> <serve_loadgen> <validate_telemetry>
+# Registered as the `serve_smoke` ctest; also runnable by hand.
+set -u
+
+CLI="${1:?usage: run_serve_test.sh <hire_cli> <serve_loadgen> <validate_telemetry>}"
+LOADGEN="${2:?usage: run_serve_test.sh <hire_cli> <serve_loadgen> <validate_telemetry>}"
+VALIDATOR="${3:?usage: run_serve_test.sh <hire_cli> <serve_loadgen> <validate_telemetry>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/hire_serve_test.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Model shape + dataset flags shared by training and serving: the serve
+# command rebuilds the model skeleton from these before loading weights.
+SHAPE=(--profile=movielens --scale=0.05 --him-blocks=2 --heads=2 --head-dim=4
+       --embed-dim=4 --seed=7 --threads=2)
+
+"$CLI" train "${SHAPE[@]}" --steps=30 --context=6 --log-every=0 \
+    --out="$WORK/model_a.bin" >/dev/null || fail "training model A"
+"$CLI" train "${SHAPE[@]}" --steps=60 --context=6 --log-every=0 \
+    --out="$WORK/model_b.bin" >/dev/null || fail "training model B"
+
+"$CLI" serve "${SHAPE[@]}" --model="$WORK/model_a.bin" --port=0 \
+    --context=8 --batch-window-us=2000 --max-batch-users=4 \
+    --metrics-out="$WORK/metrics.jsonl" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "SERVE_LISTENING port=N" once the socket is bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^SERVE_LISTENING port=\([0-9]*\)$/\1/p' "$WORK/serve.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log" >&2; fail "server exited before listening"; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never printed SERVE_LISTENING"
+
+"$LOADGEN" --mode=probe --port="$PORT" --path=/healthz >/dev/null \
+    || fail "/healthz probe"
+
+# Concurrent load through the HTTP stack; the dataset at scale 0.05 has
+# 30 users x 25 items, so keep request universes inside that.
+"$LOADGEN" --mode=drive --port="$PORT" --clients=4 --requests-per-client=100 \
+    --max-user=30 --max-item=25 --items-per-request=3 \
+    >"$WORK/drive.log" 2>&1 &
+DRIVE_PID=$!
+
+# Hot-swap to model B while the drive traffic is in flight.
+sleep 0.3
+"$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/reload \
+    --body="{\"model\":\"$WORK/model_b.bin\"}" >/dev/null \
+    || fail "mid-flight /reload"
+
+wait "$DRIVE_PID" || { cat "$WORK/drive.log" >&2; fail "drive traffic had failed requests across the hot swap"; }
+
+HEALTH="$("$LOADGEN" --mode=probe --port="$PORT" --path=/healthz)" \
+    || fail "post-swap /healthz probe"
+echo "$HEALTH" | grep -q '"model_version":2' \
+    || fail "expected model_version 2 after reload, got: $HEALTH"
+
+METRICS="$("$LOADGEN" --mode=probe --port="$PORT" --path=/metrics)" \
+    || fail "/metrics probe"
+REQUESTS="$(echo "$METRICS" | grep -o '"serve.requests":[0-9]*' | grep -o '[0-9]*$')"
+CACHE_HITS="$(echo "$METRICS" | grep -o '"serve.context_cache.hits":[0-9]*' | grep -o '[0-9]*$')"
+[ -n "$REQUESTS" ] && [ "$REQUESTS" -ge 400 ] \
+    || fail "serve.requests counter did not cover the drive traffic (got '${REQUESTS:-absent}')"
+[ -n "$CACHE_HITS" ] && [ "$CACHE_HITS" -gt 0 ] \
+    || fail "serve.context_cache.hits never moved (got '${CACHE_HITS:-absent}')"
+
+"$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/shutdown \
+    >/dev/null || fail "/shutdown probe"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  kill "$SERVER_PID"
+  fail "server did not exit after /shutdown"
+fi
+wait "$SERVER_PID" || { cat "$WORK/serve.log" >&2; fail "server exited non-zero"; }
+SERVER_PID=""
+
+# One serve record per drive request, plus the final snapshot.
+"$VALIDATOR" --metrics="$WORK/metrics.jsonl" --min-steps=0 --min-serve=400 \
+    || fail "serve telemetry validation"
+
+echo "PASS: hot-swap under load, metrics, shutdown, and telemetry all check out"

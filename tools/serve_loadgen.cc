@@ -1,0 +1,386 @@
+// serve_loadgen — closed-loop load generator for the HIRE rating server.
+//
+// Modes:
+//   bench  (default) Self-contained benchmark: starts an in-process
+//          RatingServer on an ephemeral port and drives it over real
+//          loopback HTTP through three phases —
+//            unbatched   batch window 0: one context+forward per request
+//            batched     the configured window: requests coalesce into
+//                        shared contexts
+//            cache_warm  the batched server again with the same users, so
+//                        every context plan is an LRU hit
+//          and writes BENCH_serve.json (throughput, p50/p95/p99 latency,
+//          batch-size histogram, cache hit rate per phase).
+//   drive  Closed-loop clients against an already-running server
+//          (--port). Exits non-zero if any request fails — the smoke test
+//          uses this concurrently with a /reload to prove zero-downtime
+//          hot-swap.
+//   probe  One request (--method/--path/--body) against --port; prints the
+//          response body; exit 0 iff HTTP 200. Lets shell tests speak to
+//          the server without curl.
+//
+// Example:
+//   hire_cli train --profile=movielens --scale=0.05 --steps=40 --out=/tmp/m.bin
+//   serve_loadgen --mode=bench --profile=movielens --scale=0.05
+//       --model=/tmp/m.bin --clients=8 --requests-per-client=40
+//       --out=BENCH_serve.json
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/http_client.h"
+#include "serve/server.h"
+#include "utils/check.h"
+#include "utils/flags.h"
+#include "utils/thread_pool.h"
+
+namespace {
+
+using namespace hire;
+
+constexpr char kUsage[] =
+    R"(serve_loadgen --mode=<bench|drive|probe> [flags]
+
+bench:  --profile/--scale/--seed   synthetic dataset (must match the model)
+        --model <path>             trained parameters (required)
+        --context/--him-blocks/--heads/--head-dim/--embed-dim  model shape
+        --clients <int>            concurrent closed-loop clients (8)
+        --requests-per-client <int>  requests each client issues (40)
+        --batch-window-us <int>    window for the batched phases (2000)
+        --max-batch-users <int>    coalescing bound (8)
+        --cache-capacity <int>     context-plan LRU entries (1024)
+        --out <path>               result JSON (BENCH_serve.json)
+drive:  --port <int> --clients <int> --requests-per-client <int>
+        --max-user <int>           users drawn round-robin from [0, max-user)
+        --items-per-request <int>  (4)
+probe:  --port <int> --method <GET|POST> --path </healthz> --body <json>
+)";
+
+struct PhaseResult {
+  std::string name;
+  double wall_seconds = 0.0;
+  int64_t requests = 0;
+  int64_t failures = 0;
+  std::vector<double> latencies_us;  // successful requests only
+  obs::MetricsRegistry::Snapshot delta;
+
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(requests - failures) /
+                                  wall_seconds
+                            : 0.0;
+  }
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1,
+                       q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+/// Runs `clients` closed-loop HTTP clients against 127.0.0.1:`port`, each
+/// issuing `requests_each` POST /predict calls. Users are assigned
+/// round-robin from [0, num_users): pass num_users >= clients*requests_each
+/// for an all-cold run, smaller to force reuse.
+PhaseResult DrivePhase(const std::string& name, int port, int clients,
+                       int64_t requests_each, int64_t num_users,
+                       int64_t items_per_request, int64_t num_items) {
+  PhaseResult result;
+  result.name = name;
+  result.requests = static_cast<int64_t>(clients) * requests_each;
+
+  const obs::MetricsRegistry::Snapshot before =
+      obs::MetricsRegistry::Global().Take();
+  std::mutex merge_mutex;
+  std::atomic<int64_t> failures{0};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(clients);
+    for (int c = 0; c < clients; ++c) {
+      pool.Submit([&, c] {
+        serve::HttpClient client(port);
+        std::vector<double> latencies;
+        latencies.reserve(static_cast<size_t>(requests_each));
+        for (int64_t i = 0; i < requests_each; ++i) {
+          const int64_t user =
+              (static_cast<int64_t>(c) * requests_each + i) % num_users;
+          std::string body = "{\"user\":" + std::to_string(user) +
+                             ",\"items\":[";
+          for (int64_t j = 0; j < items_per_request; ++j) {
+            if (j > 0) body += ",";
+            body += std::to_string((user * 13 + j * 7) % num_items);
+          }
+          body += "]}";
+          const auto start = std::chrono::steady_clock::now();
+          const serve::HttpClient::Result response =
+              client.Post("/predict", body);
+          const double micros =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (response.ok && response.status == 200) {
+            latencies.push_back(micros);
+          } else {
+            failures.fetch_add(1);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.latencies_us.insert(result.latencies_us.end(),
+                                   latencies.begin(), latencies.end());
+      });
+    }
+    pool.Wait();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.failures = failures.load();
+  result.delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+std::string PhaseJson(const PhaseResult& phase) {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  auto counter = [&phase](const std::string& name) -> uint64_t {
+    const auto it = phase.delta.counters.find(name);
+    return it == phase.delta.counters.end() ? 0 : it->second;
+  };
+  hits = counter("serve.context_cache.hits");
+  misses = counter("serve.context_cache.misses");
+  const uint64_t batches = counter("serve.batches");
+  const uint64_t batched_users = counter("serve.batched_users");
+
+  std::string json = "{";
+  json += "\"requests\":" + std::to_string(phase.requests);
+  json += ",\"failures\":" + std::to_string(phase.failures);
+  json += ",\"wall_seconds\":" + obs::JsonNumber(phase.wall_seconds);
+  json += ",\"throughput_rps\":" + obs::JsonNumber(phase.throughput_rps());
+  json += ",\"p50_us\":" + obs::JsonNumber(Percentile(phase.latencies_us, 0.50));
+  json += ",\"p95_us\":" + obs::JsonNumber(Percentile(phase.latencies_us, 0.95));
+  json += ",\"p99_us\":" + obs::JsonNumber(Percentile(phase.latencies_us, 0.99));
+  json += ",\"forwards\":" + std::to_string(batches);
+  json += ",\"mean_batch_users\":" +
+          obs::JsonNumber(batches > 0 ? static_cast<double>(batched_users) /
+                                            static_cast<double>(batches)
+                                      : 0.0);
+  const auto hist = phase.delta.histograms.find("serve.batch_users");
+  if (hist != phase.delta.histograms.end()) {
+    json += ",\"batch_users_histogram\":" + hist->second.ToJson();
+  }
+  json += ",\"cache_hits\":" + std::to_string(hits);
+  json += ",\"cache_misses\":" + std::to_string(misses);
+  json += ",\"cache_hit_rate\":" +
+          obs::JsonNumber(hits + misses > 0
+                              ? static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses)
+                              : 0.0);
+  json += "}";
+  return json;
+}
+
+data::Dataset LoadSyntheticDataset(const Flags& flags) {
+  const std::string profile = flags.GetString("profile", "movielens");
+  const double scale = flags.GetDouble("scale", 1.0);
+  data::SyntheticConfig config;
+  if (profile == "movielens") {
+    config = data::MovieLens1MProfile(scale);
+  } else if (profile == "bookcrossing") {
+    config = data::BookcrossingProfile(scale);
+  } else if (profile == "douban") {
+    config = data::DoubanProfile(scale);
+  } else {
+    HIRE_CHECK(false) << "unknown profile '" << profile << "'";
+  }
+  return data::GenerateSyntheticDataset(
+      config, static_cast<uint64_t>(flags.GetInt("seed", 7)));
+}
+
+core::HireConfig ModelConfig(const Flags& flags) {
+  core::HireConfig config;
+  config.num_him_blocks = static_cast<int>(flags.GetInt("him-blocks", 3));
+  config.num_heads = flags.GetInt("heads", 4);
+  config.head_dim = flags.GetInt("head-dim", 8);
+  config.attr_embed_dim = flags.GetInt("embed-dim", 8);
+  return config;
+}
+
+serve::ServeConfig BuildServeConfig(const Flags& flags, int64_t window_us,
+                                    const std::string& model_path) {
+  serve::ServeConfig config;
+  config.port = 0;
+  config.http_threads = static_cast<int>(flags.GetInt("http-threads", 4));
+  config.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 1024));
+  config.model_path = model_path;
+  config.batcher.batch_window_us = window_us;
+  config.batcher.max_batch_users = flags.GetInt("max-batch-users", 8);
+  config.batcher.context_users = flags.GetInt("context", 16);
+  config.batcher.context_items = config.batcher.context_users;
+  config.batcher.visible_fraction = flags.GetDouble("visible-fraction", 0.1);
+  config.batcher.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  config.batcher.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
+  return config;
+}
+
+int RunBench(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  HIRE_CHECK(!model_path.empty()) << "--model is required for bench";
+  const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  const int64_t requests_each = flags.GetInt("requests-per-client", 40);
+  const int64_t items_per_request = flags.GetInt("items-per-request", 4);
+  const int64_t window_us = flags.GetInt("batch-window-us", 2000);
+  const std::string out = flags.GetString("out", "BENCH_serve.json");
+
+  const data::Dataset dataset = LoadSyntheticDataset(flags);
+  std::cout << "dataset: " << dataset.Summary() << "\n";
+  // Distinct users per phase so the unbatched/batched phases run an all-cold
+  // cache; the warm phase then replays the same users.
+  const int64_t num_users =
+      std::min<int64_t>(dataset.num_users(),
+                        static_cast<int64_t>(clients) * requests_each);
+  HIRE_CHECK_GT(num_users, 0);
+
+  auto run_phase = [&](const std::string& name, int64_t phase_window) {
+    graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                                dataset.ratings());
+    serve::RatingServer server(
+        &dataset, ModelConfig(flags), std::move(graph),
+        BuildServeConfig(flags, phase_window, model_path));
+    server.Start();
+    PhaseResult cold =
+        DrivePhase(name, server.port(), clients, requests_each, num_users,
+                   items_per_request, dataset.num_items());
+    PhaseResult warm =
+        DrivePhase(name + "_warm", server.port(), clients, requests_each,
+                   num_users, items_per_request, dataset.num_items());
+    server.Stop();
+    return std::make_pair(std::move(cold), std::move(warm));
+  };
+
+  std::cout << "phase unbatched (window 0)...\n";
+  const auto [unbatched, unbatched_warm] = run_phase("unbatched", 0);
+  std::cout << "phase batched (window " << window_us << "us)...\n";
+  const auto [batched, cache_warm] = run_phase("batched", window_us);
+
+  const double speedup =
+      unbatched.throughput_rps() > 0
+          ? batched.throughput_rps() / unbatched.throughput_rps()
+          : 0.0;
+
+  std::string json = "{\"benchmark\":\"serve\"";
+  json += ",\"profile\":" + obs::JsonString(flags.GetString("profile",
+                                                            "movielens"));
+  json += ",\"clients\":" + std::to_string(clients);
+  json += ",\"requests_per_client\":" + std::to_string(requests_each);
+  json += ",\"batch_window_us\":" + std::to_string(window_us);
+  json += ",\"max_batch_users\":" +
+          std::to_string(flags.GetInt("max-batch-users", 8));
+  json += ",\"context\":" + std::to_string(flags.GetInt("context", 16));
+  json += ",\"phases\":{";
+  json += "\"unbatched\":" + PhaseJson(unbatched);
+  json += ",\"unbatched_warm\":" + PhaseJson(unbatched_warm);
+  json += ",\"batched\":" + PhaseJson(batched);
+  json += ",\"cache_warm\":" + PhaseJson(cache_warm);
+  json += "}";
+  json += ",\"speedup_batched_vs_unbatched\":" + obs::JsonNumber(speedup);
+  json += "}";
+
+  std::string json_error;
+  HIRE_CHECK(obs::JsonValidate(json, &json_error)) << json_error;
+  std::ofstream file(out);
+  HIRE_CHECK(file.is_open()) << "cannot write " << out;
+  file << json << "\n";
+
+  std::cout << "unbatched: "
+            << static_cast<int64_t>(unbatched.throughput_rps()) << " rps, "
+            << "batched: " << static_cast<int64_t>(batched.throughput_rps())
+            << " rps (speedup " << speedup << "x), cache-warm p50 "
+            << Percentile(cache_warm.latencies_us, 0.5) << "us vs cold p50 "
+            << Percentile(batched.latencies_us, 0.5) << "us\n";
+  std::cout << "wrote " << out << "\n";
+
+  if (unbatched.failures + batched.failures + cache_warm.failures +
+          unbatched_warm.failures >
+      0) {
+    std::cerr << "error: failed requests during bench\n";
+    return 1;
+  }
+  return 0;
+}
+
+int RunDrive(const Flags& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  HIRE_CHECK_GT(port, 0) << "--port is required for drive";
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+  const int64_t requests_each = flags.GetInt("requests-per-client", 25);
+  const int64_t max_user = flags.GetInt("max-user", 64);
+  const int64_t items_per_request = flags.GetInt("items-per-request", 4);
+  // Item ids are drawn from [0, max-item); keep it inside the server's item
+  // universe or requests will (correctly) fail with out-of-range errors.
+  const int64_t max_item = flags.GetInt("max-item", 64);
+
+  const PhaseResult result =
+      DrivePhase("drive", port, clients, requests_each, max_user,
+                 items_per_request, max_item);
+  std::cout << "drive: " << (result.requests - result.failures) << "/"
+            << result.requests << " ok, "
+            << static_cast<int64_t>(result.throughput_rps()) << " rps, p50 "
+            << Percentile(result.latencies_us, 0.5) << "us\n";
+  if (result.failures > 0) {
+    std::cerr << "error: " << result.failures << " failed request(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int RunProbe(const Flags& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  HIRE_CHECK_GT(port, 0) << "--port is required for probe";
+  serve::HttpClient client(port);
+  const serve::HttpClient::Result result =
+      client.Request(flags.GetString("method", "GET"),
+                     flags.GetString("path", "/healthz"),
+                     flags.GetString("body", ""));
+  if (!result.ok) {
+    std::cerr << "error: " << result.error << "\n";
+    return 1;
+  }
+  std::cout << result.body << "\n";
+  return result.status == 200 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // Parse skips argv[0] itself (there is no subcommand to strip here).
+    const Flags flags = Flags::Parse(argc, argv);
+    InitGlobalThreadsFromFlags(flags);
+    const std::string mode = flags.GetString("mode", "bench");
+    if (mode == "bench") return RunBench(flags);
+    if (mode == "drive") return RunDrive(flags);
+    if (mode == "probe") return RunProbe(flags);
+    std::cerr << "unknown --mode '" << mode << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
