@@ -120,8 +120,6 @@ std::vector<float> HirePredictor::PredictForUser(
   // (support first, then neighborhood fill) are shared by every chunk.
   const UserContextPlan plan = BuildUserContextPlan(
       visible_graph, *sampler_, user, context_users_, context_items_, seed_);
-  const std::unordered_set<int64_t> pool_lookup(plan.base_items.begin(),
-                                                plan.base_items.end());
   const int64_t chunk_capacity =
       std::max<int64_t>(1, context_items_ - plan.num_support_items);
 

@@ -88,7 +88,7 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
     return future;
   }
   if (!queue_.TryPush(std::move(request))) {
-    // `request` is only moved from when the push succeeds, so the promise
+    // TryPush guarantees `request` is untouched on failure, so the promise
     // is still ours to resolve here.
     request.promise.set_value(
         FailedResponse("overloaded: request queue is full"));
@@ -152,6 +152,40 @@ void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
       request.promise.set_value(FailedResponse("no model published"));
     }
     return;
+  }
+
+  // The transport validated ids against the graph current at submit time,
+  // but a smaller universe may have been published since; re-validate
+  // against the generation this batch actually runs on so the context
+  // assembler never indexes attribute tables out of range. Only the
+  // offending requests fail (as bad requests), not their whole group.
+  {
+    const int64_t num_users = versioned_graph->graph.num_users();
+    const int64_t num_items = versioned_graph->graph.num_items();
+    std::vector<PendingRequest> in_range;
+    in_range.reserve(batch.size());
+    for (PendingRequest& request : batch) {
+      std::string error;
+      if (request.user < 0 || request.user >= num_users) {
+        error = "bad request: user " + std::to_string(request.user) +
+                " outside [0, " + std::to_string(num_users) + ")";
+      } else {
+        for (int64_t item : request.items) {
+          if (item < 0 || item >= num_items) {
+            error = "bad request: item " + std::to_string(item) +
+                    " outside [0, " + std::to_string(num_items) + ")";
+            break;
+          }
+        }
+      }
+      if (error.empty()) {
+        in_range.push_back(std::move(request));
+      } else {
+        request.promise.set_value(FailedResponse(std::move(error)));
+      }
+    }
+    batch = std::move(in_range);
+    if (batch.empty()) return;
   }
 
   // Partition the batch into groups whose distinct users fit the row budget

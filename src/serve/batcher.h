@@ -84,7 +84,8 @@ class MicroBatcher {
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
   void Start();
-  /// Fails queued and future requests, then joins the worker.
+  /// Closes the queue and joins the worker. Already-queued requests are
+  /// drained and served; only new submissions are rejected.
   void Stop();
 
   /// Enqueues a request. The future resolves when its batch completes. When

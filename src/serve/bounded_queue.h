@@ -25,8 +25,10 @@ class BoundedQueue {
     HIRE_CHECK_GT(capacity, 0u);
   }
 
-  /// Enqueues without blocking. Returns false when full or closed.
-  bool TryPush(T item) {
+  /// Enqueues without blocking. Returns false when full or closed, in which
+  /// case `item` is NOT moved from — the caller still owns it and can e.g.
+  /// resolve the promise it carries.
+  bool TryPush(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || queue_.size() >= capacity_) return false;

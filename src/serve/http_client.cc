@@ -84,13 +84,17 @@ HttpClient::Result HttpClient::Request(const std::string& method,
                                        const std::string& path,
                                        const std::string& body) {
   Result result = RequestOnce(method, path, body);
-  if (!result.ok) {
-    // The server may have recycled our keep-alive connection; retry once on
-    // a fresh one.
+  if (!result.ok && method == "GET") {
+    // The keep-alive connection may have died mid-exchange. Retrying is only
+    // safe for idempotent GETs: a POST's first attempt may have been fully
+    // processed before the response was lost, and replaying it would e.g.
+    // double-count /predict metrics or hot-swap /reload twice. (Stale
+    // recycled connections are already detected before any bytes are sent —
+    // see RequestOnce — so POSTs never pay for that common case.)
     Disconnect();
     result = RequestOnce(method, path, body);
-    if (!result.ok) Disconnect();
   }
+  if (!result.ok) Disconnect();
   return result;
 }
 
@@ -98,6 +102,18 @@ HttpClient::Result HttpClient::RequestOnce(const std::string& method,
                                            const std::string& path,
                                            const std::string& body) {
   Result result;
+  if (fd_ >= 0) {
+    // Reused keep-alive connection: the server may have closed it while it
+    // sat idle. Peek without blocking; EOF or an error here means the
+    // connection is stale, and since no request bytes have been sent yet it
+    // is safe to reconnect for any method.
+    char probe = 0;
+    const ssize_t n =
+        ::recv(fd_, &probe, sizeof(probe), MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      Disconnect();
+    }
+  }
   if (!EnsureConnected(&result.error)) return result;
 
   std::string request = method + " " + path + " HTTP/1.1\r\n";

@@ -25,8 +25,10 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Issues one request, reconnecting once if the persistent connection was
-  /// dropped (e.g. the server recycled it).
+  /// Issues one request. A stale recycled keep-alive connection is detected
+  /// and replaced before any bytes are sent (safe for every method); after a
+  /// mid-exchange failure, only idempotent GETs are retried on a fresh
+  /// connection — a POST may already have been processed server-side.
   Result Request(const std::string& method, const std::string& path,
                  const std::string& body = "");
 

@@ -14,6 +14,8 @@
 #include "nn/serialize.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "graph/samplers.h"
+#include "serve/batcher.h"
 #include "serve/bounded_queue.h"
 #include "serve/context_cache.h"
 #include "serve/http_client.h"
@@ -83,6 +85,20 @@ TEST(BoundedQueueTest, FifoOrderAndCapacityBound) {
   EXPECT_EQ(queue.Pop().value(), 1);
   EXPECT_EQ(queue.Pop().value(), 2);
   EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, FailedPushLeavesTheItemIntact) {
+  BoundedQueue<std::unique_ptr<int>> queue(1);
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(1)));
+  auto rejected = std::make_unique<int>(2);
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  ASSERT_NE(rejected, nullptr)
+      << "a push rejected for capacity must not move from the item";
+  EXPECT_EQ(*rejected, 2);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  EXPECT_NE(rejected, nullptr)
+      << "a push rejected after Close must not move from the item";
 }
 
 TEST(BoundedQueueTest, CloseDrainsThenSignalsShutdown) {
@@ -204,6 +220,97 @@ TEST(InferenceEngineTest, FailedLoadKeepsPublishedSnapshot) {
                CheckError);
   ASSERT_TRUE(engine.loaded());
   EXPECT_EQ(engine.Acquire()->version, 1);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcherTest, OverloadResolvesTheFutureWithAnOverloadedError) {
+  const data::Dataset dataset = SmallDataset(70);
+  InferenceEngine engine(&dataset, SmallConfig());  // overload fires first,
+                                                    // so no model is needed
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  config.queue_capacity = 1;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned, released] {
+                         released.wait();  // park the worker so the queue
+                                           // fills up behind it
+                         return versioned;
+                       });
+  batcher.Start();
+
+  // The worker pops this request, then parks in the graph provider. Once
+  // the queue is empty the worker cannot pop again until released.
+  std::future<RatingResponse> parked = batcher.Submit(3, {1});
+  while (batcher.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fills the capacity-1 queue.
+  std::future<RatingResponse> queued = batcher.Submit(4, {1});
+  // Overflows: the future must come back already resolved as overloaded —
+  // not broken, and not an internal error.
+  std::future<RatingResponse> rejected = batcher.Submit(5, {1});
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const RatingResponse response = rejected.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.rfind("overloaded", 0), 0u) << response.error;
+
+  release.set_value();
+  // The surviving requests resolve normally (no model published here).
+  EXPECT_FALSE(parked.get().ok);
+  EXPECT_FALSE(queued.get().ok);
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, BatchRevalidatesIdsAgainstTheGraphItRunsOn) {
+  const data::Dataset dataset = SmallDataset(71);
+  const std::string model = WriteModelSnapshot(dataset, 72, "batcher_a.snap");
+  InferenceEngine engine(&dataset, SmallConfig());
+  engine.Load(model);
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  config.context_users = 8;
+  config.context_items = 8;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+
+  // The transport validates against the graph current at submit time; the
+  // batcher must re-check against the generation the batch actually runs
+  // on (it may have shrunk in between) and fail the request as a bad
+  // request, not crash the group.
+  const RatingResponse bad_user =
+      batcher.Submit(dataset.num_users(), {1}).get();
+  EXPECT_FALSE(bad_user.ok);
+  EXPECT_EQ(bad_user.error.rfind("bad request", 0), 0u) << bad_user.error;
+  const RatingResponse bad_item =
+      batcher.Submit(3, {dataset.num_items()}).get();
+  EXPECT_FALSE(bad_item.ok);
+  EXPECT_EQ(bad_item.error.rfind("bad request", 0), 0u) << bad_item.error;
+  // An in-range request on the same batcher still succeeds.
+  const RatingResponse good = batcher.Submit(3, {1, 2}).get();
+  EXPECT_TRUE(good.ok) << good.error;
+  batcher.Stop();
 }
 
 // ---------------------------------------------------------------------------
