@@ -19,8 +19,11 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -30,7 +33,7 @@
 #include "tensor/random.h"
 #include "utils/stopwatch.h"
 #include "utils/string_utils.h"
-#include "utils/thread_pool.h"
+#include "utils/parallel.h"
 
 namespace {
 
@@ -197,11 +200,18 @@ struct BenchRow {
   std::string op;
   std::string shape;
   std::string impl;  // "seed" or "hire"
-  int threads = 1;
+  int threads = 1;            // requested via SetGlobalThreads
+  int effective_threads = 1;  // min(requested, hardware cores)
+  bool oversubscribed = false;
   double ns_per_iter = 0.0;
   double gflops = 0.0;
   double speedup_vs_seed = 0.0;
 };
+
+int HardwareCores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 // Times `fn` with one warmup call, then iterates until `min_seconds` of wall
 // time or 200 iterations, whichever first. Returns ns/iter.
@@ -253,21 +263,63 @@ std::vector<BenchRow> RunCases(const std::vector<BenchCase>& cases,
       row.shape = bench.shape;
       row.impl = "hire";
       row.threads = threads;
+      row.effective_threads = std::min(threads, HardwareCores());
+      row.oversubscribed = threads > HardwareCores();
       row.ns_per_iter = ns;
       row.gflops = bench.flops_per_iter / ns;
       row.speedup_vs_seed = seed_ns / ns;
       rows.push_back(row);
       std::cerr << bench.op << " " << bench.shape << " hire t=" << threads
                 << ": " << ns << " ns/iter (" << row.gflops
-                << " GFLOP/s, x" << row.speedup_vs_seed << ")\n";
+                << " GFLOP/s, x" << row.speedup_vs_seed << ")"
+                << (row.oversubscribed ? " [OVERSUBSCRIBED]" : "") << "\n";
     }
   }
   SetGlobalThreads(0);
   return rows;
 }
 
+// Satellite check: fails (returns nonzero) when any threaded hire row whose
+// requested thread count fits within the machine's cores is slower than the
+// single-thread hire row for the same (op, shape) beyond `tolerance`
+// (fractional, e.g. 0.05 = 5%). Skipped with a message when the machine has
+// one effective core: every threaded row is oversubscribed there and only
+// dispatch noise would be measured.
+int CheckScaling(const std::vector<BenchRow>& rows, double tolerance) {
+  if (HardwareCores() == 1) {
+    std::cerr << "check_scaling: skipped (effective cores == 1; all threaded "
+                 "rows are oversubscribed)\n";
+    return 0;
+  }
+  std::map<std::pair<std::string, std::string>, double> serial_ns;
+  for (const BenchRow& row : rows) {
+    if (row.impl == "hire" && row.threads == 1) {
+      serial_ns[{row.op, row.shape}] = row.ns_per_iter;
+    }
+  }
+  int failures = 0;
+  for (const BenchRow& row : rows) {
+    if (row.impl != "hire" || row.threads <= 1 || row.oversubscribed) continue;
+    auto it = serial_ns.find({row.op, row.shape});
+    if (it == serial_ns.end()) continue;
+    if (row.ns_per_iter > it->second * (1.0 + tolerance)) {
+      std::cerr << "check_scaling FAIL: " << row.op << " " << row.shape
+                << " threads=" << row.threads << " took " << row.ns_per_iter
+                << " ns/iter vs " << it->second
+                << " ns/iter serial (tolerance " << tolerance * 100 << "%)\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cerr << "check_scaling: OK (no threaded row slower than serial "
+                 "beyond tolerance)\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int RunJsonHarness(const std::string& out_path,
-                   const std::vector<int>& thread_counts, double min_seconds) {
+                   const std::vector<int>& thread_counts, double min_seconds,
+                   bool check_scaling, double scaling_tolerance) {
   Rng rng(42);
   std::vector<BenchCase> cases;
 
@@ -346,6 +398,22 @@ int RunJsonHarness(const std::string& out_path,
                      [a] { benchmark::DoNotOptimize(ops::Sum(a, 0)); }});
   }
 
+  bool any_oversubscribed = false;
+  for (const int threads : thread_counts) {
+    if (threads > HardwareCores()) any_oversubscribed = true;
+  }
+  if (any_oversubscribed) {
+    std::cerr << "\n"
+              << "============================================================\n"
+              << "WARNING: requested thread counts exceed the "
+              << HardwareCores() << " hardware core(s) on this machine.\n"
+              << "Oversubscribed rows measure scheduling overhead, not\n"
+              << "parallel speedup; they are tagged \"oversubscribed\" in the\n"
+              << "JSON output and must not be read as scaling results.\n"
+              << "============================================================\n"
+              << "\n";
+  }
+
   const std::vector<BenchRow> rows =
       RunCases(cases, thread_counts, min_seconds);
 
@@ -358,18 +426,26 @@ int RunJsonHarness(const std::string& out_path,
       << "  \"generated_by\": \"bench_micro_tensor --emit_json\",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
+      << "  \"oversubscribed\": " << (any_oversubscribed ? "true" : "false")
+      << ",\n"
       << "  \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
     out << "    {\"op\": \"" << row.op << "\", \"shape\": \"" << row.shape
         << "\", \"impl\": \"" << row.impl << "\", \"threads\": "
-        << row.threads << ", \"ns_per_iter\": "
+        << row.threads << ", \"effective_threads\": " << row.effective_threads
+        << ", \"oversubscribed\": " << (row.oversubscribed ? "true" : "false")
+        << ", \"ns_per_iter\": "
         << static_cast<int64_t>(row.ns_per_iter) << ", \"gflops\": "
         << row.gflops << ", \"speedup_vs_seed\": " << row.speedup_vs_seed
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cerr << "wrote " << rows.size() << " rows to " << out_path << "\n";
+
+  if (check_scaling) {
+    return CheckScaling(rows, scaling_tolerance);
+  }
   return 0;
 }
 
@@ -379,6 +455,8 @@ int main(int argc, char** argv) {
   std::string emit_json;
   std::vector<int> thread_counts = {1, 2, 8};
   double min_seconds = 0.2;
+  bool check_scaling = false;
+  double scaling_tolerance = 0.05;
 
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -395,13 +473,20 @@ int main(int argc, char** argv) {
       }
     } else if (hire::StartsWith(arg, "--min_time=")) {
       min_seconds = hire::ParseDouble(arg.substr(std::strlen("--min_time=")));
+    } else if (arg == "--check_scaling") {
+      check_scaling = true;
+    } else if (hire::StartsWith(arg, "--check_scaling=")) {
+      check_scaling = true;
+      scaling_tolerance =
+          hire::ParseDouble(arg.substr(std::strlen("--check_scaling=")));
     } else {
       passthrough.push_back(argv[i]);
     }
   }
 
   if (!emit_json.empty()) {
-    return RunJsonHarness(emit_json, thread_counts, min_seconds);
+    return RunJsonHarness(emit_json, thread_counts, min_seconds, check_scaling,
+                          scaling_tolerance);
   }
 
   int passthrough_argc = static_cast<int>(passthrough.size());

@@ -10,7 +10,7 @@
 #include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/stopwatch.h"
-#include "utils/thread_pool.h"
+#include "utils/parallel.h"
 
 namespace hire {
 namespace core {

@@ -20,7 +20,7 @@
 #include "utils/fault_injection.h"
 #include "utils/logging.h"
 #include "utils/stopwatch.h"
-#include "utils/thread_pool.h"
+#include "utils/parallel.h"
 
 namespace hire {
 namespace core {

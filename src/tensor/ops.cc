@@ -6,8 +6,9 @@
 #include <memory>
 
 #include "utils/check.h"
+#include "utils/cost_model.h"
+#include "utils/parallel.h"
 #include "utils/stopwatch.h"
-#include "utils/thread_pool.h"
 
 namespace hire {
 namespace ops {
@@ -15,21 +16,19 @@ namespace ops {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Parallelism grain sizes. Work below these thresholds runs serially: the
-// fork/join handshake costs a few microseconds, so small tensors must not
-// pay it. Chunk boundaries never affect results — every output element is
-// produced entirely by one worker, in the same operation order as the serial
-// kernel — so outputs are bitwise identical for any thread count.
+// Parallel dispatch. Every loop's grain comes from the cost model
+// (utils/cost_model.h): the kernel describes one loop index as flops +
+// bytes, and the planner either picks a chunk size or keeps the loop serial
+// when the estimated work is below the measured fan-out payoff threshold.
+// Chunk boundaries never affect results — every output element is produced
+// entirely by one worker, in the same operation order as the serial kernel
+// — so outputs are bitwise identical for any thread count.
 // ---------------------------------------------------------------------------
 
-// Minimum multiply-accumulates a GEMM row-slab task should own.
-constexpr int64_t kGemmGrainMacs = int64_t{1} << 16;
 // Below this total MAC count a GEMM skips blocking/packing entirely.
 constexpr int64_t kSmallGemmMacs = int64_t{1} << 15;
-// Minimum elements per task for elementwise maps and axis reductions.
-constexpr int64_t kElemGrain = int64_t{1} << 15;
-// Minimum elements per task for softmax rows (exp is ~10x a flop).
-constexpr int64_t kSoftmaxGrain = int64_t{1} << 12;
+// An exp/log/tanh costs tens of flops; what the cost model charges for one.
+constexpr double kTranscendentalFlops = 40.0;
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   HIRE_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ShapeString()
@@ -44,18 +43,21 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+  const int64_t grain = PlanGrain(a.size(), {1.0, 12.0});
+  ParallelForRange(0, a.size(), grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
   });
   return out;
 }
 
 template <typename UnaryFn>
-Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn) {
+Tensor ElementwiseUnary(const Tensor& a, UnaryFn fn,
+                        double flops_per_element = 1.0) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+  const int64_t grain = PlanGrain(a.size(), {flops_per_element, 8.0});
+  ParallelForRange(0, a.size(), grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
   });
   return out;
@@ -335,38 +337,60 @@ void GemmRows(const float* a, const float* b, float* c, int64_t n, int64_t k,
   BlockedGemm(a, b, c, n, k, m, b_transposed);
 }
 
-// Row-slab grain so each task owns at least kGemmGrainMacs of work.
-int64_t GemmRowGrain(int64_t k, int64_t m) {
-  const int64_t macs_per_row = std::max<int64_t>(1, k * m);
-  return std::max(kMr, (kGemmGrainMacs + macs_per_row - 1) / macs_per_row);
+// Cost of one GEMM output row: 2km MACs; streams the A row and (amortised,
+// cache-resident across rows) the B panel.
+LoopCost GemmRowCost(int64_t k, int64_t m) {
+  return {2.0 * static_cast<double>(k) * static_cast<double>(m),
+          4.0 * static_cast<double>(k + m)};
 }
 
-// Top-level parallel GEMM: shards rows of A across the global pool.
+// Top-level parallel GEMM: shards rows of A across the runtime, with the
+// row grain planned from the per-row cost (and floored at the micro-tile
+// height so slabs stay tile-aligned).
 void LaunchGemm(const float* a, const float* b, float* c, int64_t n,
                 int64_t k, int64_t m, bool b_transposed) {
-  ParallelForRange(0, n, GemmRowGrain(k, m), [&](int64_t r0, int64_t r1) {
+  const int64_t grain = std::max(kMr, PlanGrain(n, GemmRowCost(k, m)));
+  ParallelForRange(0, n, grain, [&](int64_t r0, int64_t r1) {
     GemmRows(a + r0 * k, b, c + r0 * m, r1 - r0, k, m, b_transposed);
   });
 }
 
-// Batched variant: shards the flattened (batch, row) space so many small
-// batches still fill the pool. A slab may span several batch entries.
+// Batched variant. When the batch has at least one matrix per lane, tasks
+// are whole matrices: each matrix is packed exactly once, and many small
+// irregular GEMMs coalesce into one chunk instead of being shredded into
+// row slivers that re-pack B and thrash the queues (the profile HIRE's
+// per-context MHSA produces). Small batches of large matrices fall back to
+// sharding the flattened (batch, row) space so they can still fill lanes.
 void LaunchBatchedGemm(const float* a, const float* b, float* c,
                        int64_t batch, int64_t n, int64_t k, int64_t m,
                        bool b_transposed) {
   const int64_t b_stride = b_transposed ? m * k : k * m;
-  ParallelForRange(
-      0, batch * n, GemmRowGrain(k, m), [&](int64_t g0, int64_t g1) {
-        int64_t g = g0;
-        while (g < g1) {
-          const int64_t s = g / n;
-          const int64_t r0 = g - s * n;
-          const int64_t rows = std::min(n - r0, g1 - g);
-          GemmRows(a + (s * n + r0) * k, b + s * b_stride,
-                   c + (s * n + r0) * m, rows, k, m, b_transposed);
-          g += rows;
-        }
-      });
+  const LoopCost row_cost = GemmRowCost(k, m);
+  if (batch >= GlobalThreads()) {
+    const LoopCost matrix_cost = {row_cost.flops_per_index * n,
+                                  4.0 * static_cast<double>(n * k + k * m +
+                                                            n * m)};
+    const int64_t grain = PlanGrain(batch, matrix_cost);
+    ParallelForRange(0, batch, grain, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s) {
+        GemmRows(a + s * n * k, b + s * b_stride, c + s * n * m, n, k, m,
+                 b_transposed);
+      }
+    });
+    return;
+  }
+  const int64_t grain = std::max(kMr, PlanGrain(batch * n, row_cost));
+  ParallelForRange(0, batch * n, grain, [&](int64_t g0, int64_t g1) {
+    int64_t g = g0;
+    while (g < g1) {
+      const int64_t s = g / n;
+      const int64_t r0 = g - s * n;
+      const int64_t rows = std::min(n - r0, g1 - g);
+      GemmRows(a + (s * n + r0) * k, b + s * b_stride, c + (s * n + r0) * m,
+               rows, k, m, b_transposed);
+      g += rows;
+    }
+  });
 }
 
 }  // namespace
@@ -400,15 +424,17 @@ Tensor Neg(const Tensor& a) {
 }
 
 Tensor Exp(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); },
+                          kTranscendentalFlops);
 }
 
 Tensor Log(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::log(x); });
+  return ElementwiseUnary(a, [](float x) { return std::log(x); },
+                          kTranscendentalFlops);
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); }, 8.0);
 }
 
 Tensor Abs(const Tensor& a) {
@@ -420,10 +446,13 @@ Tensor Square(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) {
-    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                     : std::exp(x) / (1.0f + std::exp(x));
-  });
+  return ElementwiseUnary(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      kTranscendentalFlops);
 }
 
 Tensor Relu(const Tensor& a) {
@@ -431,7 +460,8 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); },
+                          kTranscendentalFlops);
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
@@ -500,7 +530,8 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   float* po = out.data();
   const float* pb = bias.data();
   const int64_t rows = x.size() / d;
-  const int64_t grain = std::max<int64_t>(1, kElemGrain / d);
+  const int64_t grain =
+      PlanGrain(rows, {static_cast<double>(d), 12.0 * static_cast<double>(d)});
   ParallelForRange(0, rows, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       float* row = po + r * d;
@@ -527,8 +558,9 @@ Tensor Permute(const Tensor& a, const std::vector<int>& axes) {
   const std::vector<int64_t> in_strides = a.Strides();
   const std::vector<int64_t> out_strides = out.Strides();
   // For each output element, reconstruct the multi-index and gather from
-  // the input.
-  ParallelForRange(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+  // the input. The div/mod chain dominates, charged as flops.
+  const int64_t grain = PlanGrain(a.size(), {8.0 * rank, 8.0});
+  ParallelForRange(0, a.size(), grain, [&](int64_t lo, int64_t hi) {
     for (int64_t flat = lo; flat < hi; ++flat) {
       int64_t rem = flat;
       int64_t src = 0;
@@ -677,8 +709,9 @@ Tensor Sum(const Tensor& a, int axis) {
   // ascending order on exactly one worker, so sharding either the outer or
   // the inner dimension leaves results bitwise identical to serial.
   if (outer > 1) {
+    const double per_outer = static_cast<double>(extent * inner);
     const int64_t grain =
-        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, extent * inner));
+        PlanGrain(outer, {per_outer, 4.0 * per_outer + 8.0 * inner});
     ParallelForRange(0, outer, grain, [&](int64_t lo, int64_t hi) {
       for (int64_t o = lo; o < hi; ++o) {
         for (int64_t e = 0; e < extent; ++e) {
@@ -689,12 +722,22 @@ Tensor Sum(const Tensor& a, int axis) {
       }
     });
   } else {
-    const int64_t grain =
-        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, extent));
+    // Leading-axis reduction: each worker owns a contiguous stripe of output
+    // columns and streams every row through it, accumulating straight into
+    // its out[] slice — exactly the seed's row-major loop restricted to a
+    // column range, so the serial path is the seed path and a single chunk
+    // costs nothing extra. Stripes are floored at 64 columns (256 B):
+    // narrower strips turn the row-major stream into scattered cache-line
+    // picks and made the old threaded path 4x *slower* than serial. Row
+    // order inside a column never changes, so any thread count (including
+    // 1, which runs the whole range inline) is bitwise identical.
+    const int64_t grain = std::max<int64_t>(
+        64, PlanGrain(inner, {static_cast<double>(extent),
+                              4.0 * static_cast<double>(extent)}));
     ParallelForRange(0, inner, grain, [&](int64_t lo, int64_t hi) {
+      float* dst = out.data();
       for (int64_t e = 0; e < extent; ++e) {
         const float* src = a.data() + e * inner;
-        float* dst = out.data();
         for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
       }
     });
@@ -715,7 +758,9 @@ Tensor Softmax(const Tensor& a) {
   const int64_t d = a.shape(-1);
   const int64_t rows = a.size() / d;
   Tensor out(a.shape());
-  const int64_t grain = std::max<int64_t>(1, kSoftmaxGrain / d);
+  const int64_t grain = PlanGrain(
+      rows, {(kTranscendentalFlops + 4.0) * static_cast<double>(d),
+             8.0 * static_cast<double>(d)});
   ParallelForRange(0, rows, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* src = a.data() + r * d;

@@ -1,0 +1,73 @@
+#include "utils/cost_model.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "utils/parallel.h"
+
+namespace hire {
+namespace {
+
+std::atomic<bool> g_forced_parallel_for_testing{false};
+
+// Nominal single-core throughputs. Deliberately round numbers: the payoff
+// factor absorbs the inevitable 2-5x misestimate, and the dispatch cost —
+// the term that actually varies across machines — is measured, not assumed.
+constexpr double kFlopsPerNs = 32.0;  // ~vectorized fp32 on one core
+constexpr double kBytesPerNs = 16.0;  // ~streaming DRAM bandwidth per core
+// Estimated total work must exceed this multiple of the measured empty
+// fan-out cost before the loop leaves the serial path. At factor 4 and two
+// lanes the worst-case win is still ~1.3x; below it the fork/join handshake
+// eats the savings.
+constexpr double kPayoffFactor = 4.0;
+// Chunks should each carry at least this much estimated work so the
+// per-chunk claim (one CAS) and completion count stay <1% overhead.
+constexpr double kMinChunkNs = 4000.0;
+// Upper bound on chunks per lane: enough slack for stealing to rebalance
+// when a lane stalls, few enough that chunk bookkeeping stays invisible.
+constexpr int kChunksPerLane = 4;
+
+}  // namespace
+
+double EstimatedIndexNs(const LoopCost& cost) {
+  const double compute = cost.flops_per_index / kFlopsPerNs;
+  const double memory = cost.bytes_per_index / kBytesPerNs;
+  return std::max({compute, memory, 1e-3});
+}
+
+double SerialFallbackThresholdNs() {
+  return kPayoffFactor * ParallelDispatchOverheadNs();
+}
+
+void SetCostModelForcedParallelForTesting(bool forced) {
+  g_forced_parallel_for_testing.store(forced, std::memory_order_relaxed);
+}
+
+int64_t PlanGrain(int64_t count, const LoopCost& cost) {
+  if (count <= 1) return 1;
+  if (InParallelRegion()) return count;
+  if (g_forced_parallel_for_testing.load(std::memory_order_relaxed) &&
+      GlobalThreads() > 1) {
+    const int64_t max_chunks = int64_t{GlobalThreads()} * kChunksPerLane;
+    return std::max<int64_t>(1, (count + max_chunks - 1) / max_chunks);
+  }
+  // Plan against *effective* threads: requesting more lanes than the machine
+  // has cores cannot add throughput, only contention, so an oversubscribed
+  // setting plans as if clamped — and a single-core machine always runs the
+  // kernels serially no matter what --threads asks for.
+  const int64_t threads = GlobalEffectiveThreads();
+  if (threads <= 1) return count;
+  const double index_ns = EstimatedIndexNs(cost);
+  if (static_cast<double>(count) * index_ns < SerialFallbackThresholdNs()) {
+    return count;  // below the measured payoff: stay serial
+  }
+  const int64_t min_chunk_indices =
+      static_cast<int64_t>(std::ceil(kMinChunkNs / index_ns));
+  const int64_t max_chunks = threads * kChunksPerLane;
+  const int64_t balance_indices = (count + max_chunks - 1) / max_chunks;
+  return std::clamp(std::max(min_chunk_indices, balance_indices),
+                    int64_t{1}, count);
+}
+
+}  // namespace hire

@@ -1,0 +1,57 @@
+#ifndef HIRE_UTILS_COST_MODEL_H_
+#define HIRE_UTILS_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace hire {
+
+// ---------------------------------------------------------------------------
+// Per-op parallelisation cost model.
+//
+// Kernels describe one loop index (a row, a column, a matrix, an element)
+// by its arithmetic and memory traffic; the planner turns that into a chunk
+// grain for ParallelForRange, or decides the loop is too small to pay the
+// fork/join fan-out and keeps it serial.
+//
+//   est ns/index  = max(flops / kFlopsPerNs, bytes / kBytesPerNs)   (roofline)
+//   serial unless   est total >= kPayoffFactor * dispatch            (measured)
+//   grain         = max(index count for kMinChunkNs,
+//                       count / (threads * kChunksPerLane))
+//
+// `dispatch` is ParallelDispatchOverheadNs() — the *measured* cost of an
+// empty fan-out at the current thread count — so the serial-fallback
+// threshold tracks the machine instead of a hand-tuned constant. Transcen-
+// dental-heavy bodies should inflate `flops_per_index` (an exp costs tens
+// of flops); the model only needs order-of-magnitude accuracy because the
+// payoff factor keeps a wide safety margin.
+// ---------------------------------------------------------------------------
+
+struct LoopCost {
+  double flops_per_index = 0.0;
+  double bytes_per_index = 0.0;
+};
+
+/// Estimated serial nanoseconds for one loop index under the roofline model.
+double EstimatedIndexNs(const LoopCost& cost);
+
+/// Chunk grain for a loop over `count` indices with per-index cost `cost`.
+/// Plans against GlobalEffectiveThreads() — oversubscribed settings are
+/// clamped to the core count, so a single-core machine always plans serial.
+/// Returns `count` (one chunk => ParallelForRange runs inline) when the
+/// effective thread count is 1, when called inside a parallel region, or
+/// when the estimated total work is below the measured fallback threshold.
+int64_t PlanGrain(int64_t count, const LoopCost& cost);
+
+/// The serial-fallback threshold in nanoseconds at the current thread
+/// count: loops estimated below this stay serial. Exposed for tests/docs.
+double SerialFallbackThresholdNs();
+
+/// Test-only: when true, PlanGrain ignores the effective-core clamp and the
+/// payoff threshold and shards against the *requested* thread count, so
+/// kernel tests exercise real multi-lane execution even for tiny tensors on
+/// a single-core CI machine. Never enable in production code.
+void SetCostModelForcedParallelForTesting(bool forced);
+
+}  // namespace hire
+
+#endif  // HIRE_UTILS_COST_MODEL_H_

@@ -1,0 +1,450 @@
+#include "utils/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "utils/check.h"
+#include "utils/flags.h"
+
+namespace hire {
+namespace {
+
+// Tuning knobs. Workers spin briefly after running out of work before
+// parking on a futex; the caller spins briefly on the completion flag
+// before doing the same. Spins are short so an oversubscribed box (more
+// runtime threads than cores) degrades to ≈serial instead of burning whole
+// scheduler quanta.
+constexpr int kWorkerSpinIters = 512;
+constexpr int kCallerSpinIters = 2048;
+// Lanes (= chunk queues) per loop are capped; extra workers share lanes.
+constexpr int kMaxLanes = 64;
+// Chunk ids are packed two-per-word in the lane queues, so cap the total.
+constexpr int64_t kMaxChunks = int64_t{1} << 30;
+
+inline void CpuPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<int64_t> g_regions_in_flight{0};
+
+// RAII in-flight marker backing the SetGlobalThreads() reconfiguration
+// assertion. Covers inline regions too: resizing the runtime from inside a
+// loop body is just as much a bug when the body happened to run inline.
+struct InFlightRegion {
+  InFlightRegion() { g_regions_in_flight.fetch_add(1, std::memory_order_acq_rel); }
+  ~InFlightRegion() { g_regions_in_flight.fetch_sub(1, std::memory_order_acq_rel); }
+};
+
+// One lane's share of a loop: a contiguous block of chunk ids packed as
+// (next << 32) | end. The owner claims from the front, thieves CAS the back;
+// ids only ever move inward so the packed word is ABA-free.
+struct alignas(64) LaneQueue {
+  std::atomic<uint64_t> bounds{0};
+};
+
+inline uint64_t PackBounds(uint32_t next, uint32_t end) {
+  return (static_cast<uint64_t>(next) << 32) | end;
+}
+
+bool PopFront(LaneQueue& lane, int64_t* chunk) {
+  uint64_t b = lane.bounds.load(std::memory_order_relaxed);
+  while (true) {
+    const uint32_t next = static_cast<uint32_t>(b >> 32);
+    const uint32_t end = static_cast<uint32_t>(b);
+    if (next >= end) return false;
+    if (lane.bounds.compare_exchange_weak(b, PackBounds(next + 1, end),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      *chunk = next;
+      return true;
+    }
+  }
+}
+
+bool PopBack(LaneQueue& lane, int64_t* chunk) {
+  uint64_t b = lane.bounds.load(std::memory_order_relaxed);
+  while (true) {
+    const uint32_t next = static_cast<uint32_t>(b >> 32);
+    const uint32_t end = static_cast<uint32_t>(b);
+    if (next >= end) return false;
+    if (lane.bounds.compare_exchange_weak(b, PackBounds(next, end - 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      *chunk = end - 1;
+      return true;
+    }
+  }
+}
+
+// A loop descriptor. Lives on the caller's stack for the duration of one
+// ParallelForRangeImpl call; workers may only touch it between joining (see
+// Runtime::joiners) and leaving the join section.
+struct LoopTask {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 0;
+  int64_t num_chunks = 0;
+  int num_lanes = 0;
+  detail::LoopFn fn = nullptr;
+  void* ctx = nullptr;
+
+  std::atomic<int64_t> completed{0};
+  std::atomic<uint32_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  LaneQueue lanes[kMaxLanes];
+
+  void RunChunk(int64_t chunk) {
+    if (!failed.load(std::memory_order_relaxed)) {
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      try {
+        fn(ctx, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    const int64_t finished = completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (finished == num_chunks) {
+      done.store(1, std::memory_order_release);
+      done.notify_all();
+    }
+  }
+
+  // Drains the lane's own queue front-to-back, then steals from the other
+  // lanes' tails. Chunks are never re-enqueued, so one full sweep suffices:
+  // when every queue has been observed empty, every chunk is claimed.
+  void RunLane(int lane) {
+    int64_t chunk = 0;
+    while (PopFront(lanes[lane], &chunk)) RunChunk(chunk);
+    for (int i = 1; i < num_lanes; ++i) {
+      const int victim = lane + i < num_lanes ? lane + i : lane + i - num_lanes;
+      while (PopBack(lanes[victim], &chunk)) RunChunk(chunk);
+    }
+  }
+};
+
+// Persistent workers plus the lock-free task slot they watch.
+struct Runtime {
+  explicit Runtime(int num_threads) : threads(num_threads) {
+    workers.reserve(static_cast<size_t>(num_threads - 1));
+    for (int i = 0; i < num_threads - 1; ++i) {
+      workers.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~Runtime() {
+    shutdown.store(true, std::memory_order_seq_cst);
+    epoch.fetch_add(1, std::memory_order_seq_cst);
+    epoch.notify_all();
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  void WorkerLoop(int worker_index) {
+    uint32_t joined_epoch = 0;
+    while (true) {
+      // Reading the epoch before the task makes the task visible: the
+      // publisher stores the task before bumping the epoch, so an acquire
+      // load observing the new epoch also observes the task. A worker joins
+      // each epoch at most once — after it has drained a loop, the slot is
+      // still occupied until the caller retires it, and re-joining would
+      // just busy-sweep empty queues while the caller needs the core.
+      const uint32_t e = epoch.load(std::memory_order_acquire);
+      if (e != joined_epoch &&
+          task.load(std::memory_order_acquire) != nullptr) {
+        joined_epoch = e;
+        Join(worker_index);
+        continue;
+      }
+      if (shutdown.load(std::memory_order_acquire)) return;
+      // Spin-then-park: a short spin catches back-to-back loops without a
+      // syscall; otherwise wait on the epoch futex. Parking keys off the
+      // epoch, not the slot, so a drained-but-unretired loop lets the
+      // worker sleep instead of spinning.
+      bool wake = false;
+      for (int i = 0; i < kWorkerSpinIters; ++i) {
+        if (epoch.load(std::memory_order_relaxed) != e ||
+            shutdown.load(std::memory_order_relaxed)) {
+          wake = true;
+          break;
+        }
+        CpuPause();
+      }
+      if (wake) continue;
+      parked.fetch_add(1, std::memory_order_seq_cst);
+      if (epoch.load(std::memory_order_seq_cst) == e &&
+          !shutdown.load(std::memory_order_seq_cst)) {
+        epoch.wait(e, std::memory_order_acquire);
+      }
+      parked.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  // Joins the currently published loop, if any. The joiners counter brackets
+  // every access to the task pointer so the publisher can wait for
+  // quiescence before letting the stack-allocated task die.
+  void Join(int worker_index) {
+    joiners.fetch_add(1, std::memory_order_seq_cst);
+    LoopTask* t = task.load(std::memory_order_seq_cst);
+    if (t != nullptr) {
+      HIRE_TRACE_SCOPE("parallel_worker");
+      tls_in_parallel_region = true;
+      const int lane = 1 + worker_index < t->num_lanes
+                           ? 1 + worker_index
+                           : (1 + worker_index) % t->num_lanes;
+      t->RunLane(lane);
+      tls_in_parallel_region = false;
+    }
+    joiners.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  const int threads;
+  std::vector<std::thread> workers;
+  std::atomic<LoopTask*> task{nullptr};
+  std::atomic<uint32_t> epoch{0};
+  std::atomic<uint32_t> parked{0};
+  std::atomic<uint32_t> joiners{0};
+  std::atomic<bool> shutdown{false};
+  // Measured empty fan-out cost for this runtime size; 0 = not yet measured.
+  std::atomic<int64_t> dispatch_ns{0};
+  std::mutex measure_mutex;
+};
+
+int AutoThreads() {
+  if (const char* env = std::getenv("HIRE_NUM_THREADS")) {
+    char* tail = nullptr;
+    const long parsed = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && parsed >= 1) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int HardwareThreads() {
+  static const int hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }();
+  return hw;
+}
+
+struct GlobalState {
+  std::mutex mutex;
+  int requested = 0;            // 0 = automatic
+  std::atomic<int> threads{0};  // resolved; 0 = not yet resolved
+  std::atomic<Runtime*> runtime{nullptr};
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState();
+  return *state;
+}
+
+// Resolves the thread count, (re)building the shared runtime when needed.
+int EnsureRuntime() {
+  GlobalState& state = State();
+  const int resolved = state.threads.load(std::memory_order_acquire);
+  if (resolved != 0) return resolved;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  int threads = state.threads.load(std::memory_order_acquire);
+  if (threads != 0) return threads;
+  threads = state.requested > 0 ? state.requested : AutoThreads();
+  if (threads > 1) {
+    state.runtime.store(new Runtime(threads), std::memory_order_release);
+  }
+  state.threads.store(threads, std::memory_order_release);
+  return threads;
+}
+
+Runtime* CurrentRuntime() {
+  EnsureRuntime();
+  return State().runtime.load(std::memory_order_acquire);
+}
+
+void NoopBody(void*, int64_t, int64_t) {}
+
+}  // namespace
+
+int GlobalThreads() { return EnsureRuntime(); }
+
+int GlobalEffectiveThreads() {
+  return std::min(GlobalThreads(), HardwareThreads());
+}
+
+void SetGlobalThreads(int num_threads) {
+  HIRE_CHECK_GE(num_threads, 0);
+  const int64_t in_flight = g_regions_in_flight.load(std::memory_order_acquire);
+  if (in_flight != 0) {
+    std::fprintf(stderr,
+                 "FATAL: SetGlobalThreads(%d) called while %lld ParallelFor "
+                 "region(s) are in flight. Resizing the parallel runtime "
+                 "mid-loop would tear down workers that still own chunks; "
+                 "finish or join all parallel work first.\n",
+                 num_threads, static_cast<long long>(in_flight));
+    std::fflush(stderr);
+    std::abort();
+  }
+  GlobalState& state = State();
+  Runtime* old = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.requested = num_threads;
+    old = state.runtime.exchange(nullptr, std::memory_order_acq_rel);
+    state.threads.store(0, std::memory_order_release);
+  }
+  delete old;  // joins workers
+  EnsureRuntime();
+}
+
+void InitGlobalThreadsFromFlags(const Flags& flags) {
+  SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+int64_t ParallelRegionsInFlight() {
+  return g_regions_in_flight.load(std::memory_order_acquire);
+}
+
+double ParallelDispatchOverheadNs() {
+  const int threads = GlobalThreads();
+  if (threads <= 1) return 0.0;
+  Runtime* rt = CurrentRuntime();
+  if (rt == nullptr) return 0.0;
+  int64_t cached = rt->dispatch_ns.load(std::memory_order_acquire);
+  if (cached > 0) return static_cast<double>(cached);
+  // Measuring requires running real fan-outs; from inside a parallel region
+  // they would degenerate to inline no-ops, so report a conservative guess
+  // instead of caching garbage.
+  constexpr double kDefaultDispatchNs = 20000.0;
+  constexpr int64_t kDispatchFloorNs = 2000;
+  if (tls_in_parallel_region) return kDefaultDispatchNs;
+  std::lock_guard<std::mutex> lock(rt->measure_mutex);
+  cached = rt->dispatch_ns.load(std::memory_order_acquire);
+  if (cached > 0) return static_cast<double>(cached);
+  // Time empty fan-outs with one chunk per lane; keep the minimum of the
+  // post-warmup runs. The first runs pay worker wake-from-park, which is
+  // part of real dispatch cost, so only the very first run is discarded.
+  const int64_t range = std::min<int64_t>(threads, kMaxLanes);
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int run = 0; run < 8; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    detail::ParallelForRangeImpl(0, range, 1, NoopBody, nullptr);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    if (run > 0) best = std::min(best, ns);
+  }
+  best = std::max(best, kDispatchFloorNs);
+  rt->dispatch_ns.store(best, std::memory_order_release);
+  return static_cast<double>(best);
+}
+
+namespace detail {
+
+void ParallelForRangeImpl(int64_t begin, int64_t end, int64_t grain,
+                          LoopFn fn, void* ctx) {
+  if (begin >= end) return;
+  HIRE_CHECK_GE(grain, 1);
+  InFlightRegion in_flight;
+  const int64_t count = end - begin;
+  const int threads = EnsureRuntime();
+  if (threads == 1 || count <= grain || tls_in_parallel_region) {
+    fn(ctx, begin, end);
+    return;
+  }
+  Runtime* rt = State().runtime.load(std::memory_order_acquire);
+  HIRE_CHECK(rt != nullptr);
+
+  LoopTask task;
+  task.begin = begin;
+  task.end = end;
+  // Chunk ids must fit the packed 32-bit lane bounds; widen the grain if an
+  // enormous range with a tiny grain would overflow them.
+  task.grain = std::max(grain, (count + kMaxChunks - 1) / kMaxChunks);
+  task.num_chunks = (count + task.grain - 1) / task.grain;
+  task.fn = fn;
+  task.ctx = ctx;
+  task.num_lanes = static_cast<int>(
+      std::min<int64_t>({task.num_chunks, threads, kMaxLanes}));
+  // Deal chunks into contiguous per-lane blocks. Lane 0 is the caller.
+  for (int lane = 0; lane < task.num_lanes; ++lane) {
+    const int64_t lo = task.num_chunks * lane / task.num_lanes;
+    const int64_t hi = task.num_chunks * (lane + 1) / task.num_lanes;
+    task.lanes[lane].bounds.store(
+        PackBounds(static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)),
+        std::memory_order_relaxed);
+  }
+
+  // Publish. If another thread's loop owns the slot, run inline rather than
+  // queueing: concurrent top-level loops come from independent request
+  // threads (serve), and serializing them would oversubscribe anyway.
+  LoopTask* expected = nullptr;
+  if (!rt->task.compare_exchange_strong(expected, &task,
+                                        std::memory_order_seq_cst)) {
+    fn(ctx, begin, end);
+    return;
+  }
+  rt->epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (rt->parked.load(std::memory_order_seq_cst) > 0) {
+    rt->epoch.notify_all();
+  }
+
+  {
+    HIRE_TRACE_SCOPE("parallel_for");
+    tls_in_parallel_region = true;
+    task.RunLane(0);
+    tls_in_parallel_region = false;
+  }
+
+  // Wait until every chunk has *finished* (claimed chunks may still be
+  // running on workers): spin briefly, then park on the done futex.
+  if (task.done.load(std::memory_order_acquire) == 0) {
+    bool finished = false;
+    for (int i = 0; i < kCallerSpinIters; ++i) {
+      if (task.done.load(std::memory_order_acquire) != 0) {
+        finished = true;
+        break;
+      }
+      CpuPause();
+    }
+    while (!finished && task.done.load(std::memory_order_acquire) == 0) {
+      task.done.wait(0, std::memory_order_acquire);
+      finished = task.done.load(std::memory_order_acquire) != 0;
+    }
+  }
+
+  // Retire: clear the slot, then wait for workers to leave the join
+  // section before the stack-allocated task goes out of scope. Workers
+  // observe the cleared slot on their next joiners-bracketed load, so this
+  // wait is bounded by one empty lane sweep.
+  rt->task.store(nullptr, std::memory_order_seq_cst);
+  while (rt->joiners.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace detail
+}  // namespace hire

@@ -1,14 +1,7 @@
 #include "utils/thread_pool.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <exception>
-#include <memory>
-
 #include "obs/trace.h"
 #include "utils/check.h"
-#include "utils/flags.h"
 
 namespace hire {
 
@@ -71,184 +64,6 @@ void ThreadPool::WorkerLoop() {
       }
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// Process-wide pool.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-thread_local bool tls_in_parallel_region = false;
-
-int AutoThreads() {
-  if (const char* env = std::getenv("HIRE_NUM_THREADS")) {
-    char* tail = nullptr;
-    const long parsed = std::strtol(env, &tail, 10);
-    if (tail != env && *tail == '\0' && parsed >= 1) {
-      return static_cast<int>(parsed);
-    }
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-struct GlobalPoolState {
-  std::mutex mutex;
-  int requested = 0;  // 0 = automatic
-  int threads = 0;    // resolved size of `pool` + 1; 0 = not yet created
-  std::unique_ptr<ThreadPool> pool;
-};
-
-GlobalPoolState& PoolState() {
-  static GlobalPoolState* state = new GlobalPoolState();
-  return *state;
-}
-
-// Resolves the thread count and (re)builds the shared pool when needed.
-// Returns the resolved count.
-int EnsurePool() {
-  GlobalPoolState& state = PoolState();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  const int want = state.requested > 0 ? state.requested : AutoThreads();
-  if (state.threads != want) {
-    state.pool.reset();
-    if (want > 1) {
-      state.pool = std::make_unique<ThreadPool>(want - 1);
-    }
-    state.threads = want;
-  }
-  return state.threads;
-}
-
-// Shared bookkeeping for one ParallelForRange call. Helpers submitted to the
-// pool and the calling thread both pull chunk indices from `next`; the caller
-// blocks until `completed` reaches `num_chunks`. Held by shared_ptr because a
-// slow-to-schedule helper may outlive the caller's interest in it.
-struct LoopContext {
-  int64_t begin = 0;
-  int64_t grain = 0;
-  int64_t end = 0;
-  int64_t num_chunks = 0;
-  const std::function<void(int64_t, int64_t)>* body = nullptr;
-  std::atomic<int64_t> next{0};
-  std::atomic<int64_t> completed{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;  // guarded by `mutex`
-  std::mutex mutex;
-  std::condition_variable done;
-
-  void RunChunks() {
-    while (true) {
-      const int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= num_chunks) return;
-      if (!failed.load(std::memory_order_relaxed)) {
-        const int64_t lo = begin + chunk * grain;
-        const int64_t hi = std::min(end, lo + grain);
-        try {
-          (*body)(lo, hi);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-      const int64_t finished =
-          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
-      if (finished == num_chunks) {
-        std::lock_guard<std::mutex> lock(mutex);
-        done.notify_all();
-      }
-    }
-  }
-};
-
-}  // namespace
-
-int GlobalThreads() { return EnsurePool(); }
-
-void SetGlobalThreads(int num_threads) {
-  HIRE_CHECK_GE(num_threads, 0);
-  {
-    GlobalPoolState& state = PoolState();
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.requested = num_threads;
-  }
-  EnsurePool();
-}
-
-void InitGlobalThreadsFromFlags(const Flags& flags) {
-  SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
-}
-
-ThreadPool* GlobalThreadPool() {
-  EnsurePool();
-  GlobalPoolState& state = PoolState();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  return state.pool.get();
-}
-
-bool InParallelRegion() { return tls_in_parallel_region; }
-
-void ParallelForRange(int64_t begin, int64_t end, int64_t grain,
-                      const std::function<void(int64_t, int64_t)>& body) {
-  if (begin >= end) return;
-  HIRE_CHECK_GE(grain, 1);
-  const int64_t count = end - begin;
-  const int threads = EnsurePool();
-  if (threads == 1 || count <= grain || tls_in_parallel_region) {
-    body(begin, end);
-    return;
-  }
-
-  auto context = std::make_shared<LoopContext>();
-  context->begin = begin;
-  context->end = end;
-  context->grain = grain;
-  context->num_chunks = (count + grain - 1) / grain;
-  context->body = &body;
-
-  const int64_t helpers =
-      std::min<int64_t>(threads - 1, context->num_chunks - 1);
-  ThreadPool* pool = GlobalThreadPool();
-  for (int64_t h = 0; h < helpers; ++h) {
-    pool->Submit([context] {
-      tls_in_parallel_region = true;
-      context->RunChunks();
-      tls_in_parallel_region = false;
-    });
-  }
-
-  tls_in_parallel_region = true;
-  context->RunChunks();
-  tls_in_parallel_region = false;
-
-  {
-    std::unique_lock<std::mutex> lock(context->mutex);
-    context->done.wait(lock, [&context] {
-      return context->completed.load(std::memory_order_acquire) ==
-             context->num_chunks;
-    });
-    if (context->error) std::rethrow_exception(context->error);
-  }
-}
-
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t)>& body) {
-  ParallelForRange(begin, end, grain, [&body](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) body(i);
-  });
-}
-
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& body) {
-  // Default grain: amortise scheduling over at least a few indices while
-  // still letting every worker claim several chunks for load balance.
-  const int64_t count = end - begin;
-  const int64_t threads = EnsurePool();
-  const int64_t grain =
-      std::max<int64_t>(1, count / std::max<int64_t>(1, threads * 4));
-  ParallelFor(begin, end, grain, body);
 }
 
 }  // namespace hire

@@ -11,11 +11,13 @@
 
 namespace hire {
 
-class Flags;
-
-/// Fixed-size worker pool. The tensor kernels shard work across the
-/// process-wide instance (see GlobalThreadPool below) via ParallelFor;
-/// standalone pools remain useful for coarse task parallelism.
+/// Fixed-size worker pool for coarse, potentially *blocking* tasks —
+/// serve's connection handlers, background jobs. Workers park on a condvar
+/// while idle, which is the right policy for tasks that sit in I/O.
+///
+/// Data-parallel loops do NOT run here: tensor kernels use the
+/// work-stealing parallel runtime in utils/parallel.h, whose spin-then-park
+/// workers and lock-free loop slot are tuned for short CPU-bound chunks.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -44,55 +46,6 @@ class ThreadPool {
   int64_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
-
-// ---------------------------------------------------------------------------
-// Process-wide pool configuration.
-// ---------------------------------------------------------------------------
-
-/// Logical parallelism of the process-wide pool. Resolution order:
-/// SetGlobalThreads() > HIRE_NUM_THREADS env var > hardware concurrency.
-/// Always >= 1.
-int GlobalThreads();
-
-/// Sets the process-wide parallelism. `num_threads` == 0 restores the
-/// automatic default (env var, then hardware concurrency). Destroys and
-/// recreates the shared pool: must not be called while a ParallelFor is in
-/// flight on another thread.
-void SetGlobalThreads(int num_threads);
-
-/// Applies the conventional `--threads` flag (0 or absent = automatic).
-void InitGlobalThreadsFromFlags(const Flags& flags);
-
-/// Lazily constructed shared pool with GlobalThreads() - 1 workers (the
-/// calling thread is the remaining lane). Returns nullptr when
-/// GlobalThreads() == 1, in which case all parallel helpers run inline.
-ThreadPool* GlobalThreadPool();
-
-/// True when called from inside a ParallelFor worker; nested parallel
-/// regions execute inline to avoid deadlocking the shared pool.
-bool InParallelRegion();
-
-// ---------------------------------------------------------------------------
-// Parallel loops.
-// ---------------------------------------------------------------------------
-
-/// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end) into
-/// chunks of at least `grain` indices. Runs inline (single chunk) when the
-/// range is at most `grain`, when GlobalThreads() == 1, or when already
-/// inside a parallel region. Chunk boundaries are deterministic for a fixed
-/// thread count; an exception thrown by any chunk is rethrown on the calling
-/// thread after all chunks finish or are abandoned. `body` must be safe to
-/// invoke concurrently on disjoint chunks.
-void ParallelForRange(int64_t begin, int64_t end, int64_t grain,
-                      const std::function<void(int64_t, int64_t)>& body);
-
-/// Runs `body(i)` for i in [begin, end), sharded with chunks of `grain`.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t)>& body);
-
-/// Back-compat overload with an automatic grain.
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& body);
 
 }  // namespace hire
 

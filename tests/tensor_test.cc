@@ -10,7 +10,8 @@
 #include "tensor/ops.h"
 #include "tensor/random.h"
 #include "utils/check.h"
-#include "utils/thread_pool.h"
+#include "utils/cost_model.h"
+#include "utils/parallel.h"
 
 namespace hire {
 namespace {
@@ -343,10 +344,17 @@ INSTANTIATE_TEST_SUITE_P(
 // a naive reference — serial or threaded, for any shape.
 // ---------------------------------------------------------------------------
 
-// Restores the ambient thread setting after each test.
+// Forces the cost model to shard against the requested thread count (the
+// planner otherwise clamps to effective cores, which would make these tests
+// vacuous on a single-core CI machine), and restores the ambient settings
+// after each test.
 class ParallelKernelsTest : public ::testing::Test {
  protected:
-  ~ParallelKernelsTest() override { SetGlobalThreads(0); }
+  ParallelKernelsTest() { SetCostModelForcedParallelForTesting(true); }
+  ~ParallelKernelsTest() override {
+    SetCostModelForcedParallelForTesting(false);
+    SetGlobalThreads(0);
+  }
 };
 
 // The seed's scalar GEMM (single accumulation chain per element, ascending
@@ -386,8 +394,10 @@ TEST_F(ParallelKernelsTest, BlockedGemmBitwiseMatchesNaive) {
     const Tensor expected = NaiveMatMul(a, b);
     SetGlobalThreads(1);
     ExpectBitwiseEqual(ops::MatMul(a, b), expected);
-    SetGlobalThreads(4);
-    ExpectBitwiseEqual(ops::MatMul(a, b), expected);
+    for (const int threads : {2, 4, 7}) {
+      SetGlobalThreads(threads);
+      ExpectBitwiseEqual(ops::MatMul(a, b), expected);
+    }
   }
 }
 
@@ -399,8 +409,10 @@ TEST_F(ParallelKernelsTest, TransposedBGemmBitwiseMatchesNaive) {
     const Tensor expected = NaiveMatMul(a, ops::TransposeLast2(bt));
     SetGlobalThreads(1);
     ExpectBitwiseEqual(ops::MatMulTransposedB(a, bt), expected);
-    SetGlobalThreads(4);
-    ExpectBitwiseEqual(ops::MatMulTransposedB(a, bt), expected);
+    for (const int threads : {2, 4, 7}) {
+      SetGlobalThreads(threads);
+      ExpectBitwiseEqual(ops::MatMulTransposedB(a, bt), expected);
+    }
   }
 }
 
@@ -429,20 +441,33 @@ TEST_F(ParallelKernelsTest, SerialAndThreadedAgree) {
     const Tensor sum0_1 = ops::Sum(x, 0);
     const Tensor sum1_1 = ops::Sum(x, 1);
 
-    SetGlobalThreads(4);
-    EXPECT_TRUE(AllClose(ops::Add(x, y), add1));
-    EXPECT_TRUE(AllClose(ops::Sigmoid(x), sig1));
-    EXPECT_TRUE(AllClose(ops::Softmax(x), soft1));
-    EXPECT_TRUE(AllClose(ops::AddBias(x, bias), bias1));
-    EXPECT_TRUE(AllClose(ops::Sum(x, 0), sum0_1));
-    EXPECT_TRUE(AllClose(ops::Sum(x, 1), sum1_1));
+    for (const int threads : {2, 4, 7}) {
+      SetGlobalThreads(threads);
+      EXPECT_TRUE(AllClose(ops::Sigmoid(x), sig1));
+      EXPECT_TRUE(AllClose(ops::AddBias(x, bias), bias1));
 
-    // The sharding preserves per-element operation order, so threaded
-    // results are in fact bitwise identical, not merely close.
-    ExpectBitwiseEqual(ops::Add(x, y), add1);
-    ExpectBitwiseEqual(ops::Softmax(x), soft1);
-    ExpectBitwiseEqual(ops::Sum(x, 0), sum0_1);
-    ExpectBitwiseEqual(ops::Sum(x, 1), sum1_1);
+      // The sharding preserves per-element operation order, so threaded
+      // results are in fact bitwise identical, not merely close.
+      ExpectBitwiseEqual(ops::Add(x, y), add1);
+      ExpectBitwiseEqual(ops::Softmax(x), soft1);
+      ExpectBitwiseEqual(ops::Sum(x, 0), sum0_1);
+      ExpectBitwiseEqual(ops::Sum(x, 1), sum1_1);
+      ExpectBitwiseEqual(ops::AddBias(x, bias), bias1);
+    }
+  }
+}
+
+TEST_F(ParallelKernelsTest, SumAxis0TiledPathBitwiseStable) {
+  // Wide enough that the column-sharded reduction splits into several
+  // 256-column tiles per chunk; each column keeps the serial ascending-row
+  // accumulation chain regardless of which lane runs it.
+  Rng rng(15);
+  Tensor x = RandomNormal({2048, 512}, 0, 2, &rng);
+  SetGlobalThreads(1);
+  const Tensor serial = ops::Sum(x, 0);
+  for (const int threads : {2, 4, 7}) {
+    SetGlobalThreads(threads);
+    ExpectBitwiseEqual(ops::Sum(x, 0), serial);
   }
 }
 
@@ -455,9 +480,11 @@ TEST_F(ParallelKernelsTest, BatchedMatMulSerialVsThreaded) {
     SetGlobalThreads(1);
     const Tensor c1 = ops::BatchedMatMul(a, b);
     const Tensor ct1 = ops::BatchedMatMulTransposedB(a, bt);
-    SetGlobalThreads(4);
-    ExpectBitwiseEqual(ops::BatchedMatMul(a, b), c1);
-    ExpectBitwiseEqual(ops::BatchedMatMulTransposedB(a, bt), ct1);
+    for (const int threads : {2, 4, 7}) {
+      SetGlobalThreads(threads);
+      ExpectBitwiseEqual(ops::BatchedMatMul(a, b), c1);
+      ExpectBitwiseEqual(ops::BatchedMatMulTransposedB(a, bt), ct1);
+    }
   }
 }
 

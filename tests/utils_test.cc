@@ -11,6 +11,7 @@
 #include "utils/stopwatch.h"
 #include "utils/string_utils.h"
 #include "utils/table_printer.h"
+#include "utils/parallel.h"
 #include "utils/thread_pool.h"
 
 namespace hire {
@@ -218,17 +219,118 @@ TEST(ParallelForTest, NestedCallsRunInline) {
   SetGlobalThreads(0);
 }
 
+TEST(ParallelForTest, ManySmallChunksAreStolenAndCovered) {
+  // 512 one-element chunks through the work-stealing deques: every index
+  // must be executed exactly once no matter which lane ran it.
+  SetGlobalThreads(7);
+  std::vector<std::atomic<int>> hits(512);
+  ParallelForRange(0, 512, 1, [&hits](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, ConcurrentTopLevelLoopsFromManyThreads) {
+  // Several external threads race to publish top-level loops (the serve
+  // request-handler pattern). CAS losers run inline; totals must be exact.
+  SetGlobalThreads(4);
+  constexpr int kCallers = 6;
+  constexpr int kIters = 20;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&total] {
+      for (int rep = 0; rep < kIters; ++rep) {
+        ParallelForRange(0, 256, 16, [&total](int64_t lo, int64_t hi) {
+          total.fetch_add(hi - lo, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), int64_t{kCallers} * kIters * 256);
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, NestedStressKeepsExactTotals) {
+  // Outer loop wide enough to occupy every worker, each chunk spawning a
+  // nested loop (which must run inline) over a shared accumulator.
+  SetGlobalThreads(4);
+  std::atomic<int64_t> total{0};
+  for (int rep = 0; rep < 10; ++rep) {
+    ParallelForRange(0, 64, 1, [&total](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        EXPECT_TRUE(InParallelRegion());
+        ParallelForRange(0, 32, 4, [&total](int64_t nlo, int64_t nhi) {
+          total.fetch_add(nhi - nlo, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  EXPECT_EQ(total.load(), int64_t{10} * 64 * 32);
+  EXPECT_FALSE(InParallelRegion());
+  SetGlobalThreads(0);
+}
+
+TEST(ParallelForTest, DispatchOverheadWithinBudget) {
+  // Guard against per-chunk heap allocation or lock contention creeping back
+  // into the dispatch path: an empty-body fan-out must stay cheap. The
+  // budget is deliberately loose (CI boxes are noisy and often 1-core); a
+  // std::function-per-chunk + mutex queue implementation blows through it.
+  SetGlobalThreads(4);
+  constexpr int64_t kChunks = 256;
+  constexpr int kRuns = 9;
+  double best_ns = 1e18;
+  for (int run = 0; run < kRuns; ++run) {
+    Stopwatch stopwatch;
+    ParallelForRange(0, kChunks, 1, [](int64_t, int64_t) {});
+    best_ns = std::min(best_ns, stopwatch.ElapsedSeconds() * 1e9);
+  }
+  const double ns_per_chunk = best_ns / kChunks;
+  constexpr double kBudgetNsPerChunk = 4000.0;
+  EXPECT_LE(ns_per_chunk, kBudgetNsPerChunk)
+      << "empty-body dispatch cost " << ns_per_chunk
+      << " ns/chunk exceeds budget";
+  SetGlobalThreads(0);
+}
+
 TEST(GlobalThreadsTest, SetAndResolve) {
   SetGlobalThreads(3);
   EXPECT_EQ(GlobalThreads(), 3);
-  ThreadPool* pool = GlobalThreadPool();
-  ASSERT_NE(pool, nullptr);
-  EXPECT_EQ(pool->num_threads(), 2);  // caller is the third lane
   SetGlobalThreads(1);
   EXPECT_EQ(GlobalThreads(), 1);
-  EXPECT_EQ(GlobalThreadPool(), nullptr);
   SetGlobalThreads(0);  // back to automatic
   EXPECT_GE(GlobalThreads(), 1);
+}
+
+TEST(GlobalThreadsTest, EffectiveThreadsClampedToHardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cores = hw == 0 ? 1 : static_cast<int>(hw);
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalEffectiveThreads(), 1);
+  SetGlobalThreads(cores + 5);
+  EXPECT_EQ(GlobalThreads(), cores + 5);
+  EXPECT_EQ(GlobalEffectiveThreads(), cores);
+  SetGlobalThreads(0);
+  EXPECT_LE(GlobalEffectiveThreads(), GlobalThreads());
+}
+
+TEST(GlobalThreadsDeathTest, AbortsWhenRegionsInFlight) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetGlobalThreads(2);
+        ParallelForRange(0, 4, 1, [](int64_t, int64_t) {
+          SetGlobalThreads(3);  // resize mid-region: must abort
+        });
+      },
+      "in flight");
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

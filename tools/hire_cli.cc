@@ -41,7 +41,7 @@
 #include "utils/flags.h"
 #include "utils/string_utils.h"
 #include "utils/table_printer.h"
-#include "utils/thread_pool.h"
+#include "utils/parallel.h"
 
 namespace {
 

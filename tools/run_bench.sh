@@ -12,16 +12,32 @@
 # the closed-loop load generator (batched vs unbatched, cold vs warm cache)
 # and write BENCH_serve.json at the repo root:
 #   tools/run_bench.sh --serve [build_dir] [extra serve_loadgen flags...]
+#
+# Scaling-check mode: run the micro-benchmarks to a throwaway JSON and FAIL
+# (nonzero exit) if any threaded row whose thread count fits the machine is
+# slower than the serial row beyond a tolerance (default 5%). Skipped with a
+# message when the machine has a single effective core (every threaded row is
+# oversubscribed there and measures only dispatch noise):
+#   tools/run_bench.sh --check-scaling[=TOL] [build_dir] [extra bench flags...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 mode="bench"
+check_scaling_flag=""
 if [ "${1:-}" = "--trace" ]; then
   mode="trace"
   shift
 elif [ "${1:-}" = "--serve" ]; then
   mode="serve"
+  shift
+elif [ "${1:-}" = "--check-scaling" ]; then
+  mode="check"
+  check_scaling_flag="--check_scaling"
+  shift
+elif [[ "${1:-}" = --check-scaling=* ]]; then
+  mode="check"
+  check_scaling_flag="--check_scaling=${1#--check-scaling=}"
   shift
 fi
 
@@ -71,6 +87,25 @@ fi
 threads="$(printf '%s\n' 1 2 "${nproc_count}" 8 | sort -nu | paste -sd,)"
 
 cmake --build "${build_dir}" --target bench_micro_tensor -j "${nproc_count}"
+
+if [ "${mode}" = "check" ]; then
+  work="$(mktemp -d "${TMPDIR:-/tmp}/hire_bench_check.XXXXXX")"
+  trap 'rm -rf "${work}"' EXIT
+  if [ "${nproc_count}" -le 1 ]; then
+    echo "check-scaling: skipped (1 effective core; threaded rows would be" \
+         "oversubscribed and measure only dispatch noise)"
+    exit 0
+  fi
+  # set -e aborts here with the binary's FAIL lines if any row regresses.
+  "${build_dir}/bench/bench_micro_tensor" \
+    --emit_json="${work}/bench_check.json" \
+    --threads="${threads}" \
+    "${check_scaling_flag}" \
+    "$@"
+  echo "check-scaling: PASS (no threaded row slower than serial beyond" \
+       "tolerance at any (op, shape) with threads <= ${nproc_count} cores)"
+  exit 0
+fi
 
 "${build_dir}/bench/bench_micro_tensor" \
   --emit_json="${repo_root}/BENCH_tensor.json" \

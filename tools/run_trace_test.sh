@@ -18,6 +18,9 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 
 STEPS=20
 # Checkpointing is on so the checkpoint_write span and telemetry event appear.
+# Threading spans (parallel_for / parallel_worker) are NOT in the expected
+# list: the cost model plans against effective cores, so a 1-core CI box
+# legitimately runs this tiny model fully inline.
 "$CLI" train --profile=movielens --scale=0.02 --steps="$STEPS" --context=6 \
     --him-blocks=2 --heads=2 --head-dim=4 --embed-dim=4 \
     --seed=7 --threads=2 --log-every=0 \
@@ -30,7 +33,7 @@ STEPS=20
 
 "$VALIDATOR" \
     --trace="$WORK/trace.json" \
-    --expect-spans=train_step,forward,backward,mhsa_forward,mhsa_backward,him_block_0_forward,optimizer_step,context_sampling,checkpoint_write,pool_task \
+    --expect-spans=train_step,forward,backward,mhsa_forward,mhsa_backward,him_block_0_forward,optimizer_step,context_sampling,checkpoint_write \
     --metrics="$WORK/metrics.jsonl" \
     --min-steps="$STEPS" || fail "artifact validation"
 

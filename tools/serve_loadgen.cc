@@ -43,7 +43,7 @@
 #include "serve/server.h"
 #include "utils/check.h"
 #include "utils/flags.h"
-#include "utils/thread_pool.h"
+#include "utils/parallel.h"
 
 namespace {
 
