@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "utils/check.h"
+#include "utils/fault_injection.h"
 #include "utils/logging.h"
 
 namespace hire {
@@ -34,6 +36,71 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+VersionedGraph::VersionedGraph(graph::BipartiteGraph g, int64_t v)
+    : graph(std::move(g)), version(v) {
+  // Bias tables for the degraded-mode fallback predictor: per-user mean
+  // observed rating, with the global mean covering unrated (cold) users.
+  double total = 0.0;
+  int64_t count = 0;
+  std::vector<double> user_sum(static_cast<size_t>(graph.num_users()), 0.0);
+  std::vector<int64_t> user_count(static_cast<size_t>(graph.num_users()), 0);
+  for (int64_t user = 0; user < graph.num_users(); ++user) {
+    for (int64_t item : graph.ItemsOfUser(user)) {
+      const std::optional<float> rating = graph.GetRating(user, item);
+      if (!rating.has_value()) continue;
+      user_sum[static_cast<size_t>(user)] += *rating;
+      ++user_count[static_cast<size_t>(user)];
+      total += *rating;
+      ++count;
+    }
+  }
+  global_mean_rating =
+      count > 0 ? static_cast<float>(total / static_cast<double>(count)) : 0.0f;
+  user_mean_rating.resize(static_cast<size_t>(graph.num_users()),
+                          global_mean_rating);
+  for (size_t u = 0; u < user_mean_rating.size(); ++u) {
+    if (user_count[u] > 0) {
+      user_mean_rating[u] =
+          static_cast<float>(user_sum[u] / static_cast<double>(user_count[u]));
+    }
+  }
+}
+
+RequestOutcome ClassifyOutcome(const RatingResponse& response) {
+  if (response.ok) {
+    return response.degraded ? RequestOutcome::kDegraded
+                             : RequestOutcome::kServed;
+  }
+  if (response.error.rfind("overloaded", 0) == 0) return RequestOutcome::kShed;
+  if (response.error.rfind("deadline exceeded", 0) == 0) {
+    return RequestOutcome::kExpired;
+  }
+  return RequestOutcome::kFailed;
+}
+
+void RecordOutcome(RequestOutcome outcome) {
+  auto& registry = obs::MetricsRegistry::Global();
+  switch (outcome) {
+    case RequestOutcome::kServed:
+      registry.GetCounter("serve.outcome.served")->Increment();
+      break;
+    case RequestOutcome::kDegraded:
+      registry.GetCounter("serve.outcome.degraded")->Increment();
+      break;
+    case RequestOutcome::kShed:
+      registry.GetCounter("serve.outcome.shed")->Increment();
+      registry.GetCounter("serve.requests_shed")->Increment();
+      break;
+    case RequestOutcome::kExpired:
+      registry.GetCounter("serve.outcome.expired")->Increment();
+      registry.GetCounter("serve.deadline_exceeded")->Increment();
+      break;
+    case RequestOutcome::kFailed:
+      registry.GetCounter("serve.outcome.failed")->Increment();
+      break;
+  }
+}
+
 MicroBatcher::MicroBatcher(
     const BatcherConfig& config, InferenceEngine* engine, ContextCache* cache,
     const graph::ContextSampler* sampler,
@@ -51,6 +118,9 @@ MicroBatcher::MicroBatcher(
   HIRE_CHECK_GT(config_.max_batch_users, 0);
   HIRE_CHECK_GT(config_.context_users, 0);
   HIRE_CHECK_GT(config_.context_items, 0);
+  if (config_.max_inflight <= 0) {
+    config_.max_inflight = 2 * static_cast<int64_t>(config_.queue_capacity);
+  }
 }
 
 MicroBatcher::~MicroBatcher() { Stop(); }
@@ -69,38 +139,172 @@ void MicroBatcher::Stop() {
 }
 
 std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
-                                                 std::vector<int64_t> items) {
+                                                 std::vector<int64_t> items,
+                                                 RequestDeadline deadline) {
+  const auto now = std::chrono::steady_clock::now();
   PendingRequest request;
   request.user = user;
   request.items = std::move(items);
-  request.enqueue_time = std::chrono::steady_clock::now();
+  request.enqueue_time = now;
+  if (deadline.has_value()) {
+    request.deadline = deadline;
+  } else if (config_.request_deadline_ms > 0) {
+    request.deadline =
+        now + std::chrono::milliseconds(config_.request_deadline_ms);
+  }
   std::future<RatingResponse> future = request.promise.get_future();
 
   if (request.items.empty()) {
-    request.promise.set_value(FailedResponse("bad request: empty item list"));
+    Resolve(&request, FailedResponse("bad request: empty item list"));
     return future;
   }
   if (static_cast<int64_t>(request.items.size()) > config_.context_items) {
-    request.promise.set_value(FailedResponse(
+    Resolve(&request, FailedResponse(
         "bad request: " + std::to_string(request.items.size()) +
         " items exceed the context item budget of " +
         std::to_string(config_.context_items)));
     return future;
   }
-  if (!queue_.TryPush(std::move(request))) {
-    // TryPush guarantees `request` is untouched on failure, so the promise
-    // is still ours to resolve here.
-    request.promise.set_value(
-        FailedResponse("overloaded: request queue is full"));
+  // Admission deadline check: a request born expired never costs a queue
+  // slot.
+  if (request.deadline.has_value() && *request.deadline <= now) {
+    Resolve(&request,
+            FailedResponse("deadline exceeded: expired before admission"));
+    return future;
+  }
+  // In-flight cap: shed before any work is queued rather than letting tail
+  // latency grow without bound.
+  if (inflight_.load() >= config_.max_inflight) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.shed.inflight")
+        ->Increment();
     obs::MetricsRegistry::Global()
         .GetCounter("serve.requests_rejected")
         ->Increment();
+    Resolve(&request, FailedResponse(
+        "overloaded: " + std::to_string(inflight_.load()) +
+        " requests in flight (cap " + std::to_string(config_.max_inflight) +
+        ")"));
+    return future;
+  }
+
+  request.admitted = true;
+  inflight_.fetch_add(1);
+  if (!queue_.TryPush(std::move(request))) {
+    // TryPush guarantees `request` is untouched on failure, so the promise
+    // (and its in-flight slot) is still ours to resolve here.
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.shed.queue_full")
+        ->Increment();
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.requests_rejected")
+        ->Increment();
+    Resolve(&request, FailedResponse("overloaded: request queue is full"));
     return future;
   }
   obs::MetricsRegistry::Global()
       .GetGauge("serve.queue_depth")
       ->Set(static_cast<double>(queue_.size()));
   return future;
+}
+
+void MicroBatcher::Resolve(PendingRequest* request, RatingResponse response) {
+  if (request->admitted) {
+    inflight_.fetch_sub(1);
+    request->admitted = false;
+  }
+  RecordOutcome(ClassifyOutcome(response));
+  request->promise.set_value(std::move(response));
+}
+
+RatingResponse MicroBatcher::DegradedResponse(
+    const PendingRequest& request, const VersionedGraph& versioned_graph,
+    int64_t model_version) const {
+  RatingResponse response;
+  response.ok = true;
+  response.degraded = true;
+  const float mean =
+      (request.user >= 0 &&
+       request.user < static_cast<int64_t>(
+                          versioned_graph.user_mean_rating.size()))
+          ? versioned_graph.user_mean_rating[static_cast<size_t>(request.user)]
+          : versioned_graph.global_mean_rating;
+  response.predictions.assign(request.items.size(), mean);
+  response.model_version = model_version;
+  response.graph_version = versioned_graph.version;
+  response.latency_us = MicrosSince(request.enqueue_time);
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.fallback_predictions")
+      ->Increment();
+  return response;
+}
+
+void MicroBatcher::ExpireOverdue(std::vector<PendingRequest>* batch) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<PendingRequest> alive;
+  alive.reserve(batch->size());
+  for (PendingRequest& request : *batch) {
+    if (request.deadline.has_value() && *request.deadline <= now) {
+      Resolve(&request, FailedResponse(
+          "deadline exceeded: waited " +
+          std::to_string(static_cast<int64_t>(
+              MicrosSince(request.enqueue_time) / 1000.0)) +
+          "ms"));
+    } else {
+      alive.push_back(std::move(request));
+    }
+  }
+  *batch = std::move(alive);
+}
+
+bool MicroBatcher::BreakerAllowsForward(int64_t model_version) {
+  if (config_.breaker_threshold <= 0) return true;
+  if (!breaker_open_.load()) return true;
+  if (model_version != breaker_version_at_open_) {
+    // A new snapshot was published since the breaker opened; trust it.
+    breaker_open_.store(false);
+    breaker_failures_ = 0;
+    obs::MetricsRegistry::Global().GetGauge("serve.circuit_open")->Set(0.0);
+    HIRE_LOG(Info) << "serve circuit breaker closed (model v" << model_version
+                   << " published)";
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now - breaker_opened_at_ >=
+      std::chrono::milliseconds(config_.breaker_cooldown_ms)) {
+    return true;  // half-open: let one trial batch through
+  }
+  return false;
+}
+
+void MicroBatcher::BreakerRecordSuccess() {
+  breaker_failures_ = 0;
+  if (breaker_open_.load()) {
+    breaker_open_.store(false);
+    obs::MetricsRegistry::Global().GetGauge("serve.circuit_open")->Set(0.0);
+    HIRE_LOG(Info) << "serve circuit breaker closed (trial batch succeeded)";
+  }
+}
+
+bool MicroBatcher::BreakerRecordFailure(int64_t model_version) {
+  if (config_.breaker_threshold <= 0) return false;
+  ++breaker_failures_;
+  if (!breaker_open_.load() && breaker_failures_ < config_.breaker_threshold) {
+    return false;
+  }
+  if (!breaker_open_.load()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.circuit_opened")
+        ->Increment();
+    HIRE_LOG(Warning) << "serve circuit breaker opened after "
+                      << breaker_failures_
+                      << " consecutive batch failure(s); serving fallback "
+                         "predictions";
+  }
+  breaker_open_.store(true);
+  breaker_opened_at_ = std::chrono::steady_clock::now();
+  breaker_version_at_open_ = model_version;
+  obs::MetricsRegistry::Global().GetGauge("serve.circuit_open")->Set(1.0);
+  return true;
 }
 
 void MicroBatcher::WorkerLoop() {
@@ -143,16 +347,21 @@ void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
     snapshot = engine_->Acquire();
   } catch (const std::exception& error) {
     for (PendingRequest& request : batch) {
-      request.promise.set_value(FailedResponse(error.what()));
+      Resolve(&request, FailedResponse(error.what()));
     }
     return;
   }
-  if (snapshot == nullptr || versioned_graph == nullptr) {
+  if (versioned_graph == nullptr) {
     for (PendingRequest& request : batch) {
-      request.promise.set_value(FailedResponse("no model published"));
+      Resolve(&request, FailedResponse("no graph published"));
     }
     return;
   }
+
+  // Deadline check at dequeue: a request that aged out in the queue gets a
+  // 504 instead of consuming a batch slot.
+  ExpireOverdue(&batch);
+  if (batch.empty()) return;
 
   // The transport validated ids against the graph current at submit time,
   // but a smaller universe may have been published since; re-validate
@@ -181,11 +390,24 @@ void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
       if (error.empty()) {
         in_range.push_back(std::move(request));
       } else {
-        request.promise.set_value(FailedResponse(std::move(error)));
+        Resolve(&request, FailedResponse(std::move(error)));
       }
     }
     batch = std::move(in_range);
     if (batch.empty()) return;
+  }
+
+  // Graceful degradation: with no valid snapshot (engine never loaded, or
+  // every load failed) or an open circuit breaker, answer from the graph's
+  // bias tables instead of erroring. Recovery is automatic — a published
+  // snapshot / closed breaker routes the next batch back to the model.
+  const int64_t model_version = snapshot != nullptr ? snapshot->version : 0;
+  if (snapshot == nullptr || !BreakerAllowsForward(model_version)) {
+    for (PendingRequest& request : batch) {
+      Resolve(&request,
+              DegradedResponse(request, *versioned_graph, model_version));
+    }
+    return;
   }
 
   // Partition the batch into groups whose distinct users fit the row budget
@@ -219,30 +441,54 @@ void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
 
   for (std::vector<PendingRequest>& group : groups) {
     try {
-      ProcessGroup(std::move(group), *versioned_graph, *snapshot);
+      ProcessGroup(&group, *versioned_graph, *snapshot);
+      BreakerRecordSuccess();
     } catch (const std::exception& error) {
-      // ProcessGroup resolves promises as its last act; an exception means
-      // none of this group's requests were answered yet.
-      for (PendingRequest& request : group) {
-        request.promise.set_value(FailedResponse(error.what()));
-      }
       registry.GetCounter("serve.batch_errors")->Increment();
+      // ProcessGroup erases every request it resolves, so whatever is left
+      // in `group` is still unanswered. The first failures surface as
+      // internal errors; once the breaker opens, fall back instead.
+      const bool breaker_open = BreakerRecordFailure(snapshot->version);
+      for (PendingRequest& request : group) {
+        if (breaker_open) {
+          Resolve(&request, DegradedResponse(request, *versioned_graph,
+                                             model_version));
+        } else {
+          Resolve(&request, FailedResponse(error.what()));
+        }
+      }
+      group.clear();
     }
   }
 }
 
-void MicroBatcher::ProcessGroup(std::vector<PendingRequest> group,
+void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
                                 const VersionedGraph& versioned_graph,
                                 const ModelSnapshot& snapshot) {
   auto& registry = obs::MetricsRegistry::Global();
   const graph::BipartiteGraph& graph = versioned_graph.graph;
+
+  // Injected slow handler (a stalled model / GC pause) runs before the
+  // final deadline check so expired requests still get their 504.
+  const int64_t slow_ms = FaultInjector::Global().ServeSlowHandlerMs();
+  if (slow_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+  }
+
+  // Deadline check immediately before the forward.
+  ExpireOverdue(group);
+  if (group->empty()) return;
+
+  if (FaultInjector::Global().ConsumeServeFailForward()) {
+    HIRE_CHECK(false) << "fault injection: batch forward failure";
+  }
 
   // Distinct users in arrival order; fetch or build each user's context
   // plan (the cacheable, graph-walk half of the work).
   std::vector<int64_t> users;
   std::unordered_map<int64_t, bool> cache_hit;
   std::vector<std::shared_ptr<const core::UserContextPlan>> plans;
-  for (const PendingRequest& request : group) {
+  for (const PendingRequest& request : *group) {
     if (cache_hit.count(request.user)) continue;
     users.push_back(request.user);
     std::shared_ptr<const core::UserContextPlan> plan =
@@ -280,7 +526,7 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest> group,
   // items (support first) round-robin until the column budget is filled.
   std::vector<int64_t> cols;
   std::unordered_set<int64_t> col_set;
-  for (const PendingRequest& request : group) {
+  for (const PendingRequest& request : *group) {
     for (int64_t item : request.items) {
       if (col_set.insert(item).second) cols.push_back(item);
     }
@@ -338,7 +584,7 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest> group,
                             /*num_buckets=*/32});
   obs::Counter* served = registry.GetCounter("serve.requests");
 
-  for (PendingRequest& request : group) {
+  for (PendingRequest& request : *group) {
     RatingResponse response;
     response.ok = true;
     response.predictions.reserve(request.items.size());
@@ -366,8 +612,9 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest> group,
       record.graph_version = response.graph_version;
       obs::TelemetrySink::Global().WriteServe(record);
     }
-    request.promise.set_value(std::move(response));
+    Resolve(&request, std::move(response));
   }
+  group->clear();
 }
 
 }  // namespace serve

@@ -1,10 +1,13 @@
 #ifndef HIRE_SERVE_BATCHER_H_
 #define HIRE_SERVE_BATCHER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,14 +22,20 @@
 namespace hire {
 namespace serve {
 
+/// Absolute per-request deadline (nullopt = none).
+using RequestDeadline = std::optional<std::chrono::steady_clock::time_point>;
+
 /// One immutable published generation of the rating graph. Requests are
 /// answered against whichever generation is current when their batch runs;
-/// the version is part of the context-cache key.
+/// the version is part of the context-cache key. The per-user mean ratings
+/// (and the global mean) double as the degraded-mode fallback predictor: a
+/// bias-table answer that needs no model forward.
 struct VersionedGraph {
-  VersionedGraph(graph::BipartiteGraph g, int64_t v)
-      : graph(std::move(g)), version(v) {}
+  VersionedGraph(graph::BipartiteGraph g, int64_t v);
   graph::BipartiteGraph graph;
   int64_t version;
+  std::vector<float> user_mean_rating;  // global mean for unrated users
+  float global_mean_rating = 0.0f;
 };
 
 /// Answer for one rating request.
@@ -34,12 +43,32 @@ struct RatingResponse {
   bool ok = false;
   std::string error;              // set when !ok
   std::vector<float> predictions; // one per requested item, in request order
+  bool degraded = false;          // fallback prediction, not a model forward
   bool cache_hit = false;         // this user's context plan was cached
   int64_t batch_users = 0;        // distinct users sharing the forward
   int64_t model_version = 0;
   int64_t graph_version = 0;
   double latency_us = 0.0;        // enqueue -> completion
 };
+
+/// Terminal accounting state of one request. Every request resolves into
+/// exactly one of these; the matching "serve.outcome.*" counter moves once
+/// per request, so the five counters partition all traffic.
+enum class RequestOutcome {
+  kServed,    // model forward answered (200)
+  kDegraded,  // fallback prediction answered (200, "degraded":true)
+  kShed,      // admission control refused it (503 + Retry-After)
+  kExpired,   // its deadline passed before the forward (504)
+  kFailed,    // bad request or internal error (400/500)
+};
+
+/// Classifies a resolved response (used by the transports so early
+/// rejections that never reach the batcher are still accounted).
+RequestOutcome ClassifyOutcome(const RatingResponse& response);
+
+/// Bumps the "serve.outcome.*" counter for `outcome` (and the
+/// serve.deadline_exceeded alias for kExpired).
+void RecordOutcome(RequestOutcome outcome);
 
 struct BatcherConfig {
   /// How long the worker keeps the batch open after the first request
@@ -61,6 +90,19 @@ struct BatcherConfig {
   uint64_t seed = 7;
   /// Bound of the request queue; TryPush failures surface as 503s.
   size_t queue_capacity = 256;
+  /// Default per-request deadline applied at admission when the caller
+  /// supplies none (0 = requests never expire).
+  int64_t request_deadline_ms = 0;
+  /// Admitted-but-unresolved cap. Submissions beyond it are shed with an
+  /// "overloaded" response before any work is queued (0 = 2x queue
+  /// capacity).
+  int64_t max_inflight = 0;
+  /// Consecutive batch-forward failures before the circuit breaker opens
+  /// and requests are answered with fallback predictions (0 = disabled).
+  int64_t breaker_threshold = 3;
+  /// How long an open breaker waits before letting one trial batch through
+  /// (half-open). A successful trial or a new model version closes it.
+  int64_t breaker_cooldown_ms = 1000;
 };
 
 /// Dynamic micro-batcher: a bounded MPMC queue feeding one inference worker
@@ -89,13 +131,19 @@ class MicroBatcher {
   void Stop();
 
   /// Enqueues a request. The future resolves when its batch completes. When
-  /// the queue is full or the batcher is stopped, the future is already
-  /// resolved with ok=false (callers map that to 503).
-  std::future<RatingResponse> Submit(int64_t user,
-                                     std::vector<int64_t> items);
+  /// admission control sheds it (queue full or in-flight cap), the future is
+  /// already resolved with an "overloaded" error (callers map that to 503);
+  /// a request whose deadline has already passed resolves "deadline
+  /// exceeded" (504). `deadline` overrides the configured default.
+  std::future<RatingResponse> Submit(int64_t user, std::vector<int64_t> items,
+                                     RequestDeadline deadline = std::nullopt);
 
   const BatcherConfig& config() const { return config_; }
   size_t queue_depth() const { return queue_.size(); }
+  /// Requests admitted but not yet resolved (queued + being processed).
+  int64_t inflight() const { return inflight_.load(); }
+  /// True while the circuit breaker answers with fallback predictions.
+  bool circuit_open() const { return breaker_open_.load(); }
 
  private:
   struct PendingRequest {
@@ -103,17 +151,37 @@ class MicroBatcher {
     std::vector<int64_t> items;
     std::promise<RatingResponse> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    RequestDeadline deadline;
+    bool admitted = false;  // counted in inflight_
   };
 
   void WorkerLoop();
   std::vector<PendingRequest> CollectBatch(PendingRequest first);
   void ProcessBatch(std::vector<PendingRequest> batch);
-  /// Runs one shared context + forward for a group of co-batched requests
-  /// and resolves their promises (the last thing it does, so a throw means
-  /// no promise in the group was touched).
-  void ProcessGroup(std::vector<PendingRequest> group,
+  /// Runs one shared context + forward for a group of co-batched requests.
+  /// Erases every request it resolves from `group`, so after a throw the
+  /// caller can still answer whatever is left unresolved.
+  void ProcessGroup(std::vector<PendingRequest>* group,
                     const VersionedGraph& versioned_graph,
                     const ModelSnapshot& snapshot);
+
+  /// Resolves one request: sets the promise, releases its in-flight slot,
+  /// and bumps exactly one outcome counter. Every request ends here.
+  void Resolve(PendingRequest* request, RatingResponse response);
+  /// Fallback (bias-table) answer for one request; always ok + degraded.
+  RatingResponse DegradedResponse(const PendingRequest& request,
+                                  const VersionedGraph& versioned_graph,
+                                  int64_t model_version) const;
+  /// Drops expired requests out of `batch`, resolving each with a
+  /// deadline-exceeded error.
+  void ExpireOverdue(std::vector<PendingRequest>* batch);
+
+  /// Circuit-breaker bookkeeping (worker thread only, except the atomic
+  /// mirror read by circuit_open()).
+  bool BreakerAllowsForward(int64_t model_version);
+  void BreakerRecordSuccess();
+  /// Returns true when this failure leaves the breaker open.
+  bool BreakerRecordFailure(int64_t model_version);
 
   BatcherConfig config_;
   InferenceEngine* engine_;
@@ -124,6 +192,16 @@ class MicroBatcher {
   BoundedQueue<PendingRequest> queue_;
   std::thread worker_;
   bool started_ = false;
+
+  std::atomic<int64_t> inflight_{0};
+
+  // Breaker state: consecutive failures, and when open, the model version
+  // and time at opening (a new version or an elapsed cooldown lets a trial
+  // batch through).
+  int64_t breaker_failures_ = 0;
+  std::atomic<bool> breaker_open_{false};
+  std::chrono::steady_clock::time_point breaker_opened_at_;
+  int64_t breaker_version_at_open_ = 0;
 };
 
 }  // namespace serve

@@ -8,8 +8,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "utils/fault_injection.h"
 
 namespace hire {
 namespace serve {
@@ -35,10 +39,17 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+std::string ToLower(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
 }  // namespace
 
-HttpClient::HttpClient(int port, const std::string& host)
-    : host_(host), port_(port) {}
+HttpClient::HttpClient(int port, const std::string& host, int timeout_ms)
+    : host_(host), port_(port), timeout_ms_(timeout_ms) {}
 
 HttpClient::~HttpClient() { Disconnect(); }
 
@@ -71,20 +82,25 @@ bool HttpClient::EnsureConnected(std::string* error) {
     Disconnect();
     return false;
   }
+  // Both directions are bounded: a wedged server must surface as a distinct
+  // timeout within timeout_ms_, not hang the client (or block forever in
+  // send when the peer's window closes).
   timeval timeout;
-  timeout.tv_sec = 30;
-  timeout.tv_usec = 0;
+  timeout.tv_sec = timeout_ms_ / 1000;
+  timeout.tv_usec = (timeout_ms_ % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return true;
 }
 
-HttpClient::Result HttpClient::Request(const std::string& method,
-                                       const std::string& path,
-                                       const std::string& body) {
-  Result result = RequestOnce(method, path, body);
-  if (!result.ok && method == "GET") {
+HttpClient::Result HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  Result result = RequestOnce(method, path, body, extra_headers);
+  if (!result.ok && !result.timed_out && method == "GET") {
     // The keep-alive connection may have died mid-exchange. Retrying is only
     // safe for idempotent GETs: a POST's first attempt may have been fully
     // processed before the response was lost, and replaying it would e.g.
@@ -92,15 +108,16 @@ HttpClient::Result HttpClient::Request(const std::string& method,
     // recycled connections are already detected before any bytes are sent —
     // see RequestOnce — so POSTs never pay for that common case.)
     Disconnect();
-    result = RequestOnce(method, path, body);
+    result = RequestOnce(method, path, body, extra_headers);
   }
   if (!result.ok) Disconnect();
   return result;
 }
 
-HttpClient::Result HttpClient::RequestOnce(const std::string& method,
-                                           const std::string& path,
-                                           const std::string& body) {
+HttpClient::Result HttpClient::RequestOnce(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   Result result;
   if (fd_ >= 0) {
     // Reused keep-alive connection: the server may have closed it while it
@@ -121,10 +138,35 @@ HttpClient::Result HttpClient::RequestOnce(const std::string& method,
   request += "Connection: keep-alive\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   if (!body.empty()) request += "Content-Type: application/json\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   request += "\r\n";
   request += body;
-  if (!SendAll(fd_, request)) {
-    result.error = std::string("send failed: ") + std::strerror(errno);
+
+  const int64_t stall_ms = FaultInjector::Global().ServeStallClientMs();
+  if (stall_ms > 0) {
+    // Injected slow-loris: dribble the first half of the request, stall,
+    // then (try to) send the rest. A well-defended server cuts the
+    // connection off with its header-read deadline during the stall.
+    const size_t half = request.size() / 2;
+    if (!SendAll(fd_, request.substr(0, half))) {
+      result.error = std::string("send failed: ") + std::strerror(errno);
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    if (!SendAll(fd_, request.substr(half))) {
+      result.error = std::string("send failed: ") + std::strerror(errno);
+      return result;
+    }
+  } else if (!SendAll(fd_, request)) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.timed_out = true;
+      result.error = "timeout: send stalled for " +
+                     std::to_string(timeout_ms_) + "ms";
+    } else {
+      result.error = std::string("send failed: ") + std::strerror(errno);
+    }
     return result;
   }
 
@@ -134,9 +176,15 @@ HttpClient::Result HttpClient::RequestOnce(const std::string& method,
   while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
-      result.error = n == 0 ? "connection closed by server"
-                            : std::string("recv failed: ") +
-                                  std::strerror(errno);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        result.timed_out = true;
+        result.error = "timeout: no response within " +
+                       std::to_string(timeout_ms_) + "ms";
+      } else {
+        result.error = n == 0 ? "connection closed by server"
+                              : std::string("recv failed: ") +
+                                    std::strerror(errno);
+      }
       return result;
     }
     buffer.append(chunk, static_cast<size_t>(n));
@@ -150,19 +198,28 @@ HttpClient::Result HttpClient::RequestOnce(const std::string& method,
   }
   result.status = std::atoi(buffer.c_str() + space + 1);
 
+  // Header lines up to head_end.
   size_t content_length = 0;
   {
-    // Case-insensitive scan for the Content-Length header.
-    std::string lower;
-    lower.reserve(head_end);
-    for (size_t i = 0; i < head_end; ++i) {
-      lower.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(buffer[i]))));
+    size_t pos = buffer.find("\r\n") + 2;
+    while (pos < head_end) {
+      size_t eol = buffer.find("\r\n", pos);
+      if (eol == std::string::npos || eol > head_end) eol = head_end;
+      const std::string line = buffer.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      const std::string name = ToLower(line.substr(0, colon));
+      size_t value_begin = colon + 1;
+      while (value_begin < line.size() && line[value_begin] == ' ') {
+        ++value_begin;
+      }
+      result.headers[name] = line.substr(value_begin);
     }
-    const size_t key = lower.find("content-length:");
-    if (key != std::string::npos) {
-      content_length = static_cast<size_t>(
-          std::strtoull(buffer.c_str() + key + 15, nullptr, 10));
+    const auto it = result.headers.find("content-length");
+    if (it != result.headers.end()) {
+      content_length =
+          static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
     }
   }
 
@@ -170,7 +227,12 @@ HttpClient::Result HttpClient::RequestOnce(const std::string& method,
   while (buffer.size() < body_begin + content_length) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
-      result.error = "connection closed mid-body";
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        result.timed_out = true;
+        result.error = "timeout: response body stalled";
+      } else {
+        result.error = "connection closed mid-body";
+      }
       return result;
     }
     buffer.append(chunk, static_cast<size_t>(n));

@@ -8,12 +8,14 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "utils/check.h"
+#include "utils/fault_injection.h"
 #include "utils/logging.h"
 
 namespace hire {
@@ -27,8 +29,10 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -63,6 +67,9 @@ std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
                     ReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -75,6 +82,7 @@ struct ParsedHead {
   std::string path;
   size_t content_length = 0;
   bool keep_alive = true;  // HTTP/1.1 default
+  std::map<std::string, std::string> headers;  // names lower-cased
 };
 
 /// Parses the request line + headers in buffer[0, head_end).
@@ -108,6 +116,7 @@ ParsedHead ParseHead(const std::string& buffer, size_t head_end) {
     size_t value_begin = colon + 1;
     while (value_begin < line.size() && line[value_begin] == ' ') ++value_begin;
     const std::string value = line.substr(value_begin);
+    head.headers[name] = value;
     if (name == "content-length") {
       try {
         head.content_length = static_cast<size_t>(std::stoull(value));
@@ -129,10 +138,12 @@ constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
 
 }  // namespace
 
-HttpServer::HttpServer(int port, int num_threads)
-    : requested_port_(port), num_threads_(num_threads) {
+HttpServer::HttpServer(int port, int num_threads, HttpServerOptions options)
+    : requested_port_(port), num_threads_(num_threads), options_(options) {
   HIRE_CHECK_GE(port, 0);
   HIRE_CHECK_GT(num_threads, 0);
+  HIRE_CHECK_GT(options.idle_timeout_ms, 0);
+  HIRE_CHECK_GT(options.header_timeout_ms, 0);
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -226,32 +237,37 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  using Clock = std::chrono::steady_clock;
   // Reads poll in short slices so an idle keep-alive connection notices a
-  // server Stop() within ~200ms, while a wedged client still gets cut off
-  // after the full idle budget.
+  // server Stop() within ~200ms; the actual budgets are explicit deadlines:
+  // idle_timeout_ms between requests, header_timeout_ms from the first byte
+  // of a request until its head + body are fully received (slow-loris
+  // defense — a dribbling client gets a 408 instead of pinning the thread).
   timeval slice;
   slice.tv_sec = 0;
   slice.tv_usec = 200 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &slice, sizeof(slice));
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  constexpr int kMaxIdleSlices = 25;  // ~5s
 
-  // Returns recv()'s result; 0/-1 means the connection should close.
-  // Between requests (`between_requests`) a server shutdown also ends the
-  // connection; mid-request the request is allowed to finish.
-  const auto recv_some = [&](char* out, size_t cap, bool between_requests) {
-    int idle = 0;
+  enum class RecvStatus { kData, kClosed, kTimedOut };
+  // Fills `*got` from the socket, or reports why it couldn't. `idle_phase`
+  // connections end quietly on server shutdown.
+  const auto recv_some = [&](char* out, size_t cap, bool idle_phase,
+                             Clock::time_point deadline, ssize_t* got) {
     while (true) {
       const ssize_t n = ::recv(fd, out, cap, 0);
-      if (n > 0) return n;
+      if (n > 0) {
+        *got = n;
+        return RecvStatus::kData;
+      }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (between_requests && stopping_.load()) return static_cast<ssize_t>(0);
-        if (++idle >= kMaxIdleSlices) return static_cast<ssize_t>(0);
+        if (idle_phase && stopping_.load()) return RecvStatus::kClosed;
+        if (Clock::now() >= deadline) return RecvStatus::kTimedOut;
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
-      return n;  // EOF or hard error
+      return RecvStatus::kClosed;  // EOF or hard error
     }
   };
 
@@ -259,22 +275,65 @@ void HttpServer::HandleConnection(int fd) {
   char chunk[4096];
   bool keep_alive = true;
   while (keep_alive && !stopping_.load()) {
+    bool request_started = !buffer.empty();  // pipelined bytes already here
+    Clock::time_point idle_deadline =
+        Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+    Clock::time_point read_deadline =
+        Clock::now() + std::chrono::milliseconds(options_.header_timeout_ms);
+
+    const auto read_more = [&](bool between_requests) {
+      ssize_t n = 0;
+      const bool idle_phase = between_requests && !request_started;
+      const RecvStatus status =
+          recv_some(chunk, sizeof(chunk), idle_phase,
+                    idle_phase ? idle_deadline : read_deadline, &n);
+      if (status == RecvStatus::kData) {
+        if (!request_started) {
+          request_started = true;
+          read_deadline = Clock::now() +
+                          std::chrono::milliseconds(options_.header_timeout_ms);
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+        return RecvStatus::kData;
+      }
+      return status;
+    };
+
     // Read until the header terminator is buffered.
     size_t head_end = buffer.find("\r\n\r\n");
+    bool failed = false;
     while (head_end == std::string::npos) {
       if (buffer.size() > kMaxHeadBytes) { ::close(fd); return; }
-      const ssize_t n =
-          recv_some(chunk, sizeof(chunk), /*between_requests=*/buffer.empty());
-      if (n <= 0) { ::close(fd); return; }  // EOF, idle budget, or stop
-      buffer.append(chunk, static_cast<size_t>(n));
+      const RecvStatus status = read_more(/*between_requests=*/true);
+      if (status == RecvStatus::kTimedOut) {
+        if (request_started) {
+          obs::MetricsRegistry::Global()
+              .GetCounter("serve.http.request_read_timeouts")
+              ->Increment();
+          SendAll(fd, RenderResponse(
+                          {408, "application/json",
+                           "{\"error\":\"request read timed out\"}",
+                           {}},
+                          /*keep_alive=*/false));
+        } else {
+          obs::MetricsRegistry::Global()
+              .GetCounter("serve.http.idle_closed")
+              ->Increment();
+        }
+        failed = true;
+        break;
+      }
+      if (status == RecvStatus::kClosed) { failed = true; break; }
       head_end = buffer.find("\r\n\r\n");
     }
+    if (failed) { ::close(fd); return; }
 
     const ParsedHead head = ParseHead(buffer, head_end);
     if (!head.ok || head.content_length > kMaxBodyBytes) {
       SendAll(fd, RenderResponse(
                       {400, "application/json",
-                       "{\"error\":\"malformed request\"}"},
+                       "{\"error\":\"malformed request\"}",
+                       {}},
                       /*keep_alive=*/false));
       ::close(fd);
       return;
@@ -282,19 +341,37 @@ void HttpServer::HandleConnection(int fd) {
 
     const size_t body_begin = head_end + 4;
     while (buffer.size() < body_begin + head.content_length) {
-      const ssize_t n = recv_some(chunk, sizeof(chunk),
-                                  /*between_requests=*/false);
-      if (n <= 0) { ::close(fd); return; }
-      buffer.append(chunk, static_cast<size_t>(n));
+      const RecvStatus status = read_more(/*between_requests=*/false);
+      if (status == RecvStatus::kTimedOut) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("serve.http.request_read_timeouts")
+            ->Increment();
+        SendAll(fd, RenderResponse(
+                        {408, "application/json",
+                         "{\"error\":\"request read timed out\"}",
+                         {}},
+                        /*keep_alive=*/false));
+        failed = true;
+        break;
+      }
+      if (status == RecvStatus::kClosed) { failed = true; break; }
     }
+    if (failed) { ::close(fd); return; }
 
     HttpRequest request;
     request.method = head.method;
     request.path = head.path;
+    request.headers = head.headers;
     request.body = buffer.substr(body_begin, head.content_length);
     buffer.erase(0, body_begin + head.content_length);  // keep any pipelined next request
 
     HttpResponse response = Dispatch(request);
+    if (FaultInjector::Global().ConsumeServeConnectionReset()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.http.injected_resets")
+          ->Increment();
+      break;  // drop the connection without sending the response
+    }
     keep_alive = head.keep_alive;
     if (!SendAll(fd, RenderResponse(response, keep_alive))) break;
   }

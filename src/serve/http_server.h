@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "utils/thread_pool.h"
 
@@ -18,15 +19,40 @@ struct HttpRequest {
   std::string method;  // upper-case: "GET", "POST", ...
   std::string path;    // target without query string
   std::string body;
+  /// All request headers, names lower-cased (values as sent).
+  std::map<std::string, std::string> headers;
 };
 
 struct HttpResponse {
+  HttpResponse() = default;
+  HttpResponse(int s, std::string ct, std::string b,
+               std::vector<std::pair<std::string, std::string>> h = {})
+      : status(s),
+        content_type(std::move(ct)),
+        body(std::move(b)),
+        headers(std::move(h)) {}
+
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (e.g. {"Retry-After", "1"}).
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Connection-hygiene budgets. Both defend the handler pool from stalled
+/// clients (slow-loris): a connection that sends nothing is closed after the
+/// idle budget, and one that dribbles a request without finishing it gets a
+/// 408 after the read budget.
+struct HttpServerOptions {
+  /// Max time a keep-alive connection may sit idle between requests before
+  /// the server closes it.
+  int idle_timeout_ms = 5000;
+  /// Max time from the first byte of a request until its head and body are
+  /// fully received; breaching it returns 408 and closes the connection.
+  int header_timeout_ms = 2000;
+};
 
 /// Minimal dependency-free HTTP/1.1 server on POSIX sockets, loopback only.
 /// Enough protocol for this repo's serving endpoints and load generator:
@@ -40,7 +66,7 @@ class HttpServer {
  public:
   /// `port` 0 picks an ephemeral port; read it back with port() after
   /// Start(). The server binds 127.0.0.1 only.
-  HttpServer(int port, int num_threads);
+  HttpServer(int port, int num_threads, HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -69,6 +95,7 @@ class HttpServer {
 
   const int requested_port_;
   const int num_threads_;
+  const HttpServerOptions options_;
   int port_ = 0;
   int listen_fd_ = -1;
 

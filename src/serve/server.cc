@@ -8,6 +8,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "utils/check.h"
+#include "utils/fault_injection.h"
 #include "utils/logging.h"
 
 namespace hire {
@@ -67,6 +68,7 @@ bool ParsePredictBody(const std::string& body, int64_t* user,
 int StatusForError(const std::string& error) {
   if (error.rfind("bad request", 0) == 0) return 400;
   if (error.rfind("overloaded", 0) == 0) return 503;
+  if (error.rfind("deadline exceeded", 0) == 0) return 504;
   if (error == "no model published") return 503;
   return 500;
 }
@@ -77,12 +79,23 @@ std::string RenderPredictResponse(int64_t user, const RatingResponse& r) {
     if (i > 0) out += ",";
     out += obs::JsonNumber(static_cast<double>(r.predictions[i]));
   }
-  out += "],\"model_version\":" + std::to_string(r.model_version) +
+  out += "],\"degraded\":" + std::string(r.degraded ? "true" : "false") +
+         ",\"model_version\":" + std::to_string(r.model_version) +
          ",\"graph_version\":" + std::to_string(r.graph_version) +
          ",\"cache_hit\":" + std::string(r.cache_hit ? "true" : "false") +
          ",\"batch_users\":" + std::to_string(r.batch_users) +
          ",\"latency_us\":" + obs::JsonNumber(r.latency_us) + "}";
   return out;
+}
+
+/// Error response whose status and outcome accounting follow from the error
+/// string; shed responses carry Retry-After so well-behaved clients back
+/// off instead of hammering an overloaded server.
+HttpResponse ErrorResponse(const RatingResponse& response) {
+  HttpResponse http{StatusForError(response.error), "application/json",
+                    "{\"error\":" + obs::JsonString(response.error) + "}"};
+  if (http.status == 503) http.headers.push_back({"Retry-After", "1"});
+  return http;
 }
 
 }  // namespace
@@ -99,7 +112,9 @@ RatingServer::RatingServer(const data::Dataset* dataset,
                  std::lock_guard<std::mutex> lock(graph_mutex_);
                  return current_graph_;
                }),
-      http_(config.port, config.http_threads) {
+      http_(config.port, config.http_threads,
+            HttpServerOptions{config.idle_timeout_ms,
+                              config.header_timeout_ms}) {
   current_graph_ =
       std::make_shared<VersionedGraph>(std::move(graph), /*version=*/1);
   RegisterRoutes();
@@ -109,7 +124,13 @@ RatingServer::~RatingServer() { Stop(); }
 
 void RatingServer::Start() {
   HIRE_CHECK(!started_) << "server already started";
-  if (!config_.model_path.empty()) engine_.Load(config_.model_path);
+  if (!config_.model_path.empty()) {
+    engine_.Load(config_.model_path);
+  } else {
+    HIRE_LOG(Warning) << "starting with no model: serving degraded "
+                         "(bias-table) predictions until /reload publishes "
+                         "a snapshot";
+  }
   batcher_.Start();
   http_.Start();
   started_ = true;
@@ -122,12 +143,13 @@ void RatingServer::Stop() {
   started_ = false;
 }
 
-RatingResponse RatingServer::Predict(int64_t user, std::vector<int64_t> items) {
-  return PredictAsync(user, std::move(items)).get();
+RatingResponse RatingServer::Predict(int64_t user, std::vector<int64_t> items,
+                                     RequestDeadline deadline) {
+  return PredictAsync(user, std::move(items), deadline).get();
 }
 
 std::future<RatingResponse> RatingServer::PredictAsync(
-    int64_t user, std::vector<int64_t> items) {
+    int64_t user, std::vector<int64_t> items, RequestDeadline deadline) {
   // Bounds-check against the entity universe up front: the context
   // assembler indexes attribute tables by id and must never see a
   // out-of-range one.
@@ -152,20 +174,27 @@ std::future<RatingResponse> RatingServer::PredictAsync(
     }
   }
   if (!error.empty()) {
+    // Rejected before the batcher ever saw it, so account the outcome here
+    // (the batcher's Resolve() accounts everything it admits).
     std::promise<RatingResponse> rejected;
     RatingResponse response;
     response.ok = false;
     response.error = std::move(error);
+    RecordOutcome(ClassifyOutcome(response));
     rejected.set_value(std::move(response));
     return rejected.get_future();
   }
-  return batcher_.Submit(user, std::move(items));
+  return batcher_.Submit(user, std::move(items), deadline);
 }
 
 int64_t RatingServer::Reload(const std::string& snapshot_path) {
   const std::string& path =
       snapshot_path.empty() ? config_.model_path : snapshot_path;
   HIRE_CHECK(!path.empty()) << "no model path to reload";
+  // Chaos hook: when HIRE_FAULT_SERVE_CORRUPT_RELOAD is armed this flips a
+  // bit in the snapshot file, and the CRC check in Load must reject it
+  // while the previously published snapshot keeps serving.
+  FaultInjector::Global().MaybeCorruptServeReload(path);
   return engine_.Load(path);
 }
 
@@ -205,28 +234,48 @@ void RatingServer::RegisterRoutes() {
     std::vector<int64_t> items;
     std::string error;
     if (!ParsePredictBody(request.body, &user, &items, &error)) {
+      // Never reaches the batcher; account the failure here so the outcome
+      // counters still partition all /predict traffic.
+      RecordOutcome(RequestOutcome::kFailed);
       return HttpResponse{400, "application/json",
                           "{\"error\":" + obs::JsonString(error) + "}"};
     }
-    RatingResponse response = Predict(user, std::move(items));
-    if (!response.ok) {
-      return HttpResponse{StatusForError(response.error), "application/json",
-                          "{\"error\":" + obs::JsonString(response.error) +
-                              "}"};
+    // Per-request deadline override: X-Deadline-Ms is a relative budget,
+    // converted to an absolute deadline at admission.
+    RequestDeadline deadline;
+    const auto header = request.headers.find("x-deadline-ms");
+    if (header != request.headers.end()) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(header->second.c_str(), &end, 10);
+      if (end == header->second.c_str() || ms <= 0) {
+        RecordOutcome(RequestOutcome::kFailed);
+        return HttpResponse{
+            400, "application/json",
+            "{\"error\":\"bad request: X-Deadline-Ms must be a positive "
+            "integer\"}"};
+      }
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms);
     }
+    RatingResponse response = Predict(user, std::move(items), deadline);
+    if (!response.ok) return ErrorResponse(response);
     return HttpResponse{200, "application/json",
                         RenderPredictResponse(user, response)};
   });
 
   http_.AddRoute("GET", "/healthz", [this](const HttpRequest&) {
+    // Liveness stays 200 even without a model: the server still answers
+    // (degraded), and restart-looping it would not help.
+    const bool degraded = !engine_.loaded() || batcher_.circuit_open();
     std::string body =
-        std::string("{\"status\":") +
-        (engine_.loaded() ? "\"ok\"" : "\"no model\"") +
+        std::string("{\"status\":") + (degraded ? "\"degraded\"" : "\"ok\"") +
+        ",\"model_loaded\":" + (engine_.loaded() ? "true" : "false") +
+        ",\"circuit_open\":" + (batcher_.circuit_open() ? "true" : "false") +
         ",\"model_version\":" + std::to_string(engine_.version()) +
         ",\"graph_version\":" + std::to_string(graph_version()) +
+        ",\"inflight\":" + std::to_string(batcher_.inflight()) +
         ",\"queue_depth\":" + std::to_string(batcher_.queue_depth()) + "}";
-    return HttpResponse{engine_.loaded() ? 200 : 503, "application/json",
-                        body};
+    return HttpResponse{200, "application/json", body};
   });
 
   http_.AddRoute("GET", "/metrics", [](const HttpRequest&) {

@@ -28,8 +28,12 @@ struct ServeConfig {
   /// Context-plan LRU capacity (entries).
   size_t cache_capacity = 1024;
   /// Initial HIRESNAP checkpoint to publish; also the default for /reload
-  /// requests that name no model.
+  /// requests that name no model. Empty = boot with no model and serve
+  /// degraded (bias-table) predictions until a /reload publishes one.
   std::string model_path;
+  /// Connection hygiene (slow-loris defense); see HttpServerOptions.
+  int idle_timeout_ms = 5000;
+  int header_timeout_ms = 2000;
   BatcherConfig batcher;
 };
 
@@ -63,13 +67,18 @@ class RatingServer {
   int port() const { return http_.port(); }
 
   /// In-process client path: identical semantics to POST /predict but with
-  /// no HTTP hop. Blocks until the micro-batch completes.
-  RatingResponse Predict(int64_t user, std::vector<int64_t> items);
+  /// no HTTP hop. Blocks until the micro-batch completes. `deadline`
+  /// overrides the configured default request deadline.
+  RatingResponse Predict(int64_t user, std::vector<int64_t> items,
+                         RequestDeadline deadline = std::nullopt);
   std::future<RatingResponse> PredictAsync(int64_t user,
-                                           std::vector<int64_t> items);
+                                           std::vector<int64_t> items,
+                                           RequestDeadline deadline =
+                                               std::nullopt);
 
   /// Hot-swaps to `snapshot_path` (empty = config.model_path). Returns the
-  /// new model version.
+  /// new model version. A failed load (missing file, corrupt HIRESNAP)
+  /// throws and leaves the previously published snapshot serving.
   int64_t Reload(const std::string& snapshot_path);
 
   /// Publishes a new rating-graph generation: bumps the graph version (so

@@ -21,6 +21,12 @@ void FaultInjector::Reset() {
   nan_loss_steps_.clear();
   truncate_checkpoint_ = false;
   bitflip_checkpoint_ = false;
+  serve_slow_handler_ms_ = 0;
+  serve_corrupt_reload_ = false;
+  serve_reset_every_ = 0;
+  serve_reset_counter_.store(0);
+  serve_stall_client_ms_ = 0;
+  serve_fail_forward_.store(0);
 }
 
 void FaultInjector::LoadFromEnv() {
@@ -39,6 +45,21 @@ void FaultInjector::LoadFromEnv() {
   if (const char* value = std::getenv("HIRE_FAULT_BITFLIP_CHECKPOINT")) {
     bitflip_checkpoint_ = std::string(value) != "0";
   }
+  if (const char* value = std::getenv("HIRE_FAULT_SERVE_SLOW_HANDLER_MS")) {
+    serve_slow_handler_ms_ = ParseInt64(value);
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_SERVE_CORRUPT_RELOAD")) {
+    serve_corrupt_reload_ = std::string(value) != "0";
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_SERVE_RESET_EVERY")) {
+    serve_reset_every_ = ParseInt64(value);
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_SERVE_STALL_CLIENT_MS")) {
+    serve_stall_client_ms_ = ParseInt64(value);
+  }
+  if (const char* value = std::getenv("HIRE_FAULT_SERVE_FAIL_FORWARD")) {
+    serve_fail_forward_.store(ParseInt64(value));
+  }
 }
 
 void FaultInjector::ArmCrashAtStep(int64_t step) { crash_at_step_ = step; }
@@ -53,6 +74,57 @@ void FaultInjector::ArmTruncateCheckpoint(bool on) {
 
 void FaultInjector::ArmBitflipCheckpoint(bool on) {
   bitflip_checkpoint_ = on;
+}
+
+void FaultInjector::ArmServeSlowHandler(int64_t ms) {
+  serve_slow_handler_ms_ = ms;
+}
+
+void FaultInjector::ArmServeCorruptReload(bool on) {
+  serve_corrupt_reload_ = on;
+}
+
+void FaultInjector::ArmServeResetEvery(int64_t every) {
+  serve_reset_every_ = every;
+  serve_reset_counter_.store(0);
+}
+
+void FaultInjector::ArmServeStallClient(int64_t ms) {
+  serve_stall_client_ms_ = ms;
+}
+
+void FaultInjector::ArmServeFailForward(int64_t count) {
+  serve_fail_forward_.store(count);
+}
+
+void FaultInjector::MaybeCorruptServeReload(const std::string& path) {
+  if (!serve_corrupt_reload_) return;
+  const uint64_t size = FileSize(path);
+  HIRE_CHECK_GT(size, 0u);
+  FlipFileBit(path, size / 2, 2);
+  HIRE_LOG(Warning) << "fault injection: corrupted snapshot '" << path
+                    << "' before reload";
+}
+
+bool FaultInjector::ConsumeServeConnectionReset() {
+  if (serve_reset_every_ <= 0) return false;
+  const int64_t n = serve_reset_counter_.fetch_add(1) + 1;
+  if (n % serve_reset_every_ != 0) return false;
+  HIRE_LOG(Warning) << "fault injection: resetting HTTP connection (request "
+                    << n << ")";
+  return true;
+}
+
+bool FaultInjector::ConsumeServeFailForward() {
+  int64_t remaining = serve_fail_forward_.load();
+  while (remaining > 0) {
+    if (serve_fail_forward_.compare_exchange_weak(remaining, remaining - 1)) {
+      HIRE_LOG(Warning) << "fault injection: failing batch forward ("
+                        << remaining - 1 << " left)";
+      return true;
+    }
+  }
+  return false;
 }
 
 void FaultInjector::MaybeCrash(int64_t step) {

@@ -1,15 +1,16 @@
 #ifndef HIRE_UTILS_FAULT_INJECTION_H_
 #define HIRE_UTILS_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
 
 namespace hire {
 
-/// Process-wide fault-injection harness for robustness testing. The trainer
-/// and checkpoint writer consult it at well-defined points; in production
-/// nothing is armed and every hook is a cheap no-op.
+/// Process-wide fault-injection harness for robustness testing. The trainer,
+/// checkpoint writer, and serving tier consult it at well-defined points; in
+/// production nothing is armed and every hook is a cheap no-op.
 ///
 /// Faults are armed from environment variables the first time Global() is
 /// called (or programmatically from tests):
@@ -25,6 +26,27 @@ namespace hire {
 ///                                     it is written
 ///   HIRE_FAULT_BITFLIP_CHECKPOINT=1   flip one payload bit in every
 ///                                     checkpoint just after it is written
+///
+/// Serve-side faults (the serve_chaos drill drives all of these):
+///
+///   HIRE_FAULT_SERVE_SLOW_HANDLER_MS=n  sleep n ms in the batch worker
+///                                     before each forward (a slow model /
+///                                     GC pause; expires deadlines)
+///   HIRE_FAULT_SERVE_CORRUPT_RELOAD=1 flip one bit in the snapshot file a
+///                                     /reload names before it is read (the
+///                                     CRC check must reject it and the old
+///                                     model must stay published)
+///   HIRE_FAULT_SERVE_RESET_EVERY=k    close every k-th HTTP connection
+///                                     without sending the response
+///                                     (client sees a connection reset)
+///   HIRE_FAULT_SERVE_STALL_CLIENT_MS=n  HttpClient sends its request head
+///                                     in two halves with an n ms stall in
+///                                     between (slow-loris client; the
+///                                     server's header-read deadline must
+///                                     cut it off)
+///   HIRE_FAULT_SERVE_FAIL_FORWARD=k   make the next k batch forwards throw
+///                                     (repeated batch failures; trips the
+///                                     serve circuit breaker)
 class FaultInjector {
  public:
   /// Singleton; arms faults from the environment on first use.
@@ -40,6 +62,11 @@ class FaultInjector {
   void ArmNanLossAtSteps(std::multiset<int64_t> steps);
   void ArmTruncateCheckpoint(bool on);
   void ArmBitflipCheckpoint(bool on);
+  void ArmServeSlowHandler(int64_t ms);
+  void ArmServeCorruptReload(bool on);
+  void ArmServeResetEvery(int64_t every);
+  void ArmServeStallClient(int64_t ms);
+  void ArmServeFailForward(int64_t count);
 
   /// Kills the process (SIGKILL) if a crash is armed for `step`.
   void MaybeCrash(int64_t step);
@@ -58,6 +85,26 @@ class FaultInjector {
     return truncate_checkpoint_ || bitflip_checkpoint_;
   }
 
+  /// Milliseconds the serve batch worker should stall before each forward
+  /// (0 = disarmed).
+  int64_t ServeSlowHandlerMs() const { return serve_slow_handler_ms_; }
+
+  /// Milliseconds an HttpClient should stall mid-header (0 = disarmed).
+  int64_t ServeStallClientMs() const { return serve_stall_client_ms_; }
+
+  /// Flips one bit in `path` when corrupt-reload is armed. The serving tier
+  /// calls this on the snapshot file a /reload names, before reading it.
+  void MaybeCorruptServeReload(const std::string& path);
+
+  /// True every k-th call when reset-every is armed: the HTTP server should
+  /// close this connection without sending the response. Thread-safe (the
+  /// connection pool calls it concurrently).
+  bool ConsumeServeConnectionReset();
+
+  /// True while armed forward failures remain; consumes one per call. The
+  /// batch worker throws instead of running the forward.
+  bool ConsumeServeFailForward();
+
  private:
   FaultInjector() { LoadFromEnv(); }
 
@@ -65,6 +112,12 @@ class FaultInjector {
   std::multiset<int64_t> nan_loss_steps_;
   bool truncate_checkpoint_ = false;
   bool bitflip_checkpoint_ = false;
+  int64_t serve_slow_handler_ms_ = 0;
+  bool serve_corrupt_reload_ = false;
+  int64_t serve_reset_every_ = 0;
+  std::atomic<int64_t> serve_reset_counter_{0};
+  int64_t serve_stall_client_ms_ = 0;
+  std::atomic<int64_t> serve_fail_forward_{0};
 };
 
 /// Truncates the file at `path` to its first `keep_bytes` bytes.

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <string>
@@ -22,6 +28,7 @@
 #include "serve/inference_engine.h"
 #include "serve/server.h"
 #include "utils/check.h"
+#include "utils/fault_injection.h"
 
 namespace hire {
 namespace serve {
@@ -269,9 +276,247 @@ TEST(MicroBatcherTest, OverloadResolvesTheFutureWithAnOverloadedError) {
   EXPECT_EQ(response.error.rfind("overloaded", 0), 0u) << response.error;
 
   release.set_value();
-  // The surviving requests resolve normally (no model published here).
-  EXPECT_FALSE(parked.get().ok);
-  EXPECT_FALSE(queued.get().ok);
+  // The surviving requests resolve as degraded fallback predictions: with
+  // no model published the batcher answers from the graph's bias tables
+  // instead of erroring.
+  const RatingResponse parked_response = parked.get();
+  EXPECT_TRUE(parked_response.ok) << parked_response.error;
+  EXPECT_TRUE(parked_response.degraded);
+  const RatingResponse queued_response = queued.get();
+  EXPECT_TRUE(queued_response.ok) << queued_response.error;
+  EXPECT_TRUE(queued_response.degraded);
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, RequestsBornExpiredResolveWithDeadlineExceeded) {
+  const data::Dataset dataset = SmallDataset(73);
+  InferenceEngine engine(&dataset, SmallConfig());
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+
+  const auto past = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(5);
+  std::future<RatingResponse> expired = batcher.Submit(3, {1}, past);
+  ASSERT_EQ(expired.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "an already-expired request must resolve at admission";
+  const RatingResponse response = expired.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.rfind("deadline exceeded", 0), 0u)
+      << response.error;
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, DeadlinesExpireWhileQueuedBehindASlowBatch) {
+  const data::Dataset dataset = SmallDataset(74);
+  InferenceEngine engine(&dataset, SmallConfig());
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> parked_once{false};
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned, released, &parked_once] {
+                         if (!parked_once.exchange(true)) released.wait();
+                         return versioned;
+                       });
+  batcher.Start();
+
+  // The first request parks the worker; the second waits in the queue until
+  // its deadline has passed, so the dequeue-time check must expire it.
+  std::future<RatingResponse> parked = batcher.Submit(3, {1});
+  while (batcher.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::future<RatingResponse> queued = batcher.Submit(
+      4, {1},
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  release.set_value();
+
+  EXPECT_TRUE(parked.get().ok);
+  const RatingResponse expired = queued.get();
+  EXPECT_FALSE(expired.ok);
+  EXPECT_EQ(expired.error.rfind("deadline exceeded", 0), 0u)
+      << expired.error;
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, InflightCapShedsBeforeQueueing) {
+  const data::Dataset dataset = SmallDataset(75);
+  InferenceEngine engine(&dataset, SmallConfig());
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  config.max_inflight = 1;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned, released] {
+                         released.wait();
+                         return versioned;
+                       });
+  batcher.Start();
+
+  std::future<RatingResponse> admitted = batcher.Submit(3, {1});
+  EXPECT_EQ(batcher.inflight(), 1);
+  std::future<RatingResponse> shed = batcher.Submit(4, {1});
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const RatingResponse response = shed.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.rfind("overloaded", 0), 0u) << response.error;
+
+  release.set_value();
+  EXPECT_TRUE(admitted.get().ok);
+  EXPECT_EQ(batcher.inflight(), 0);
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, NoModelServesUserMeanFallbackAndRecoversOnLoad) {
+  const data::Dataset dataset = SmallDataset(76);
+  const std::string model = WriteModelSnapshot(dataset, 77, "degrade.snap");
+  InferenceEngine engine(&dataset, SmallConfig());  // nothing loaded yet
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+
+  const RatingResponse degraded = batcher.Submit(3, {1, 2}).get();
+  ASSERT_TRUE(degraded.ok) << degraded.error;
+  EXPECT_TRUE(degraded.degraded);
+  ASSERT_EQ(degraded.predictions.size(), 2u);
+  // The fallback is the user's mean observed rating (or the global mean for
+  // unrated users), repeated for every queried item.
+  const float expected = versioned->user_mean_rating[3];
+  EXPECT_EQ(degraded.predictions[0], expected);
+  EXPECT_EQ(degraded.predictions[1], expected);
+  EXPECT_GT(versioned->global_mean_rating, 0.0f);
+
+  // Recovery is automatic: publishing a snapshot routes the next batch back
+  // through the model.
+  engine.Load(model);
+  const RatingResponse recovered = batcher.Submit(3, {1, 2}).get();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_EQ(recovered.model_version, 1);
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, CircuitBreakerOpensOnRepeatedFailuresAndRecovers) {
+  const data::Dataset dataset = SmallDataset(78);
+  const std::string model_a = WriteModelSnapshot(dataset, 79, "brk_a.snap");
+  const std::string model_b = WriteModelSnapshot(dataset, 80, "brk_b.snap");
+  InferenceEngine engine(&dataset, SmallConfig());
+  engine.Load(model_a);
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 60000;  // no half-open trial during the test
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+
+  FaultInjector::Global().ArmServeFailForward(2);
+  // First failure: below the threshold, surfaces as an internal error.
+  const RatingResponse first = batcher.Submit(3, {1}).get();
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(batcher.circuit_open());
+  // Second consecutive failure trips the breaker; the failing request is
+  // already answered with the fallback instead of a second error.
+  const RatingResponse second = batcher.Submit(4, {1}).get();
+  EXPECT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.degraded);
+  EXPECT_TRUE(batcher.circuit_open());
+  // While open, requests never reach the (now healthy) model.
+  const RatingResponse third = batcher.Submit(5, {1}).get();
+  EXPECT_TRUE(third.ok) << third.error;
+  EXPECT_TRUE(third.degraded);
+
+  // A newly published snapshot closes the breaker immediately.
+  engine.Load(model_b);
+  const RatingResponse recovered = batcher.Submit(6, {1}).get();
+  EXPECT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_EQ(recovered.model_version, 2);
+  EXPECT_FALSE(batcher.circuit_open());
+
+  FaultInjector::Global().Reset();
+  batcher.Stop();
+}
+
+TEST(MicroBatcherTest, OutcomeCountersPartitionAllTraffic) {
+  const data::Dataset dataset = SmallDataset(81);
+  const std::string model = WriteModelSnapshot(dataset, 82, "acct.snap");
+  InferenceEngine engine(&dataset, SmallConfig());
+  engine.Load(model);
+  ContextCache cache(4);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+
+  const auto before = obs::MetricsRegistry::Global().Take();
+  batcher.Submit(3, {1, 2}).get();                       // served
+  batcher.Submit(4, {}).get();                           // failed (bad req)
+  batcher.Submit(5, {1},                                 // expired
+                 std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1)).get();
+  const auto delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  auto counter = [&delta](const std::string& name) -> uint64_t {
+    const auto it = delta.counters.find(name);
+    return it == delta.counters.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(counter("serve.outcome.served"), 1u);
+  EXPECT_EQ(counter("serve.outcome.failed"), 1u);
+  EXPECT_EQ(counter("serve.outcome.expired"), 1u);
+  EXPECT_EQ(counter("serve.outcome.shed"), 0u);
+  EXPECT_EQ(counter("serve.outcome.degraded"), 0u);
+  EXPECT_EQ(counter("serve.deadline_exceeded"), 1u)
+      << "the 504 alias counter must track expired requests";
   batcher.Stop();
 }
 
@@ -424,6 +669,46 @@ TEST(RatingServerTest, CacheHitOnRepeatAndInvalidationOnGraphUpdate) {
   server.Stop();
 }
 
+TEST(RatingServerTest, ContextCacheInvalidatesAcrossReloadWithNewGraph) {
+  const data::Dataset dataset = SmallDataset(66);
+  const std::string model_a = WriteModelSnapshot(dataset, 67, "inv_a.snap");
+  const std::string model_b = WriteModelSnapshot(dataset, 68, "inv_b.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model_a));
+  server.Start();
+
+  const auto before = obs::MetricsRegistry::Global().Take();
+  // Warm the cache for one user: one miss, then one hit.
+  ASSERT_TRUE(server.Predict(9, {1, 2}).ok);
+  const RatingResponse warm = server.Predict(9, {3});
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+
+  // Hot-swap the model AND publish a new graph generation, as a production
+  // refresh would. No cached plan from generation 1 may answer.
+  server.Reload(model_b);
+  graph::BipartiteGraph updated(dataset.num_users(), dataset.num_items(),
+                                dataset.ratings());
+  server.UpdateGraph(std::move(updated));
+
+  const RatingResponse after = server.Predict(9, {1, 2});
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_FALSE(after.cache_hit)
+      << "a plan cached for graph v1 must not serve graph v2";
+  EXPECT_EQ(after.graph_version, 2);
+  EXPECT_EQ(after.model_version, 2);
+
+  // Hit/miss accounting stays consistent: 2 misses (cold, post-update) and
+  // 1 hit, and the invalidation counter moved.
+  const auto delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  EXPECT_EQ(delta.counters.at("serve.context_cache.misses"), 2u);
+  EXPECT_EQ(delta.counters.at("serve.context_cache.hits"), 1u);
+  EXPECT_GE(delta.counters.at("serve.context_cache.invalidations"), 1u);
+  server.Stop();
+}
+
 TEST(RatingServerTest, HotSwapUnderLoadNeverFailsARequest) {
   const data::Dataset dataset = SmallDataset(58);
   const std::string model_a = WriteModelSnapshot(dataset, 59, "swap_a.snap");
@@ -467,6 +752,96 @@ TEST(RatingServerTest, HotSwapUnderLoadNeverFailsARequest) {
   EXPECT_GT(served.load(), 0);
   EXPECT_EQ(max_version_seen, 5) << "requests must observe the new model";
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Transport hygiene: server read deadlines, client timeouts
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+TEST(HttpServerTest, StalledRequestGets408AndIdleConnectionIsClosed) {
+  HttpServer http(0, 2, HttpServerOptions{/*idle_timeout_ms=*/300,
+                                          /*header_timeout_ms=*/200});
+  http.AddRoute("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json", "{}"};
+  });
+  http.Start();
+
+  const auto before = obs::MetricsRegistry::Global().Take();
+  {
+    // Slow-loris: send half a request head and stall. The header-read
+    // deadline must answer 408 and close instead of pinning the thread.
+    const int fd = ConnectLoopback(http.port());
+    const std::string partial = "GET /ping HTTP/1.1\r\n";
+    ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+              static_cast<ssize_t>(partial.size()));
+    std::string response;
+    char chunk[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      response.append(chunk, static_cast<size_t>(n));
+    }
+    EXPECT_NE(response.find("408 Request Timeout"), std::string::npos)
+        << response;
+    ::close(fd);
+  }
+  {
+    // A connection that never sends anything is closed after the idle
+    // budget (EOF on our side), with no response bytes.
+    const int fd = ConnectLoopback(http.port());
+    char chunk[64];
+    EXPECT_EQ(::recv(fd, chunk, sizeof(chunk), 0), 0)
+        << "the server must close an idle connection";
+    ::close(fd);
+  }
+  // Healthy clients are unaffected while the stalled ones are cut off.
+  HttpClient client(http.port());
+  EXPECT_EQ(client.Get("/ping").status, 200);
+
+  const auto delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  EXPECT_EQ(delta.counters.at("serve.http.request_read_timeouts"), 1u);
+  EXPECT_EQ(delta.counters.at("serve.http.idle_closed"), 1u);
+  http.Stop();
+}
+
+TEST(HttpClientTest, TimeoutIsDistinctFromConnectionRefused) {
+  HttpServer http(0, 1);
+  http.AddRoute("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return HttpResponse{200, "application/json", "{}"};
+  });
+  http.Start();
+
+  // Nobody listens on the discard port: a hard connection-refused error,
+  // not a timeout.
+  HttpClient refused(9, "127.0.0.1", /*timeout_ms=*/200);
+  const HttpClient::Result no_listener = refused.Get("/x");
+  EXPECT_FALSE(no_listener.ok);
+  EXPECT_FALSE(no_listener.timed_out);
+  EXPECT_NE(no_listener.error.find("connect("), std::string::npos)
+      << no_listener.error;
+
+  // A live but slow server surfaces as a distinct timeout.
+  HttpClient impatient(http.port(), "127.0.0.1", /*timeout_ms=*/100);
+  const HttpClient::Result slow = impatient.Get("/slow");
+  EXPECT_FALSE(slow.ok);
+  EXPECT_TRUE(slow.timed_out) << slow.error;
+  EXPECT_EQ(slow.error.rfind("timeout:", 0), 0u) << slow.error;
+  http.Stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -528,6 +903,107 @@ TEST(HttpEndToEndTest, PredictHealthzMetricsAndErrors) {
                                        &after));
   EXPECT_EQ(after, 2.0) << "failed reload must keep the published model";
 
+  server.Stop();
+}
+
+TEST(HttpEndToEndTest, DeadlineHeaderYields504OnASlowBatch) {
+  const data::Dataset dataset = SmallDataset(83);
+  const std::string model = WriteModelSnapshot(dataset, 84, "http_c.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(model));
+  server.Start();
+  HttpClient client(server.port());
+  const std::string body = "{\"user\":3,\"items\":[1,2]}";
+
+  FaultInjector::Global().ArmServeSlowHandler(150);
+  const HttpClient::Result late =
+      client.Request("POST", "/predict", body, {{"X-Deadline-Ms", "30"}});
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(late.ok) << late.error;
+  EXPECT_EQ(late.status, 504) << late.body;
+  EXPECT_NE(late.body.find("deadline exceeded"), std::string::npos)
+      << late.body;
+
+  const HttpClient::Result bad =
+      client.Request("POST", "/predict", body, {{"X-Deadline-Ms", "nope"}});
+  EXPECT_EQ(bad.status, 400) << bad.body;
+  const HttpClient::Result roomy =
+      client.Request("POST", "/predict", body, {{"X-Deadline-Ms", "30000"}});
+  EXPECT_EQ(roomy.status, 200) << roomy.body;
+  server.Stop();
+}
+
+TEST(HttpEndToEndTest, ShedRequestsGet503WithRetryAfter) {
+  const data::Dataset dataset = SmallDataset(85);
+  const std::string model = WriteModelSnapshot(dataset, 86, "http_d.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  ServeConfig config = SmallServeConfig(model, /*batch_window_us=*/0);
+  config.batcher.max_inflight = 1;
+  RatingServer server(&dataset, SmallConfig(), std::move(graph), config);
+  server.Start();
+
+  // Occupy the single in-flight slot with a slow batch, then hit the
+  // admission cap with a second request.
+  FaultInjector::Global().ArmServeSlowHandler(300);
+  std::thread occupier([&] {
+    HttpClient slow_client(server.port());
+    const HttpClient::Result r =
+        slow_client.Post("/predict", "{\"user\":3,\"items\":[1]}");
+    EXPECT_EQ(r.status, 200) << r.body;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  HttpClient client(server.port());
+  const HttpClient::Result shed =
+      client.Post("/predict", "{\"user\":4,\"items\":[1]}");
+  occupier.join();
+  FaultInjector::Global().Reset();
+
+  ASSERT_TRUE(shed.ok) << shed.error;
+  EXPECT_EQ(shed.status, 503) << shed.body;
+  ASSERT_NE(shed.headers.find("retry-after"), shed.headers.end())
+      << "a shed response must tell the client when to retry";
+  EXPECT_EQ(shed.headers.at("retry-after"), "1");
+  server.Stop();
+}
+
+TEST(HttpEndToEndTest, BootsWithoutModelServesDegradedAndRecoversOnReload) {
+  const data::Dataset dataset = SmallDataset(87);
+  const std::string model = WriteModelSnapshot(dataset, 88, "http_e.snap");
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  RatingServer server(&dataset, SmallConfig(), std::move(graph),
+                      SmallServeConfig(/*model_path=*/""));
+  server.Start();
+  HttpClient client(server.port());
+
+  // Liveness stays 200 while degraded — the server is answering, just not
+  // from the model.
+  const HttpClient::Result health = client.Get("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"degraded\""), std::string::npos)
+      << health.body;
+
+  const HttpClient::Result degraded =
+      client.Post("/predict", "{\"user\":3,\"items\":[1,2]}");
+  ASSERT_TRUE(degraded.ok) << degraded.error;
+  EXPECT_EQ(degraded.status, 200) << degraded.body;
+  EXPECT_NE(degraded.body.find("\"degraded\":true"), std::string::npos)
+      << degraded.body;
+
+  const HttpClient::Result reload =
+      client.Post("/reload", "{\"model\":\"" + model + "\"}");
+  ASSERT_EQ(reload.status, 200) << reload.body;
+  const HttpClient::Result recovered =
+      client.Post("/predict", "{\"user\":3,\"items\":[1,2]}");
+  EXPECT_EQ(recovered.status, 200) << recovered.body;
+  EXPECT_NE(recovered.body.find("\"degraded\":false"), std::string::npos)
+      << recovered.body;
+  const HttpClient::Result health2 = client.Get("/healthz");
+  EXPECT_NE(health2.body.find("\"status\":\"ok\""), std::string::npos)
+      << health2.body;
   server.Stop();
 }
 

@@ -94,8 +94,9 @@ generate:
   --out-dir <dir>      directory for ratings.csv/users.csv/items.csv
 
 serve:
-  --model <path>       trained parameters to publish (required); POST
-                       /reload hot-swaps to a newer file with zero downtime
+  --model <path>       trained parameters to publish; POST /reload hot-swaps
+                       to a newer file with zero downtime. Omitted = boot
+                       degraded (bias-table predictions) until a /reload
   --port <int>         HTTP listen port on 127.0.0.1 (0 = ephemeral; the
                        bound port is printed as "SERVE_LISTENING port=N")
   --http-threads <int>      connection-handling threads (4)
@@ -108,6 +109,19 @@ serve:
                             (0.1)
   --cache-capacity <int>    context-plan LRU entries (1024)
   --queue-capacity <int>    request queue bound; overflow returns 503 (256)
+  --request-deadline-ms <int>  default per-request deadline; expired
+                            requests return 504 (0 = no deadline). Clients
+                            override per request with X-Deadline-Ms
+  --max-inflight <int>      admitted-but-unresolved cap; beyond it requests
+                            are shed with 503 + Retry-After (0 = 2x queue
+                            capacity)
+  --breaker-threshold <int> consecutive batch failures before the circuit
+                            breaker serves fallback predictions (3; 0 = off)
+  --breaker-cooldown-ms <int>  open-breaker wait before a trial batch (1000)
+  --idle-timeout-ms <int>   close keep-alive connections idle this long
+                            (5000)
+  --header-timeout-ms <int> total budget to receive one request's head+body;
+                            breach returns 408 (slow-loris defense) (2000)
 
   endpoints: POST /predict {"user":u,"items":[i,...]}   rating predictions
              GET  /healthz                              liveness + versions
@@ -300,7 +314,6 @@ int Generate(const Flags& flags) {
 
 int Serve(const Flags& flags) {
   const std::string model_path = flags.GetString("model", "");
-  HIRE_CHECK(!model_path.empty()) << "--model is required for serve";
   const data::Dataset dataset = LoadDataset(flags);
   std::cout << "dataset: " << dataset.Summary() << "\n";
 
@@ -321,6 +334,15 @@ int Serve(const Flags& flags) {
   config.batcher.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   config.batcher.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue-capacity", 256));
+  config.batcher.request_deadline_ms = flags.GetInt("request-deadline-ms", 0);
+  config.batcher.max_inflight = flags.GetInt("max-inflight", 0);
+  config.batcher.breaker_threshold = flags.GetInt("breaker-threshold", 3);
+  config.batcher.breaker_cooldown_ms =
+      flags.GetInt("breaker-cooldown-ms", 1000);
+  config.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms", 5000));
+  config.header_timeout_ms =
+      static_cast<int>(flags.GetInt("header-timeout-ms", 2000));
 
   serve::RatingServer server(&dataset, ModelConfig(flags), std::move(graph),
                              config);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer pass over the suites that exercise raw sockets, threads, and
+# manual buffer handling: configure a separate build tree with
+# -DHIRE_SANITIZE=address,undefined, build the serve + utils test binaries,
+# and run them with strict sanitizer options (abort on the first report).
+#
+# Usage: run_sanitize.sh [source_dir] [build_dir]
+#   source_dir  repo root          (default: the directory above this script)
+#   build_dir   sanitizer tree     (default: <source_dir>/build-sanitize)
+#
+# Wired as the optional `sanitize` CMake target: `cmake --build build
+# --target sanitize`. Not part of the default ctest run — a sanitizer
+# rebuild roughly doubles build time.
+set -u
+
+SOURCE_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD_DIR="${2:-$SOURCE_DIR/build-sanitize}"
+SANITIZERS="${HIRE_SANITIZERS:-address,undefined}"
+TESTS=(utils_test serve_test)
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "configuring $BUILD_DIR with -DHIRE_SANITIZE=$SANITIZERS"
+cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" \
+    -DHIRE_SANITIZE="$SANITIZERS" \
+    -DHIRE_BUILD_BENCHMARKS=OFF -DHIRE_BUILD_EXAMPLES=OFF \
+    >/dev/null || fail "cmake configure"
+
+cmake --build "$BUILD_DIR" -j --target "${TESTS[@]}" || fail "build"
+
+# halt_on_error makes UBSan reports fatal (they only log by default), so a
+# green exit really means zero findings from either sanitizer.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+for test in "${TESTS[@]}"; do
+  echo "running $test under $SANITIZERS"
+  "$BUILD_DIR/tests/$test" || fail "$test reported sanitizer findings"
+done
+
+echo "PASS: ${TESTS[*]} clean under $SANITIZERS"

@@ -31,7 +31,9 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -64,7 +66,18 @@ bench:  --profile/--scale/--seed   synthetic dataset (must match the model)
 drive:  --port <int> --clients <int> --requests-per-client <int>
         --max-user <int>           users drawn round-robin from [0, max-user)
         --items-per-request <int>  (4)
+        --deadline-ms <int>        send X-Deadline-Ms on every request (0 =
+                                   none)
+        --allow-status <csv>       extra statuses besides 200 that do not
+                                   count as failures (e.g. 503,504)
+        --allow-transport-errors   connection resets/timeouts do not count
+                                   as failures (chaos drills)
 probe:  --port <int> --method <GET|POST> --path </healthz> --body <json>
+        --deadline-ms <int>        send X-Deadline-Ms (0 = none)
+        --timeout-ms <int>         client socket timeout (30000)
+
+drive prints "DRIVE_STATUS 200=n 503=n ... degraded=n transport_errors=n"
+for scripts asserting on the status mix.
 )";
 
 struct PhaseResult {
@@ -72,6 +85,9 @@ struct PhaseResult {
   double wall_seconds = 0.0;
   int64_t requests = 0;
   int64_t failures = 0;
+  std::map<int, int64_t> status_counts;  // HTTP status -> responses
+  int64_t degraded = 0;                  // 200s tagged "degraded":true
+  int64_t transport_errors = 0;          // no HTTP response at all
   std::vector<double> latencies_us;  // successful requests only
   obs::MetricsRegistry::Snapshot delta;
 
@@ -80,6 +96,19 @@ struct PhaseResult {
                                   wall_seconds
                             : 0.0;
   }
+  double degraded_share() const {
+    const auto it = status_counts.find(200);
+    const int64_t ok = it == status_counts.end() ? 0 : it->second;
+    return ok > 0 ? static_cast<double>(degraded) / static_cast<double>(ok)
+                  : 0.0;
+  }
+};
+
+/// What DrivePhase tolerates without counting a failure.
+struct DriveOptions {
+  int64_t deadline_ms = 0;           // X-Deadline-Ms header (0 = none)
+  std::set<int> allow_status;        // besides 200 (e.g. {503, 504})
+  bool allow_transport_errors = false;
 };
 
 double Percentile(std::vector<double> sorted, double q) {
@@ -96,7 +125,8 @@ double Percentile(std::vector<double> sorted, double q) {
 /// for an all-cold run, smaller to force reuse.
 PhaseResult DrivePhase(const std::string& name, int port, int clients,
                        int64_t requests_each, int64_t num_users,
-                       int64_t items_per_request, int64_t num_items) {
+                       int64_t items_per_request, int64_t num_items,
+                       const DriveOptions& options = {}) {
   PhaseResult result;
   result.name = name;
   result.requests = static_cast<int64_t>(clients) * requests_each;
@@ -106,6 +136,12 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
   std::mutex merge_mutex;
   std::atomic<int64_t> failures{0};
 
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  if (options.deadline_ms > 0) {
+    extra_headers.push_back(
+        {"X-Deadline-Ms", std::to_string(options.deadline_ms)});
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   {
     ThreadPool pool(clients);
@@ -114,6 +150,9 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
         serve::HttpClient client(port);
         std::vector<double> latencies;
         latencies.reserve(static_cast<size_t>(requests_each));
+        std::map<int, int64_t> statuses;
+        int64_t degraded = 0;
+        int64_t transport_errors = 0;
         for (int64_t i = 0; i < requests_each; ++i) {
           const int64_t user =
               (static_cast<int64_t>(c) * requests_each + i) % num_users;
@@ -126,20 +165,34 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
           body += "]}";
           const auto start = std::chrono::steady_clock::now();
           const serve::HttpClient::Result response =
-              client.Post("/predict", body);
+              client.Request("POST", "/predict", body, extra_headers);
           const double micros =
               std::chrono::duration<double, std::micro>(
                   std::chrono::steady_clock::now() - start)
                   .count();
-          if (response.ok && response.status == 200) {
+          if (!response.ok) {
+            ++transport_errors;
+            if (!options.allow_transport_errors) failures.fetch_add(1);
+            continue;
+          }
+          ++statuses[response.status];
+          if (response.status == 200) {
             latencies.push_back(micros);
-          } else {
+            if (response.body.find("\"degraded\":true") != std::string::npos) {
+              ++degraded;
+            }
+          } else if (options.allow_status.count(response.status) == 0) {
             failures.fetch_add(1);
           }
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         result.latencies_us.insert(result.latencies_us.end(),
                                    latencies.begin(), latencies.end());
+        for (const auto& [status, count] : statuses) {
+          result.status_counts[status] += count;
+        }
+        result.degraded += degraded;
+        result.transport_errors += transport_errors;
       });
     }
     pool.Wait();
@@ -190,8 +243,30 @@ std::string PhaseJson(const PhaseResult& phase) {
                               ? static_cast<double>(hits) /
                                     static_cast<double>(hits + misses)
                               : 0.0);
+  json += ",\"status_counts\":{";
+  bool first = true;
+  for (const auto& [status, count] : phase.status_counts) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + std::to_string(status) + "\":" + std::to_string(count);
+  }
+  json += "}";
+  json += ",\"transport_errors\":" + std::to_string(phase.transport_errors);
+  json += ",\"degraded\":" + std::to_string(phase.degraded);
+  json += ",\"degraded_share\":" + obs::JsonNumber(phase.degraded_share());
   json += "}";
   return json;
+}
+
+/// Machine-parseable status mix, e.g.
+/// "DRIVE_STATUS 200=80 503=12 504=8 degraded=5 transport_errors=0".
+void PrintDriveStatus(const PhaseResult& result) {
+  std::cout << "DRIVE_STATUS";
+  for (const auto& [status, count] : result.status_counts) {
+    std::cout << " " << status << "=" << count;
+  }
+  std::cout << " degraded=" << result.degraded
+            << " transport_errors=" << result.transport_errors << "\n";
 }
 
 data::Dataset LoadSyntheticDataset(const Flags& flags) {
@@ -336,13 +411,28 @@ int RunDrive(const Flags& flags) {
   // universe or requests will (correctly) fail with out-of-range errors.
   const int64_t max_item = flags.GetInt("max-item", 64);
 
+  DriveOptions options;
+  options.deadline_ms = flags.GetInt("deadline-ms", 0);
+  options.allow_transport_errors =
+      flags.GetBool("allow-transport-errors", false);
+  const std::string allow = flags.GetString("allow-status", "");
+  size_t pos = 0;
+  while (pos < allow.size()) {
+    size_t comma = allow.find(',', pos);
+    if (comma == std::string::npos) comma = allow.size();
+    const std::string token = allow.substr(pos, comma - pos);
+    if (!token.empty()) options.allow_status.insert(std::atoi(token.c_str()));
+    pos = comma + 1;
+  }
+
   const PhaseResult result =
       DrivePhase("drive", port, clients, requests_each, max_user,
-                 items_per_request, max_item);
+                 items_per_request, max_item, options);
   std::cout << "drive: " << (result.requests - result.failures) << "/"
             << result.requests << " ok, "
             << static_cast<int64_t>(result.throughput_rps()) << " rps, p50 "
             << Percentile(result.latencies_us, 0.5) << "us\n";
+  PrintDriveStatus(result);
   if (result.failures > 0) {
     std::cerr << "error: " << result.failures << " failed request(s)\n";
     return 1;
@@ -353,16 +443,30 @@ int RunDrive(const Flags& flags) {
 int RunProbe(const Flags& flags) {
   const int port = static_cast<int>(flags.GetInt("port", 0));
   HIRE_CHECK_GT(port, 0) << "--port is required for probe";
-  serve::HttpClient client(port);
+  serve::HttpClient client(port, "127.0.0.1",
+                           static_cast<int>(flags.GetInt("timeout-ms",
+                                                         30000)));
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    extra_headers.push_back({"X-Deadline-Ms", std::to_string(deadline_ms)});
+  }
   const serve::HttpClient::Result result =
       client.Request(flags.GetString("method", "GET"),
                      flags.GetString("path", "/healthz"),
-                     flags.GetString("body", ""));
+                     flags.GetString("body", ""), extra_headers);
   if (!result.ok) {
     std::cerr << "error: " << result.error << "\n";
     return 1;
   }
-  std::cout << result.body << "\n";
+  // Scripts grep the status (and Retry-After when present) to assert on
+  // non-200 outcomes without parsing headers themselves.
+  std::cout << "PROBE_STATUS " << result.status;
+  const auto retry_after = result.headers.find("retry-after");
+  if (retry_after != result.headers.end()) {
+    std::cout << " retry_after=" << retry_after->second;
+  }
+  std::cout << "\n" << result.body << "\n";
   return result.status == 200 ? 0 : 1;
 }
 
