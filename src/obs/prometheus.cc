@@ -1,0 +1,108 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace hire {
+namespace obs {
+
+const char kPrometheusContentType[] = "text/plain; version=0.0.4";
+
+namespace {
+
+bool LegalMetricChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Prometheus numbers allow Inf/NaN spellings that JSON does not.
+std::string PrometheusNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(value);
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += LegalMetricChar(c) ? c : '_';
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  // # HELP carries the registry's dotted name so a scrape can be mapped back
+  // to the JSON view even after sanitisation folded '.'/'-' into '_'.
+  const auto header = [&out](const std::string& original,
+                             const std::string& exported, const char* type) {
+    out += "# HELP " + exported + " exported from " +
+           PrometheusEscapeHelp(original) + "\n";
+    out += "# TYPE " + exported + " " + type + "\n";
+  };
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string exported = PrometheusMetricName(name);
+    header(name, exported, "counter");
+    out += exported + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string exported = PrometheusMetricName(name);
+    header(name, exported, "gauge");
+    out += exported + " " + PrometheusNumber(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string exported = PrometheusMetricName(name);
+    header(name, exported, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      out += exported + "_bucket{le=\"" +
+             PrometheusEscapeLabelValue(
+                 PrometheusNumber(histogram.upper_bounds[i])) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    // The registry keeps overflow in a dedicated bucket; Prometheus folds it
+    // into le="+Inf", which by the format's contract equals _count.
+    cumulative += histogram.bucket_counts.back();
+    out += exported + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += exported + "_sum " + PrometheusNumber(histogram.sum) + "\n";
+    out += exported + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hire

@@ -1,0 +1,41 @@
+#ifndef HIRE_OBS_PROMETHEUS_H_
+#define HIRE_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hire {
+namespace obs {
+
+/// Rewrites a registry metric name into a legal Prometheus metric name:
+/// every character outside [a-zA-Z0-9_:] becomes '_' (so "serve.outcome.ok"
+/// exports as "serve_outcome_ok" and "cache-hits" as "cache_hits"), and a
+/// leading digit gains a '_' prefix. The original name is preserved in the
+/// exposition's # HELP line so dashboards can map back.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a label value for the text exposition format: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// Escapes free text for a # HELP line (backslash and newline only, per the
+/// exposition format spec).
+std::string PrometheusEscapeHelp(const std::string& text);
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series (ending in le="+Inf") plus `_sum`
+/// and `_count`. Bucket counts are cumulative and monotone by construction;
+/// `_bucket{le="+Inf"}` always equals `_count`. Serve it with content type
+/// "text/plain; version=0.0.4".
+std::string ToPrometheusText(const MetricsRegistry::Snapshot& snapshot);
+
+/// The content type a /metrics endpoint should declare for ToPrometheusText
+/// output.
+extern const char kPrometheusContentType[];
+
+}  // namespace obs
+}  // namespace hire
+
+#endif  // HIRE_OBS_PROMETHEUS_H_

@@ -1,0 +1,34 @@
+#ifndef HIRE_OBS_WINDOW_H_
+#define HIRE_OBS_WINDOW_H_
+
+#include "obs/metrics.h"
+
+namespace hire {
+namespace obs {
+
+/// Estimates the q-quantile (q in [0, 1]) of the population captured in a
+/// histogram snapshot by linear interpolation inside the bucket holding the
+/// target rank (bucket 0 interpolates from 0). Values that landed in the
+/// overflow bucket are attributed to the last finite bound — the estimate
+/// saturates there rather than inventing a tail. Returns 0 for an empty
+/// snapshot.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
+
+/// Turns successive cumulative snapshots of one histogram into per-window
+/// deltas: Advance(current) returns the population recorded since the
+/// previous Advance call (the first call returns `current` itself, i.e. the
+/// window since process start). Rolling-window percentile gauges are
+/// computed from these deltas on a background tick.
+class HistogramWindow {
+ public:
+  HistogramSnapshot Advance(const HistogramSnapshot& current);
+
+ private:
+  bool has_last_ = false;
+  HistogramSnapshot last_;
+};
+
+}  // namespace obs
+}  // namespace hire
+
+#endif  // HIRE_OBS_WINDOW_H_

@@ -1,7 +1,10 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -33,6 +36,27 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+double MicrosBetween(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// A default-constructed time_point marks a stage stamp as never taken.
+bool Stamped(std::chrono::steady_clock::time_point tp) {
+  return tp.time_since_epoch().count() != 0;
+}
+
+uint64_t SteadyNanos(std::chrono::steady_clock::time_point tp) {
+  // Same timebase as obs::TraceNowNanos (steady clock since epoch), so
+  // spans built from stage stamps line up with HIRE_TRACE_SCOPE spans.
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+constexpr int kNumRequestOutcomes = 5;
 
 }  // namespace
 
@@ -78,6 +102,97 @@ RequestOutcome ClassifyOutcome(const RatingResponse& response) {
   return RequestOutcome::kFailed;
 }
 
+const char* RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kAdmission: return "admission";
+    case RequestStage::kQueue: return "queue";
+    case RequestStage::kBatchForm: return "batch_form";
+    case RequestStage::kForward: return "forward";
+    case RequestStage::kSerialize: return "serialize";
+    case RequestStage::kWrite: return "write";
+  }
+  return "unknown";
+}
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kServed: return "served";
+    case RequestOutcome::kDegraded: return "degraded";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kExpired: return "expired";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+uint64_t NextServeRequestId() {
+  static std::atomic<uint64_t> next_id{0};
+  return next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace {
+
+/// Handles for the 5x6 outcome/stage histograms plus the overall request
+/// latency histogram, resolved once so the per-request cost is only the
+/// lock-free Record calls.
+struct ServeStageMetrics {
+  std::array<std::array<obs::Histogram*, kNumRequestStages>,
+             kNumRequestOutcomes>
+      stage;
+  obs::Histogram* request_latency = nullptr;
+  obs::Counter* slow_requests = nullptr;
+};
+
+const ServeStageMetrics& StageMetrics() {
+  static const ServeStageMetrics* metrics = [] {
+    auto* created = new ServeStageMetrics();
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::HistogramOptions options;
+    options.first_bound = 1.0;  // microseconds
+    options.growth = 2.0;
+    options.num_buckets = 26;  // ~67s before overflow
+    for (int o = 0; o < kNumRequestOutcomes; ++o) {
+      for (int s = 0; s < kNumRequestStages; ++s) {
+        created->stage[static_cast<size_t>(o)][static_cast<size_t>(s)] =
+            registry.GetHistogram(
+                std::string("serve.stage.") +
+                    RequestStageName(static_cast<RequestStage>(s)) + "_us." +
+                    RequestOutcomeName(static_cast<RequestOutcome>(o)),
+                options);
+      }
+    }
+    obs::HistogramOptions latency_options;
+    latency_options.first_bound = 1.0;
+    latency_options.growth = 2.0;
+    latency_options.num_buckets = 32;
+    created->request_latency =
+        registry.GetHistogram("serve.request_latency_us", latency_options);
+    created->slow_requests = registry.GetCounter("serve.slow_requests");
+    return created;
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+void RecordStageLatency(RequestOutcome outcome, RequestStage stage,
+                        double micros) {
+  if (micros < 0) return;
+  StageMetrics()
+      .stage[static_cast<size_t>(outcome)][static_cast<size_t>(stage)]
+      ->Record(micros);
+}
+
+void RecordStageBreakdown(RequestOutcome outcome,
+                          const StageBreakdown& stages) {
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    RecordStageLatency(outcome, static_cast<RequestStage>(s),
+                       stages.micros[static_cast<size_t>(s)]);
+  }
+}
+
+void EnsureServeStageMetrics() { StageMetrics(); }
+
 void RecordOutcome(RequestOutcome outcome) {
   auto& registry = obs::MetricsRegistry::Global();
   switch (outcome) {
@@ -121,6 +236,9 @@ MicroBatcher::MicroBatcher(
   if (config_.max_inflight <= 0) {
     config_.max_inflight = 2 * static_cast<int64_t>(config_.queue_capacity);
   }
+  // Register every outcome's stage histograms up front so /metrics shows the
+  // full partition (with zero counts) from boot.
+  EnsureServeStageMetrics();
 }
 
 MicroBatcher::~MicroBatcher() { Stop(); }
@@ -146,6 +264,12 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
   request.user = user;
   request.items = std::move(items);
   request.enqueue_time = now;
+  request.request_id = NextServeRequestId();
+  request.trace_sampled = config_.trace_sample_every > 0 &&
+                          request.request_id %
+                                  static_cast<uint64_t>(
+                                      config_.trace_sample_every) ==
+                              0;
   if (deadline.has_value()) {
     request.deadline = deadline;
   } else if (config_.request_deadline_ms > 0) {
@@ -188,6 +312,10 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
     return future;
   }
 
+  // Admission completes here: everything before this point (validation,
+  // deadline/shed checks, id assignment) is the admission stage. The push
+  // itself is a few lock-protected moves and rides along.
+  request.admission_us = MicrosSince(now);
   request.admitted = true;
   inflight_.fetch_add(1);
   if (!queue_.TryPush(std::move(request))) {
@@ -208,12 +336,113 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
   return future;
 }
 
+namespace {
+
+/// Emits request-correlated spans for one sampled request. Span names carry
+/// the request id ("req#42/queue"), so a Perfetto search for the id from a
+/// slow-request log line lands on the request's full timeline; the forward
+/// span of co-batched requests overlaps their shared "serve_forward" scope.
+void EmitRequestSpans(uint64_t request_id,
+                      std::chrono::steady_clock::time_point enqueue,
+                      std::chrono::steady_clock::time_point dequeue,
+                      std::chrono::steady_clock::time_point collected,
+                      std::chrono::steady_clock::time_point forward_start,
+                      std::chrono::steady_clock::time_point forward_end,
+                      std::chrono::steady_clock::time_point resolved) {
+  char name[obs::internal::kMaxSpanName];
+  const auto emit = [&](const char* stage,
+                        std::chrono::steady_clock::time_point a,
+                        std::chrono::steady_clock::time_point b) {
+    if (!Stamped(a) || !Stamped(b) || b < a) return;
+    std::snprintf(name, sizeof(name), "req#%llu/%s",
+                  static_cast<unsigned long long>(request_id), stage);
+    obs::EmitSpan(name, SteadyNanos(a), SteadyNanos(b));
+  };
+  emit("total", enqueue, resolved);
+  emit("queue", enqueue, dequeue);
+  emit("batch_form", dequeue, collected);
+  emit("forward", forward_start, forward_end);
+}
+
+/// One structured key=value line describing a resolved request; shared by
+/// the slow-request warning and the per-request debug log.
+std::string RequestLogLine(int64_t user, size_t num_items,
+                           const RatingResponse& response) {
+  std::ostringstream line;
+  line << "id=" << response.request_id
+       << " outcome=" << RequestOutcomeName(ClassifyOutcome(response))
+       << " user=" << user << " items=" << num_items
+       << " total_us=" << static_cast<int64_t>(response.latency_us);
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    const double micros = response.stages.micros[static_cast<size_t>(s)];
+    if (micros < 0) continue;
+    line << " " << RequestStageName(static_cast<RequestStage>(s))
+         << "_us=" << static_cast<int64_t>(micros);
+  }
+  if (response.ok) {
+    line << " batch_users=" << response.batch_users
+         << " cache_hit=" << (response.cache_hit ? 1 : 0)
+         << " model_v=" << response.model_version
+         << " graph_v=" << response.graph_version;
+  } else {
+    line << " error=\"" << response.error << "\"";
+  }
+  return line.str();
+}
+
+}  // namespace
+
 void MicroBatcher::Resolve(PendingRequest* request, RatingResponse response) {
+  const auto now = std::chrono::steady_clock::now();
   if (request->admitted) {
     inflight_.fetch_sub(1);
     request->admitted = false;
   }
-  RecordOutcome(ClassifyOutcome(response));
+
+  response.request_id = request->request_id;
+  response.latency_us = MicrosBetween(request->enqueue_time, now);
+  StageBreakdown& stages = response.stages;
+  // Requests resolved during admission (bad request, shed, born expired)
+  // spent their whole life in the admission stage.
+  stages.at(RequestStage::kAdmission) =
+      request->admission_us >= 0 ? request->admission_us : response.latency_us;
+  if (Stamped(request->dequeue_time)) {
+    stages.at(RequestStage::kQueue) =
+        MicrosBetween(request->enqueue_time, request->dequeue_time);
+  }
+  if (Stamped(request->dequeue_time) && Stamped(request->collected_time)) {
+    stages.at(RequestStage::kBatchForm) =
+        MicrosBetween(request->dequeue_time, request->collected_time);
+  }
+  if (Stamped(request->forward_start) && Stamped(request->forward_end)) {
+    stages.at(RequestStage::kForward) =
+        MicrosBetween(request->forward_start, request->forward_end);
+  }
+
+  const RequestOutcome outcome = ClassifyOutcome(response);
+  RecordOutcome(outcome);
+  RecordStageBreakdown(outcome, stages);
+  StageMetrics().request_latency->Record(response.latency_us);
+
+  if (request->trace_sampled && obs::Tracer::Enabled()) {
+    EmitRequestSpans(request->request_id, request->enqueue_time,
+                     request->dequeue_time, request->collected_time,
+                     request->forward_start, request->forward_end, now);
+  }
+
+  if (config_.slow_request_ms > 0 &&
+      response.latency_us >
+          static_cast<double>(config_.slow_request_ms) * 1000.0) {
+    StageMetrics().slow_requests->Increment();
+    HIRE_LOG(Warning) << "slow request "
+                      << RequestLogLine(request->user, request->items.size(),
+                                        response);
+  } else if (GetLogLevel() <= LogLevel::kDebug) {
+    HIRE_LOG(Debug) << "request "
+                    << RequestLogLine(request->user, request->items.size(),
+                                      response);
+  }
+
   request->promise.set_value(std::move(response));
 }
 
@@ -317,6 +546,7 @@ void MicroBatcher::WorkerLoop() {
 
 std::vector<MicroBatcher::PendingRequest> MicroBatcher::CollectBatch(
     PendingRequest first) {
+  first.dequeue_time = std::chrono::steady_clock::now();
   std::vector<PendingRequest> batch;
   std::unordered_set<int64_t> users{first.user};
   batch.push_back(std::move(first));
@@ -328,6 +558,7 @@ std::vector<MicroBatcher::PendingRequest> MicroBatcher::CollectBatch(
   while (static_cast<int64_t>(users.size()) < config_.max_batch_users) {
     std::optional<PendingRequest> next = queue_.PopUntil(deadline);
     if (!next.has_value()) break;  // window closed (or batcher stopping)
+    next->dequeue_time = std::chrono::steady_clock::now();
     users.insert(next->user);
     batch.push_back(std::move(*next));
   }
@@ -336,6 +567,12 @@ std::vector<MicroBatcher::PendingRequest> MicroBatcher::CollectBatch(
 
 void MicroBatcher::ProcessBatch(std::vector<PendingRequest> batch) {
   HIRE_TRACE_SCOPE("serve_batch");
+  // The batch is closed: everything from here until the forward starts is
+  // per-batch overhead (graph/snapshot acquire, revalidation, grouping).
+  {
+    const auto collected = std::chrono::steady_clock::now();
+    for (PendingRequest& request : batch) request.collected_time = collected;
+  }
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetGauge("serve.queue_depth")
       ->Set(static_cast<double>(queue_.size()));
@@ -483,6 +720,15 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
     HIRE_CHECK(false) << "fault injection: batch forward failure";
   }
 
+  // The forward stage covers context assembly plus the shared model
+  // forward — the work a request's co-batched peers amortise.
+  {
+    const auto forward_start = std::chrono::steady_clock::now();
+    for (PendingRequest& request : *group) {
+      request.forward_start = forward_start;
+    }
+  }
+
   // Distinct users in arrival order; fetch or build each user's context
   // plan (the cacheable, graph-walk half of the work).
   std::vector<int64_t> users;
@@ -560,6 +806,12 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
     HIRE_TRACE_SCOPE("serve_forward");
     predicted = snapshot.model->Predict(context);
   }
+  {
+    const auto forward_end = std::chrono::steady_clock::now();
+    for (PendingRequest& request : *group) {
+      request.forward_end = forward_end;
+    }
+  }
 
   std::unordered_map<int64_t, int64_t> row_of_user;
   for (size_t r = 0; r < rows.size(); ++r) {
@@ -578,10 +830,6 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
   batch_options.num_buckets = 8;
   registry.GetHistogram("serve.batch_users", batch_options)
       ->Record(static_cast<double>(users.size()));
-  obs::Histogram* latency_hist = registry.GetHistogram(
-      "serve.request_latency_us",
-      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
-                            /*num_buckets=*/32});
   obs::Counter* served = registry.GetCounter("serve.requests");
 
   for (PendingRequest& request : *group) {
@@ -600,7 +848,6 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
     response.latency_us = MicrosSince(request.enqueue_time);
 
     served->Increment();
-    latency_hist->Record(response.latency_us);
     if (obs::TelemetrySink::Global().enabled()) {
       obs::ServeTelemetry record;
       record.user = request.user;

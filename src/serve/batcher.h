@@ -1,6 +1,7 @@
 #ifndef HIRE_SERVE_BATCHER_H_
 #define HIRE_SERVE_BATCHER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -38,6 +39,38 @@ struct VersionedGraph {
   float global_mean_rating = 0.0f;
 };
 
+/// Request-path stages instrumented per request. Each resolved request
+/// records one observation per reached stage into the histogram
+/// "serve.stage.<stage>_us.<outcome>", so tail latency can be attributed to
+/// admission vs queueing vs batch formation vs the forward vs the response
+/// path, separately for every outcome class.
+enum class RequestStage : int {
+  kAdmission = 0,  // transport parse/validate + Submit bookkeeping
+  kQueue,          // admitted -> dequeued by the batch worker
+  kBatchForm,      // dequeued -> batch closed (co-batching window)
+  kForward,        // context assembly + shared model forward
+  kSerialize,      // response JSON rendering (transport)
+  kWrite,          // socket write of the rendered response (transport)
+};
+inline constexpr int kNumRequestStages = 6;
+
+/// Stable lower-case stage name ("admission", "queue", ...).
+const char* RequestStageName(RequestStage stage);
+
+/// Per-request wall time spent in each stage, in microseconds. A negative
+/// value means the request never reached that stage (e.g. a shed request
+/// has only an admission time).
+struct StageBreakdown {
+  std::array<double, kNumRequestStages> micros;
+  StageBreakdown() { micros.fill(-1.0); }
+  double& at(RequestStage stage) {
+    return micros[static_cast<size_t>(stage)];
+  }
+  double at(RequestStage stage) const {
+    return micros[static_cast<size_t>(stage)];
+  }
+};
+
 /// Answer for one rating request.
 struct RatingResponse {
   bool ok = false;
@@ -49,6 +82,8 @@ struct RatingResponse {
   int64_t model_version = 0;
   int64_t graph_version = 0;
   double latency_us = 0.0;        // enqueue -> completion
+  uint64_t request_id = 0;        // process-wide monotonic id
+  StageBreakdown stages;          // per-stage latency attribution
 };
 
 /// Terminal accounting state of one request. Every request resolves into
@@ -69,6 +104,30 @@ RequestOutcome ClassifyOutcome(const RatingResponse& response);
 /// Bumps the "serve.outcome.*" counter for `outcome` (and the
 /// serve.deadline_exceeded alias for kExpired).
 void RecordOutcome(RequestOutcome outcome);
+
+/// Stable lower-case outcome name ("served", "degraded", ...), used as the
+/// suffix of per-outcome metric names.
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// Next process-wide request id (1, 2, 3, ...). Ids are assigned at
+/// admission and correlate the response, the per-stage metrics, sampled
+/// trace spans ("req#<id>/<stage>"), and the slow-request log line.
+uint64_t NextServeRequestId();
+
+/// Records one stage observation into
+/// "serve.stage.<stage>_us.<outcome>". Handles are resolved once and
+/// cached, so the per-record cost is a few relaxed atomics.
+void RecordStageLatency(RequestOutcome outcome, RequestStage stage,
+                        double micros);
+
+/// Records every stage of `stages` that was reached (micros >= 0).
+void RecordStageBreakdown(RequestOutcome outcome,
+                          const StageBreakdown& stages);
+
+/// Eagerly registers all stage/outcome histograms (and the overall request
+/// latency histogram) so every outcome class is visible in /metrics from
+/// boot, before any traffic arrives.
+void EnsureServeStageMetrics();
 
 struct BatcherConfig {
   /// How long the worker keeps the batch open after the first request
@@ -103,6 +162,14 @@ struct BatcherConfig {
   /// How long an open breaker waits before letting one trial batch through
   /// (half-open). A successful trial or a new model version closes it.
   int64_t breaker_cooldown_ms = 1000;
+  /// Emit request-correlated trace spans ("req#<id>/queue", ".../forward",
+  /// ...) for every Nth request when the tracer is running (0 = never).
+  /// Sampling bounds the span volume under load; the per-stage histograms
+  /// are unconditional.
+  int64_t trace_sample_every = 0;
+  /// Requests whose total latency exceeds this budget log one structured
+  /// warning line with their full stage breakdown (0 = disabled).
+  int64_t slow_request_ms = 0;
 };
 
 /// Dynamic micro-batcher: a bounded MPMC queue feeding one inference worker
@@ -153,6 +220,15 @@ class MicroBatcher {
     std::chrono::steady_clock::time_point enqueue_time;
     RequestDeadline deadline;
     bool admitted = false;  // counted in inflight_
+    uint64_t request_id = 0;
+    bool trace_sampled = false;  // emit req#<id> spans at resolution
+    // Stage stamps; a default-constructed (epoch) time_point means the
+    // request never reached that point. Durations are derived at Resolve.
+    std::chrono::steady_clock::time_point dequeue_time{};
+    std::chrono::steady_clock::time_point collected_time{};
+    std::chrono::steady_clock::time_point forward_start{};
+    std::chrono::steady_clock::time_point forward_end{};
+    double admission_us = -1.0;  // stamped when admission completes
   };
 
   void WorkerLoop();

@@ -80,6 +80,7 @@ struct ParsedHead {
   bool ok = false;
   std::string method;
   std::string path;
+  std::string query;
   size_t content_length = 0;
   bool keep_alive = true;  // HTTP/1.1 default
   std::map<std::string, std::string> headers;  // names lower-cased
@@ -99,7 +100,10 @@ ParsedHead ParseHead(const std::string& buffer, size_t head_end) {
   head.method = request_line.substr(0, sp1);
   std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
   const size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  if (query != std::string::npos) {
+    head.query = target.substr(query + 1);
+    target.resize(query);
+  }
   head.path = target;
   const std::string version = request_line.substr(sp2 + 1);
   if (version == "HTTP/1.0") head.keep_alive = false;
@@ -361,6 +365,7 @@ void HttpServer::HandleConnection(int fd) {
     HttpRequest request;
     request.method = head.method;
     request.path = head.path;
+    request.query = head.query;
     request.headers = head.headers;
     request.body = buffer.substr(body_begin, head.content_length);
     buffer.erase(0, body_begin + head.content_length);  // keep any pipelined next request
@@ -373,7 +378,13 @@ void HttpServer::HandleConnection(int fd) {
       break;  // drop the connection without sending the response
     }
     keep_alive = head.keep_alive;
+    const Clock::time_point write_start = Clock::now();
     if (!SendAll(fd, RenderResponse(response, keep_alive))) break;
+    if (response.on_written) {
+      response.on_written(std::chrono::duration<double, std::micro>(
+                              Clock::now() - write_start)
+                              .count());
+    }
   }
   ::close(fd);
 }

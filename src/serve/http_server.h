@@ -18,6 +18,7 @@ namespace serve {
 struct HttpRequest {
   std::string method;  // upper-case: "GET", "POST", ...
   std::string path;    // target without query string
+  std::string query;   // raw query string after '?', "" when absent
   std::string body;
   /// All request headers, names lower-cased (values as sent).
   std::map<std::string, std::string> headers;
@@ -37,6 +38,11 @@ struct HttpResponse {
   std::string body;
   /// Extra response headers (e.g. {"Retry-After", "1"}).
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Invoked after the response bytes reach the socket, with the wall time
+  /// the write took in microseconds. Handlers use it to attribute the
+  /// socket-write stage of a request; never called when the write fails or
+  /// the connection is dropped first.
+  std::function<void(double write_micros)> on_written;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;

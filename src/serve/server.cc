@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "utils/check.h"
 #include "utils/fault_injection.h"
 #include "utils/logging.h"
@@ -84,7 +85,8 @@ std::string RenderPredictResponse(int64_t user, const RatingResponse& r) {
          ",\"graph_version\":" + std::to_string(r.graph_version) +
          ",\"cache_hit\":" + std::string(r.cache_hit ? "true" : "false") +
          ",\"batch_users\":" + std::to_string(r.batch_users) +
-         ",\"latency_us\":" + obs::JsonNumber(r.latency_us) + "}";
+         ",\"latency_us\":" + obs::JsonNumber(r.latency_us) +
+         ",\"request_id\":" + std::to_string(r.request_id) + "}";
   return out;
 }
 
@@ -96,6 +98,27 @@ HttpResponse ErrorResponse(const RatingResponse& response) {
                     "{\"error\":" + obs::JsonString(response.error) + "}"};
   if (http.status == 503) http.headers.push_back({"Retry-After", "1"});
   return http;
+}
+
+/// True when the raw query string asks for Prometheus exposition
+/// (GET /metrics?format=prometheus).
+bool WantsPrometheus(const std::string& query) {
+  return query.find("format=prometheus") != std::string::npos;
+}
+
+/// Splices point-in-time header fields into a Snapshot::ToJson object so the
+/// existing top-level keys (and the scripts that grep them) are untouched.
+std::string MetricsJsonWithHeader(const std::string& snapshot_json,
+                                  double uptime_seconds) {
+  const int64_t ts_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string out = "{\"ts_unix_ms\":" + std::to_string(ts_unix_ms) +
+                    ",\"uptime_seconds\":" + obs::JsonNumber(uptime_seconds);
+  const std::string rest = snapshot_json.substr(1);  // after the opening '{'
+  out += rest == "}" ? rest : "," + rest;
+  return out;
 }
 
 }  // namespace
@@ -133,14 +156,82 @@ void RatingServer::Start() {
   }
   batcher_.Start();
   http_.Start();
+  if (config_.stats_tick_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_stop_ = false;
+    }
+    stats_thread_ = std::thread([this] { StatsLoop(); });
+  }
   started_ = true;
 }
 
 void RatingServer::Stop() {
   if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_stop_ = true;
+  }
+  stats_cv_.notify_all();
+  if (stats_thread_.joinable()) stats_thread_.join();
   http_.Stop();
   batcher_.Stop();
   started_ = false;
+}
+
+double RatingServer::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+obs::MetricsRegistry::Snapshot RatingServer::TakeMetricsSnapshot() {
+  // Refresh point-in-time gauges first so every scrape (JSON or Prometheus)
+  // carries a consistent uptime and the currently published versions.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("serve.uptime_seconds")->Set(UptimeSeconds());
+  registry.GetGauge("serve.model_version")
+      ->Set(static_cast<double>(engine_.version()));
+  registry.GetGauge("serve.graph_version")
+      ->Set(static_cast<double>(graph_version()));
+  return registry.Take();
+}
+
+void RatingServer::StatsTick() {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto snapshot = registry.Take();
+  const auto it = snapshot.histograms.find("serve.request_latency_us");
+  if (it == snapshot.histograms.end()) return;
+  const obs::HistogramSnapshot delta = latency_window_.Advance(it->second);
+  registry.GetGauge("serve.latency_window_count")
+      ->Set(static_cast<double>(delta.count));
+  // An idle window keeps the previous percentiles (a gap would read as a
+  // latency cliff); serve.latency_window_count tells consumers the gauges
+  // are stale.
+  if (delta.count == 0) return;
+  registry.GetGauge("serve.latency_p50_us")
+      ->Set(obs::HistogramQuantile(delta, 0.50));
+  registry.GetGauge("serve.latency_p95_us")
+      ->Set(obs::HistogramQuantile(delta, 0.95));
+  registry.GetGauge("serve.latency_p99_us")
+      ->Set(obs::HistogramQuantile(delta, 0.99));
+}
+
+void RatingServer::StatsLoop() {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  while (!stats_stop_) {
+    if (stats_cv_.wait_for(lock,
+                           std::chrono::milliseconds(config_.stats_tick_ms),
+                           [this] { return stats_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    StatsTick();
+    lock.lock();
+  }
+  // One final tick so short-lived servers still publish window gauges.
+  lock.unlock();
+  StatsTick();
 }
 
 RatingResponse RatingServer::Predict(int64_t user, std::vector<int64_t> items,
@@ -258,9 +349,23 @@ void RatingServer::RegisterRoutes() {
                  std::chrono::milliseconds(ms);
     }
     RatingResponse response = Predict(user, std::move(items), deadline);
-    if (!response.ok) return ErrorResponse(response);
-    return HttpResponse{200, "application/json",
-                        RenderPredictResponse(user, response)};
+    // Serialize and socket-write happen after the batcher resolved the
+    // request, so the transport attributes those two stages itself, under
+    // the same outcome the batcher recorded.
+    const RequestOutcome outcome = ClassifyOutcome(response);
+    const auto serialize_start = std::chrono::steady_clock::now();
+    HttpResponse http =
+        response.ok ? HttpResponse{200, "application/json",
+                                   RenderPredictResponse(user, response)}
+                    : ErrorResponse(response);
+    RecordStageLatency(outcome, RequestStage::kSerialize,
+                       std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - serialize_start)
+                           .count());
+    http.on_written = [outcome](double write_micros) {
+      RecordStageLatency(outcome, RequestStage::kWrite, write_micros);
+    };
+    return http;
   });
 
   http_.AddRoute("GET", "/healthz", [this](const HttpRequest&) {
@@ -278,9 +383,21 @@ void RatingServer::RegisterRoutes() {
     return HttpResponse{200, "application/json", body};
   });
 
-  http_.AddRoute("GET", "/metrics", [](const HttpRequest&) {
-    return HttpResponse{200, "application/json",
-                        obs::MetricsRegistry::Global().Take().ToJson()};
+  http_.AddRoute("GET", "/metrics", [this](const HttpRequest& request) {
+    const auto snapshot = TakeMetricsSnapshot();
+    if (WantsPrometheus(request.query)) {
+      return HttpResponse{200, obs::kPrometheusContentType,
+                          obs::ToPrometheusText(snapshot)};
+    }
+    return HttpResponse{
+        200, "application/json",
+        MetricsJsonWithHeader(snapshot.ToJson(), UptimeSeconds())};
+  });
+
+  // Scraper-friendly alias: same exposition, no query string needed.
+  http_.AddRoute("GET", "/metrics/prometheus", [this](const HttpRequest&) {
+    return HttpResponse{200, obs::kPrometheusContentType,
+                        obs::ToPrometheusText(TakeMetricsSnapshot())};
   });
 
   http_.AddRoute("POST", "/reload", [this](const HttpRequest& request) {

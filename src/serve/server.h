@@ -1,11 +1,13 @@
 #ifndef HIRE_SERVE_SERVER_H_
 #define HIRE_SERVE_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/hire_config.h"
@@ -14,6 +16,7 @@
 #include "graph/samplers.h"
 #include "serve/batcher.h"
 #include "serve/context_cache.h"
+#include "obs/window.h"
 #include "serve/http_server.h"
 #include "serve/inference_engine.h"
 
@@ -34,6 +37,10 @@ struct ServeConfig {
   /// Connection hygiene (slow-loris defense); see HttpServerOptions.
   int idle_timeout_ms = 5000;
   int header_timeout_ms = 2000;
+  /// Background stats tick period: every tick recomputes the rolling-window
+  /// latency percentile gauges (serve.latency_p50_us/p95_us/p99_us) from the
+  /// request-latency histogram delta since the previous tick (0 = disabled).
+  int64_t stats_tick_ms = 1000;
   BatcherConfig batcher;
 };
 
@@ -96,10 +103,22 @@ class RatingServer {
   ContextCache& cache() { return cache_; }
   MicroBatcher& batcher() { return batcher_; }
 
+  /// Seconds since this server was constructed.
+  double UptimeSeconds() const;
+
  private:
   void RegisterRoutes();
+  /// Refreshes the point-in-time gauges every snapshot should carry
+  /// (uptime, published versions), then returns a registry snapshot.
+  obs::MetricsRegistry::Snapshot TakeMetricsSnapshot();
+  /// One stats tick: recomputes the rolling-window percentile gauges from
+  /// the request-latency histogram delta since the previous tick.
+  void StatsTick();
+  void StatsLoop();
 
   const ServeConfig config_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   InferenceEngine engine_;
   ContextCache cache_;
   graph::NeighborhoodSampler sampler_;
@@ -114,6 +133,13 @@ class RatingServer {
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
   bool started_ = false;
+
+  // Rolling-window percentile state (stats thread only).
+  obs::HistogramWindow latency_window_;
+  std::thread stats_thread_;
+  std::mutex stats_mutex_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
 };
 
 }  // namespace serve

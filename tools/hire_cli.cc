@@ -122,10 +122,20 @@ serve:
                             (5000)
   --header-timeout-ms <int> total budget to receive one request's head+body;
                             breach returns 408 (slow-loris defense) (2000)
+  --trace-sample-every <int>  emit request-correlated spans (req#<id>/queue,
+                            .../forward, ...) for every Nth request when
+                            --trace-out is set (0 = never)
+  --slow-request-ms <int>   log one structured warning line with the full
+                            per-stage breakdown for requests slower than
+                            this (0 = off)
+  --stats-tick-ms <int>     rolling-window latency percentile gauge refresh
+                            period (1000; 0 = off)
 
   endpoints: POST /predict {"user":u,"items":[i,...]}   rating predictions
              GET  /healthz                              liveness + versions
              GET  /metrics                              metrics registry JSON
+                  (?format=prometheus or /metrics/prometheus for text
+                  exposition)
              POST /reload {"model":path}?               hot-swap checkpoint
              POST /shutdown                             graceful stop
 )";
@@ -339,6 +349,9 @@ int Serve(const Flags& flags) {
   config.batcher.breaker_threshold = flags.GetInt("breaker-threshold", 3);
   config.batcher.breaker_cooldown_ms =
       flags.GetInt("breaker-cooldown-ms", 1000);
+  config.batcher.trace_sample_every = flags.GetInt("trace-sample-every", 0);
+  config.batcher.slow_request_ms = flags.GetInt("slow-request-ms", 0);
+  config.stats_tick_ms = flags.GetInt("stats-tick-ms", 1000);
   config.idle_timeout_ms =
       static_cast<int>(flags.GetInt("idle-timeout-ms", 5000));
   config.header_timeout_ms =

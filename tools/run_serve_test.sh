@@ -5,8 +5,9 @@
 #   - no in-flight request failed across the swap,
 #   - /healthz reports the bumped model version,
 #   - /metrics shows request + context-cache counters moving,
-#   - POST /shutdown ends the serve loop cleanly, and
-#   - the telemetry JSONL carries one serve record per request.
+#   - POST /shutdown ends the serve loop cleanly,
+#   - the telemetry JSONL carries one serve record per request, and
+#   - the tracing-enabled server writes request-correlated spans at exit.
 #
 # Usage: run_serve_test.sh <hire_cli> <serve_loadgen> <validate_telemetry>
 # Registered as the `serve_smoke` ctest; also runnable by hand.
@@ -35,8 +36,11 @@ SHAPE=(--profile=movielens --scale=0.05 --him-blocks=2 --heads=2 --head-dim=4
 "$CLI" train "${SHAPE[@]}" --steps=60 --context=6 --log-every=0 \
     --out="$WORK/model_b.bin" >/dev/null || fail "training model B"
 
+# Tracing-enabled pass: every 25th request is sampled into the Chrome-trace
+# tracer, which the server flushes to disk on clean shutdown.
 "$CLI" serve "${SHAPE[@]}" --model="$WORK/model_a.bin" --port=0 \
     --context=8 --batch-window-us=2000 --max-batch-users=4 \
+    --trace-out="$WORK/serve_trace.json" --trace-sample-every=25 \
     --metrics-out="$WORK/metrics.jsonl" >"$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -98,5 +102,10 @@ SERVER_PID=""
 # One serve record per drive request, plus the final snapshot.
 "$VALIDATOR" --metrics="$WORK/metrics.jsonl" --min-steps=0 --min-serve=400 \
     || fail "serve telemetry validation"
+
+# The sampled requests must have produced correlated spans in the trace.
+"$VALIDATOR" --trace="$WORK/serve_trace.json" || fail "serve trace validation"
+grep -q '"name":"req#[0-9]*/total"' "$WORK/serve_trace.json" \
+    || fail "trace has no req#<id>/total spans"
 
 echo "PASS: hot-swap under load, metrics, shutdown, and telemetry all check out"

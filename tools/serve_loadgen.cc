@@ -89,6 +89,10 @@ struct PhaseResult {
   int64_t degraded = 0;                  // 200s tagged "degraded":true
   int64_t transport_errors = 0;          // no HTTP response at all
   std::vector<double> latencies_us;  // successful requests only
+  /// Client-observed latency of every answered request, per HTTP status —
+  /// rejections (503/504) have tails too, and hiding them under the
+  /// success-only percentiles would make shedding look free.
+  std::map<int, std::vector<double>> latencies_by_status_us;
   obs::MetricsRegistry::Snapshot delta;
 
   double throughput_rps() const {
@@ -150,6 +154,7 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
         serve::HttpClient client(port);
         std::vector<double> latencies;
         latencies.reserve(static_cast<size_t>(requests_each));
+        std::map<int, std::vector<double>> by_status;
         std::map<int, int64_t> statuses;
         int64_t degraded = 0;
         int64_t transport_errors = 0;
@@ -176,6 +181,7 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
             continue;
           }
           ++statuses[response.status];
+          by_status[response.status].push_back(micros);
           if (response.status == 200) {
             latencies.push_back(micros);
             if (response.body.find("\"degraded\":true") != std::string::npos) {
@@ -188,6 +194,10 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
         std::lock_guard<std::mutex> lock(merge_mutex);
         result.latencies_us.insert(result.latencies_us.end(),
                                    latencies.begin(), latencies.end());
+        for (auto& [status, samples] : by_status) {
+          auto& sink = result.latencies_by_status_us[status];
+          sink.insert(sink.end(), samples.begin(), samples.end());
+        }
         for (const auto& [status, count] : statuses) {
           result.status_counts[status] += count;
         }
@@ -204,7 +214,18 @@ PhaseResult DrivePhase(const std::string& name, int port, int clients,
   result.failures = failures.load();
   result.delta = obs::MetricsRegistry::Global().Take().Delta(before);
   std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  for (auto& [status, samples] : result.latencies_by_status_us) {
+    std::sort(samples.begin(), samples.end());
+  }
   return result;
+}
+
+/// {"count":N,"p50_us":...,"p95_us":...,"p99_us":...} over a sorted sample.
+std::string PercentilesJson(const std::vector<double>& sorted) {
+  return "{\"count\":" + std::to_string(sorted.size()) +
+         ",\"p50_us\":" + obs::JsonNumber(Percentile(sorted, 0.50)) +
+         ",\"p95_us\":" + obs::JsonNumber(Percentile(sorted, 0.95)) +
+         ",\"p99_us\":" + obs::JsonNumber(Percentile(sorted, 0.99)) + "}";
 }
 
 std::string PhaseJson(const PhaseResult& phase) {
@@ -251,6 +272,23 @@ std::string PhaseJson(const PhaseResult& phase) {
     json += "\"" + std::to_string(status) + "\":" + std::to_string(count);
   }
   json += "}";
+  {
+    std::vector<double> all;
+    for (const auto& [status, samples] : phase.latencies_by_status_us) {
+      all.insert(all.end(), samples.begin(), samples.end());
+    }
+    std::sort(all.begin(), all.end());
+    json += ",\"client_latency\":" + PercentilesJson(all);
+    json += ",\"client_latency_by_status\":{";
+    first = true;
+    for (const auto& [status, samples] : phase.latencies_by_status_us) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + std::to_string(status) +
+              "\":" + PercentilesJson(samples);
+    }
+    json += "}";
+  }
   json += ",\"transport_errors\":" + std::to_string(phase.transport_errors);
   json += ",\"degraded\":" + std::to_string(phase.degraded);
   json += ",\"degraded_share\":" + obs::JsonNumber(phase.degraded_share());
