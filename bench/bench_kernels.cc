@@ -1,0 +1,564 @@
+// Micro-benchmarks gating the tape-free fused inference path: fused QKV +
+// online-softmax attention vs the tape MHSA, the fused GEMM epilogue vs the
+// unfused op chain, and the whole serve forward (InferenceModel::Predict)
+// vs the autograd reference (HireModel::Predict) at serve batch shapes.
+//
+// Three modes:
+//   * default: the google-benchmark suite below.
+//   * --emit_json=PATH [--threads=1,2] [--min_time=0.2]: times every
+//     tape/fused pair and writes machine-readable rows (op, shape, impl,
+//     threads, ns/iter, speedup of fused over tape) to PATH.
+//     tools/run_bench.sh --kernels wraps this and checks BENCH_kernels.json
+//     in at the repo root.
+//   * --check_regress=BASELINE [--regress_tolerance=0.10]: re-times the
+//     fused rows and fails (exit 1) when any is slower than the checked-in
+//     baseline beyond the tolerance. Exits 77 (ctest SKIP) with a loud note
+//     on single-core machines, where a shared core makes wall-clock
+//     comparisons pure noise.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/hire_config.h"
+#include "core/hire_model.h"
+#include "core/inference_forward.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/context_builder.h"
+#include "graph/samplers.h"
+#include "nn/fused_attention.h"
+#include "nn/multi_head_self_attention.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "obs/stopwatch.h"
+#include "utils/parallel.h"
+#include "utils/string_utils.h"
+
+namespace {
+
+using namespace hire;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+// ---------------------------------------------------------------------------
+
+data::Dataset BenchDataset() {
+  data::SyntheticConfig config;
+  config.num_users = 256;
+  config.num_items = 256;
+  config.num_ratings = 6000;
+  config.user_schema = {{"age", 6}, {"gender", 2}};
+  config.item_schema = {{"genre", 8}};
+  return data::GenerateSyntheticDataset(config, /*seed=*/17);
+}
+
+graph::PredictionContext BenchContext(const data::Dataset& dataset, int64_t n,
+                                      int64_t m, uint64_t seed) {
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  graph::NeighborhoodSampler sampler;
+  Rng rng(seed);
+  return graph::BuildTrainingContext(graph, sampler, n, m, 0.3, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (default mode).
+// ---------------------------------------------------------------------------
+
+void BM_TapeMhsa(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  Rng rng(1);
+  nn::MhsaConfig config;
+  config.embed_dim = 64;
+  config.num_heads = 8;
+  nn::MultiHeadSelfAttention mhsa(config, &rng);
+  mhsa.SetTraining(false);
+  ag::Variable x(RandomNormal({16, tokens, 64}, 0, 1, &rng), false);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mhsa.Forward(x));
+  }
+}
+BENCHMARK(BM_TapeMhsa)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_FusedAttention(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  Rng rng(1);
+  nn::MhsaConfig config;
+  config.embed_dim = 64;
+  config.num_heads = 8;
+  nn::MultiHeadSelfAttention mhsa(config, &rng);
+  const nn::FusedAttentionWeights packed = nn::PackAttentionWeights(mhsa);
+  Tensor x = RandomNormal({16, tokens, 64}, 0, 1, &rng);
+  Tensor out(x.shape());
+  std::vector<float> scratch(
+      static_cast<size_t>(packed.ScratchFloats(16, tokens)));
+  for (auto _ : state) {
+    nn::FusedAttentionForward(packed, x.data(), 16, tokens, out.data(),
+                              scratch.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FusedAttention)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_UnfusedGemmChain(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(2);
+  Tensor a = RandomNormal({rows, 64}, 0, 1, &rng);
+  Tensor b = RandomNormal({64, 192}, 0, 1, &rng);
+  Tensor bias = RandomNormal({192}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::AddBias(ops::MatMul(a, b), bias));
+  }
+}
+BENCHMARK(BM_UnfusedGemmChain)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_GemmBiasAct(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(2);
+  Tensor a = RandomNormal({rows, 64}, 0, 1, &rng);
+  Tensor b = RandomNormal({64, 192}, 0, 1, &rng);
+  Tensor bias = RandomNormal({192}, 0, 1, &rng);
+  Tensor c({rows, 192});
+  for (auto _ : state) {
+    ops::GemmBiasActInto(a.data(), b.data(), bias.data(), c.data(), rows, 64,
+                         192);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBiasAct)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_SoftmaxMatmulChain(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  Tensor q = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  Tensor k = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  Tensor v = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  for (auto _ : state) {
+    Tensor scores =
+        ops::MulScalar(ops::BatchedMatMulTransposedB(q, k), 0.25f);
+    benchmark::DoNotOptimize(ops::BatchedMatMul(ops::Softmax(scores), v));
+  }
+}
+BENCHMARK(BM_SoftmaxMatmulChain)->RangeMultiplier(4)->Range(8, 128);
+
+void BM_OnlineSoftmaxWeightedSum(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  Tensor q = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  Tensor k = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  Tensor v = RandomNormal({batch, 16, 16}, 0, 1, &rng);
+  Tensor out(q.shape());
+  for (auto _ : state) {
+    for (int64_t s = 0; s < batch; ++s) {
+      ops::OnlineSoftmaxWeightedSumInto(
+          q.data() + s * 256, 16, k.data() + s * 256, 16,
+          v.data() + s * 256, 16, out.data() + s * 256, 16, 16, 16, 0.25f);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OnlineSoftmaxWeightedSum)->RangeMultiplier(4)->Range(8, 128);
+
+void BM_TapeServeForward(benchmark::State& state) {
+  data::Dataset dataset = BenchDataset();
+  core::HireConfig config;  // paper defaults: 3 blocks, 8 heads, dk 16
+  core::HireModel model(&dataset, config, /*seed=*/5);
+  model.SetTraining(false);
+  graph::PredictionContext context = BenchContext(dataset, 16, 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(context));
+  }
+}
+BENCHMARK(BM_TapeServeForward);
+
+void BM_FusedServeForward(benchmark::State& state) {
+  data::Dataset dataset = BenchDataset();
+  core::HireConfig config;
+  core::HireModel model(&dataset, config, /*seed=*/5);
+  model.SetTraining(false);
+  const core::InferenceModel fused(model);
+  core::InferenceArena arena;
+  graph::PredictionContext context = BenchContext(dataset, 16, 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused.Predict(context, &arena).data());
+  }
+}
+BENCHMARK(BM_FusedServeForward);
+
+// ---------------------------------------------------------------------------
+// JSON harness (--emit_json) and the regression gate (--check_regress).
+// ---------------------------------------------------------------------------
+
+struct BenchRow {
+  std::string op;
+  std::string shape;
+  std::string impl;  // "tape" or "fused"
+  int threads = 1;
+  double ns_per_iter = 0.0;
+  double speedup_vs_tape = 0.0;  // 1.0 on tape rows
+};
+
+struct BenchCase {
+  std::string op;
+  std::string shape;
+  std::function<void()> tape_fn;
+  std::function<void()> fused_fn;
+};
+
+int HardwareCores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+double TimeNsPerIter(const std::function<void()>& fn, double min_seconds) {
+  fn();  // warmup
+  Stopwatch stopwatch;
+  int iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (stopwatch.ElapsedSeconds() < min_seconds && iters < 200);
+  return stopwatch.ElapsedSeconds() * 1e9 / iters;
+}
+
+/// The benchmark pairs. Held behind a function so both --emit_json and
+/// --check_regress time the identical workloads. The shapes are the ones
+/// the serve tier actually runs: the default BatcherConfig context is
+/// 16 x 16 and the HIM blocks attend over 16-token user/item sequences and
+/// 4-token attribute sequences.
+struct BenchFixtures {
+  static nn::MhsaConfig MhsaCfg() {
+    nn::MhsaConfig config;
+    config.embed_dim = 64;
+    config.num_heads = 8;
+    return config;
+  }
+
+  data::Dataset dataset;
+  core::HireConfig config;
+  core::HireModel model;
+  core::InferenceModel fused;
+  core::InferenceArena arena;
+  graph::PredictionContext context;
+
+  Rng rng;
+  nn::MultiHeadSelfAttention mhsa;
+  nn::FusedAttentionWeights packed;
+  Tensor mhsa_x;
+  ag::Variable mhsa_xv;
+  Tensor mhsa_out;
+  std::vector<float> mhsa_scratch;
+
+  Tensor gemm_a, gemm_b, gemm_bias, gemm_c;
+  Tensor attn_q, attn_k, attn_v, attn_out;
+
+  BenchFixtures()
+      : dataset(BenchDataset()),
+        model(&dataset, config, /*seed=*/5),
+        fused(model),
+        context(BenchContext(dataset, 16, 16, /*seed=*/7)),
+        rng(11),
+        mhsa(MhsaCfg(), &rng),
+        packed(nn::PackAttentionWeights(mhsa)),
+        mhsa_x(RandomNormal({16, 16, 64}, 0, 1, &rng)),
+        mhsa_xv(mhsa_x, false),
+        mhsa_out({16, 16, 64}),
+        mhsa_scratch(static_cast<size_t>(packed.ScratchFloats(16, 16))),
+        gemm_a(RandomNormal({256, 64}, 0, 1, &rng)),
+        gemm_b(RandomNormal({64, 192}, 0, 1, &rng)),
+        gemm_bias(RandomNormal({192}, 0, 1, &rng)),
+        gemm_c({256, 192}),
+        attn_q(RandomNormal({128, 16, 16}, 0, 1, &rng)),
+        attn_k(RandomNormal({128, 16, 16}, 0, 1, &rng)),
+        attn_v(RandomNormal({128, 16, 16}, 0, 1, &rng)),
+        attn_out({128, 16, 16}) {
+    model.SetTraining(false);
+    mhsa.SetTraining(false);
+  }
+};
+
+std::vector<BenchCase> BuildCases(BenchFixtures* fx) {
+  std::vector<BenchCase> cases;
+
+  cases.push_back(
+      {"mhsa", "16x16x64",
+       [fx] {
+         ag::NoGradGuard no_grad;
+         benchmark::DoNotOptimize(fx->mhsa.Forward(fx->mhsa_xv));
+       },
+       [fx] {
+         nn::FusedAttentionForward(fx->packed, fx->mhsa_x.data(), 16, 16,
+                                   fx->mhsa_out.data(),
+                                   fx->mhsa_scratch.data());
+         benchmark::DoNotOptimize(fx->mhsa_out.data());
+       }});
+
+  cases.push_back(
+      {"gemm_bias", "256x64x192",
+       [fx] {
+         benchmark::DoNotOptimize(
+             ops::AddBias(ops::MatMul(fx->gemm_a, fx->gemm_b),
+                          fx->gemm_bias));
+       },
+       [fx] {
+         ops::GemmBiasActInto(fx->gemm_a.data(), fx->gemm_b.data(),
+                              fx->gemm_bias.data(), fx->gemm_c.data(), 256,
+                              64, 192);
+         benchmark::DoNotOptimize(fx->gemm_c.data());
+       }});
+
+  cases.push_back(
+      {"attention_core", "128x16x16",
+       [fx] {
+         Tensor scores = ops::MulScalar(
+             ops::BatchedMatMulTransposedB(fx->attn_q, fx->attn_k), 0.25f);
+         benchmark::DoNotOptimize(
+             ops::BatchedMatMul(ops::Softmax(scores), fx->attn_v));
+       },
+       [fx] {
+         for (int64_t s = 0; s < 128; ++s) {
+           ops::OnlineSoftmaxWeightedSumInto(
+               fx->attn_q.data() + s * 256, 16, fx->attn_k.data() + s * 256,
+               16, fx->attn_v.data() + s * 256, 16,
+               fx->attn_out.data() + s * 256, 16, 16, 16, 0.25f);
+         }
+         benchmark::DoNotOptimize(fx->attn_out.data());
+       }});
+
+  // The acceptance case: whole forward at the default serve batch shape.
+  cases.push_back(
+      {"serve_forward", "16x16",
+       [fx] { benchmark::DoNotOptimize(fx->model.Predict(fx->context)); },
+       [fx] {
+         benchmark::DoNotOptimize(
+             fx->fused.Predict(fx->context, &fx->arena).data());
+       }});
+  return cases;
+}
+
+std::vector<BenchRow> RunCases(const std::vector<BenchCase>& cases,
+                               const std::vector<int>& thread_counts,
+                               double min_seconds) {
+  std::vector<BenchRow> rows;
+  for (const BenchCase& bench : cases) {
+    for (const int threads : thread_counts) {
+      SetGlobalThreads(threads);
+      const double tape_ns = TimeNsPerIter(bench.tape_fn, min_seconds);
+      const double fused_ns = TimeNsPerIter(bench.fused_fn, min_seconds);
+      BenchRow tape_row;
+      tape_row.op = bench.op;
+      tape_row.shape = bench.shape;
+      tape_row.impl = "tape";
+      tape_row.threads = threads;
+      tape_row.ns_per_iter = tape_ns;
+      tape_row.speedup_vs_tape = 1.0;
+      rows.push_back(tape_row);
+      BenchRow fused_row = tape_row;
+      fused_row.impl = "fused";
+      fused_row.ns_per_iter = fused_ns;
+      fused_row.speedup_vs_tape = tape_ns / fused_ns;
+      rows.push_back(fused_row);
+      std::cerr << bench.op << " " << bench.shape << " t=" << threads
+                << ": tape " << tape_ns << " ns/iter, fused " << fused_ns
+                << " ns/iter (x" << fused_row.speedup_vs_tape << ")\n";
+    }
+  }
+  SetGlobalThreads(0);
+  return rows;
+}
+
+int WriteJson(const std::vector<BenchRow>& rows, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"generated_by\": \"bench_kernels --emit_json\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\"op\": \"" << row.op << "\", \"shape\": \"" << row.shape
+        << "\", \"impl\": \"" << row.impl << "\", \"threads\": "
+        << row.threads << ", \"ns_per_iter\": "
+        << static_cast<int64_t>(row.ns_per_iter) << ", \"speedup_vs_tape\": "
+        << row.speedup_vs_tape << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << rows.size() << " rows to " << path << "\n";
+  return 0;
+}
+
+/// Minimal parser for the JSON this binary writes: one result object per
+/// line, string values without escapes. Good enough for the regression gate
+/// reading its own checked-in baseline.
+std::vector<BenchRow> ParseBaseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<BenchRow> rows;
+  if (!in.is_open()) return rows;
+  std::string line;
+  auto string_field = [](const std::string& text, const std::string& key) {
+    const std::string needle = "\"" + key + "\": \"";
+    const size_t at = text.find(needle);
+    if (at == std::string::npos) return std::string();
+    const size_t begin = at + needle.size();
+    return text.substr(begin, text.find('"', begin) - begin);
+  };
+  auto number_field = [](const std::string& text, const std::string& key) {
+    const std::string needle = "\"" + key + "\": ";
+    const size_t at = text.find(needle);
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("\"op\"") == std::string::npos) continue;
+    BenchRow row;
+    row.op = string_field(line, "op");
+    row.shape = string_field(line, "shape");
+    row.impl = string_field(line, "impl");
+    row.threads = static_cast<int>(number_field(line, "threads"));
+    row.ns_per_iter = number_field(line, "ns_per_iter");
+    row.speedup_vs_tape = number_field(line, "speedup_vs_tape");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int CheckRegress(const std::string& baseline_path, double tolerance,
+                 double min_seconds) {
+  if (HardwareCores() == 1) {
+    std::cerr
+        << "\n"
+        << "============================================================\n"
+        << "kernel_regress: SKIPPED — this machine exposes a single\n"
+        << "effective core, so kernel wall-clock times are dominated by\n"
+        << "whatever else shares the core and a 10% gate would flap.\n"
+        << "Run on a multi-core box to enforce the baseline.\n"
+        << "============================================================\n";
+    return 77;  // ctest SKIP_RETURN_CODE
+  }
+  const std::vector<BenchRow> baseline = ParseBaseline(baseline_path);
+  if (baseline.empty()) {
+    std::cerr << "kernel_regress: cannot read baseline " << baseline_path
+              << " (regenerate with tools/run_bench.sh --kernels)\n";
+    return 1;
+  }
+  std::map<std::tuple<std::string, std::string, int>, double> baseline_ns;
+  for (const BenchRow& row : baseline) {
+    if (row.impl == "fused") {
+      baseline_ns[{row.op, row.shape, row.threads}] = row.ns_per_iter;
+    }
+  }
+
+  BenchFixtures fixtures;
+  const std::vector<BenchCase> cases = BuildCases(&fixtures);
+  int failures = 0;
+  int compared = 0;
+  for (const BenchCase& bench : cases) {
+    for (const auto& [key, base_ns] : baseline_ns) {
+      const auto& [op, shape, threads] = key;
+      if (op != bench.op || shape != bench.shape) continue;
+      if (threads > HardwareCores()) continue;  // oversubscribed baseline row
+      SetGlobalThreads(threads);
+      const double ns = TimeNsPerIter(bench.fused_fn, min_seconds);
+      ++compared;
+      if (ns > base_ns * (1.0 + tolerance)) {
+        std::cerr << "kernel_regress FAIL: " << op << " " << shape
+                  << " t=" << threads << " fused " << ns << " ns/iter vs "
+                  << base_ns << " ns/iter baseline (tolerance "
+                  << tolerance * 100 << "%)\n";
+        ++failures;
+      } else {
+        std::cerr << "kernel_regress ok: " << op << " " << shape << " t="
+                  << threads << " fused " << ns << " ns/iter (baseline "
+                  << base_ns << ")\n";
+      }
+    }
+  }
+  SetGlobalThreads(0);
+  if (compared == 0) {
+    std::cerr << "kernel_regress: no comparable fused rows in "
+              << baseline_path << "\n";
+    return 1;
+  }
+  if (failures == 0) {
+    std::cerr << "kernel_regress: PASS (" << compared
+              << " fused rows within " << tolerance * 100
+              << "% of baseline)\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string emit_json;
+  std::string check_regress;
+  std::vector<int> thread_counts = {1};
+  double min_seconds = 0.2;
+  double regress_tolerance = 0.10;
+
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (hire::StartsWith(arg, "--emit_json=")) {
+      emit_json = arg.substr(std::strlen("--emit_json="));
+    } else if (hire::StartsWith(arg, "--check_regress=")) {
+      check_regress = arg.substr(std::strlen("--check_regress="));
+    } else if (hire::StartsWith(arg, "--threads=")) {
+      thread_counts.clear();
+      for (const std::string& field :
+           hire::Split(arg.substr(std::strlen("--threads=")), ',')) {
+        thread_counts.push_back(
+            static_cast<int>(hire::ParseInt64(hire::Trim(field))));
+      }
+    } else if (hire::StartsWith(arg, "--min_time=")) {
+      min_seconds = hire::ParseDouble(arg.substr(std::strlen("--min_time=")));
+    } else if (hire::StartsWith(arg, "--regress_tolerance=")) {
+      regress_tolerance =
+          hire::ParseDouble(arg.substr(std::strlen("--regress_tolerance=")));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (!check_regress.empty()) {
+    return CheckRegress(check_regress, regress_tolerance, min_seconds);
+  }
+  if (!emit_json.empty()) {
+    BenchFixtures fixtures;
+    return WriteJson(RunCases(BuildCases(&fixtures), thread_counts,
+                              min_seconds),
+                     emit_json);
+  }
+
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

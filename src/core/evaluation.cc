@@ -154,7 +154,12 @@ std::vector<float> HirePredictor::PredictForUser(
     ThinObservedCells(&context, /*keep_rows=*/1, context_visible_fraction_,
                       seed_);
 
-    const Tensor predicted = model_->Predict(context);
+    // Fused tape-free forward (packed once, first call). Falls within 1e-5
+    // of model_->Predict — see the equivalence tests in tests/core_test.cc.
+    if (inference_ == nullptr) {
+      inference_ = std::make_unique<InferenceModel>(*model_);
+    }
+    const Tensor& predicted = inference_->Predict(context, &arena_);
 
     // The seed user is the first row; seed items are the first columns
     // (samplers preserve seed order).

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/hire_model.h"
+#include "core/inference_forward.h"
 #include "data/dataset.h"
 #include "data/splits.h"
 #include "graph/bipartite_graph.h"
@@ -106,6 +108,13 @@ class HirePredictor : public RatingPredictor {
   int64_t context_items_;
   double context_visible_fraction_;
   uint64_t seed_;
+  /// Tape-free fused forward, packed lazily on the first prediction (the
+  /// model is trained by then) and reused for every subsequent call; the
+  /// arena makes repeat predictions allocation-free. The tape model stays
+  /// around as `model_` for attention capture and as the autograd
+  /// reference.
+  std::unique_ptr<InferenceModel> inference_;
+  InferenceArena arena_;
 };
 
 /// Cold-start evaluation configuration (paper §VI-A).

@@ -10,14 +10,17 @@ namespace {
 
 constexpr const char* kNames[KernelTimers::kNumCategories] = {
     "matmul",    "softmax",   "attention", "optim",
-    "layernorm", "embedding", "sampling",  "ckpt-io"};
+    "layernorm", "embedding", "sampling",  "ckpt-io",
+    "infer.fused-attention", "infer.fused-gemm", "infer.arena"};
 
 // Registry counter names use identifier-safe spellings.
 constexpr const char* kCounterNames[KernelTimers::kNumCategories] = {
     "kernel.matmul_nanos",    "kernel.softmax_nanos",
     "kernel.attention_nanos", "kernel.optimizer_nanos",
     "kernel.layernorm_nanos", "kernel.embedding_nanos",
-    "kernel.sampling_nanos",  "kernel.checkpoint_io_nanos"};
+    "kernel.sampling_nanos",  "kernel.checkpoint_io_nanos",
+    "kernel.infer.fused_attention_nanos", "kernel.infer.fused_gemm_nanos",
+    "kernel.infer.arena_nanos"};
 
 std::array<obs::Counter*, KernelTimers::kNumCategories>& Totals() {
   static std::array<obs::Counter*, KernelTimers::kNumCategories> counters = [] {

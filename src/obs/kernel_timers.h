@@ -14,6 +14,14 @@ namespace hire {
 /// kLayerNorm and kEmbedding are charged inside their autograd kernels
 /// (forward and backward), kSampling around context sampling/assembly, and
 /// kCheckpointIo around snapshot serialisation to and from disk.
+///
+/// The infer.* categories partition the tape-free inference forward
+/// (core/inference_forward.cc) instead of overlapping it: kInferFusedGemm is
+/// charged inside ops::GemmBiasAct(Into), kInferFusedAttention around the
+/// online-softmax attention loops, and kInferArena around everything else
+/// the fused forward does over arena buffers (encode gather, permutes,
+/// residual + layer norm, decode), so serve forward time decomposes by
+/// kernel in /metrics and the Prometheus exposition.
 enum class KernelCategory : int {
   kMatMul = 0,
   kSoftmax,
@@ -23,6 +31,9 @@ enum class KernelCategory : int {
   kEmbedding,
   kSampling,
   kCheckpointIo,
+  kInferFusedAttention,
+  kInferFusedGemm,
+  kInferArena,
 };
 
 /// Process-wide accumulator of time spent per KernelCategory, backed by
@@ -31,7 +42,7 @@ enum class KernelCategory : int {
 /// Thread-safe; the trainer snapshots it to print a per-epoch breakdown.
 class KernelTimers {
  public:
-  static constexpr int kNumCategories = 8;
+  static constexpr int kNumCategories = 11;
 
   /// Display/export names, indexed by KernelCategory.
   static const char* Name(KernelCategory category);

@@ -801,11 +801,15 @@ void MicroBatcher::ProcessGroup(std::vector<PendingRequest>* group,
                           /*keep_rows=*/static_cast<int64_t>(users.size()),
                           config_.visible_fraction, config_.seed);
 
-  Tensor predicted;
+  // Tape-free fused forward: weights were packed at snapshot load, the
+  // arena is the worker's own scratch, and the result tensor lives in the
+  // arena — zero heap per request after warm-up.
+  const Tensor* predicted_ptr = nullptr;
   {
     HIRE_TRACE_SCOPE("serve_forward");
-    predicted = snapshot.model->Predict(context);
+    predicted_ptr = &snapshot.inference->Predict(context, &arena_);
   }
+  const Tensor& predicted = *predicted_ptr;
   {
     const auto forward_end = std::chrono::steady_clock::now();
     for (PendingRequest& request : *group) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/hire_config.h"
+#include "core/inference_forward.h"
 #include "graph/bipartite_graph.h"
 #include "graph/samplers.h"
 #include "serve/bounded_queue.h"
@@ -261,6 +262,11 @@ class MicroBatcher {
 
   BatcherConfig config_;
   InferenceEngine* engine_;
+  /// Scratch for the tape-free fused forward. Touched only by the single
+  /// batch worker; holds no snapshot pointers, so it safely outlives model
+  /// hot-swaps (see InferenceArena's lifetime rule). After warming up on
+  /// the configured context shape, forwards allocate zero heap from it.
+  core::InferenceArena arena_;
   ContextCache* cache_;
   const graph::ContextSampler* sampler_;
   std::function<std::shared_ptr<const VersionedGraph>()> graph_provider_;

@@ -9,6 +9,7 @@
 
 #include "core/hire_config.h"
 #include "core/hire_model.h"
+#include "core/inference_forward.h"
 #include "data/dataset.h"
 
 namespace hire {
@@ -20,6 +21,12 @@ namespace serve {
 /// snapshot is only ever driven by one micro-batcher worker at a time.
 struct ModelSnapshot {
   std::unique_ptr<core::HireModel> model;
+  /// Tape-free fused forward packed from `model` once at Load time (never
+  /// per request; the "serve.snapshot.pack_us" histogram records each
+  /// packing and tests pin its count to the number of loads). This is what
+  /// the micro-batcher actually drives; `model` stays as the autograd
+  /// reference and for tooling that needs the tape.
+  std::unique_ptr<core::InferenceModel> inference;
   std::string source_path;
   int64_t version = 0;
   int64_t num_parameters = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "utils/check.h"
@@ -289,8 +290,13 @@ void BlockedGemm(const float* a, const float* b, float* c, int64_t n,
                  int64_t k, int64_t m, bool b_transposed) {
   const int64_t ldb = b_transposed ? k : m;
   const int64_t nr_tile = NrTile();
-  const auto apack = std::make_unique<float[]>(kMc * kKc);
-  const auto bpack = std::make_unique<float[]>(kKc * kNc);
+  // Fixed-size pack scratch, allocated once per worker thread and reused by
+  // every GEMM it runs: after warm-up the hot path touches no heap, which
+  // the tape-free inference forward relies on (zero allocations per serve
+  // request). Each ParallelForRange worker runs its row slab serially, so
+  // the buffers are never shared.
+  thread_local const auto apack = std::make_unique<float[]>(kMc * kKc);
+  thread_local const auto bpack = std::make_unique<float[]>(kKc * kNc);
 
   for (int64_t jc = 0; jc < m; jc += kNc) {
     const int64_t nc = std::min(kNc, m - jc);
@@ -774,6 +780,131 @@ Tensor Softmax(const Tensor& a) {
       }
       const float inv = static_cast<float>(1.0 / denom);
       for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
+    }
+  });
+  return out;
+}
+
+namespace {
+
+// Epilogue rounding mirrors the unfused chain exactly: one round for the
+// bias add (AddBias), one for the activation (ops::Sigmoid's sign-split
+// form / Relu), one for the scalar (MulScalar).
+inline float ApplyEpilogue(float x, const float* bias, int64_t j,
+                           Activation act, float post_scale) {
+  float v = bias != nullptr ? x + bias[j] : x;
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kSigmoid:
+      v = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                    : std::exp(v) / (1.0f + std::exp(v));
+      break;
+    case Activation::kRelu:
+      v = v > 0.0f ? v : 0.0f;
+      break;
+  }
+  return v * post_scale;
+}
+
+}  // namespace
+
+void GemmBiasActInto(const float* a, const float* b, const float* bias,
+                     float* c, int64_t n, int64_t k, int64_t m,
+                     bool b_transposed, Activation act, float post_scale) {
+  ScopedKernelTimer timer(KernelCategory::kInferFusedGemm);
+  std::fill(c, c + n * m, 0.0f);
+  LaunchGemm(a, b, c, n, k, m, b_transposed);
+  const double act_flops =
+      act == Activation::kSigmoid ? kTranscendentalFlops : 1.0;
+  const int64_t grain = PlanGrain(
+      n, {(2.0 + act_flops) * static_cast<double>(m),
+          12.0 * static_cast<double>(m)});
+  ParallelForRange(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* row = c + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        row[j] = ApplyEpilogue(row[j], bias, j, act, post_scale);
+      }
+    }
+  });
+}
+
+Tensor GemmBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   Activation act, float post_scale) {
+  HIRE_CHECK_EQ(a.dim(), 2);
+  HIRE_CHECK_EQ(b.dim(), 2);
+  HIRE_CHECK_EQ(a.shape(1), b.shape(0))
+      << "GemmBiasAct " << a.ShapeString() << " x " << b.ShapeString();
+  HIRE_CHECK_EQ(bias.dim(), 1);
+  HIRE_CHECK_EQ(bias.shape(0), b.shape(1));
+  Tensor out({a.shape(0), b.shape(1)});
+  GemmBiasActInto(a.data(), b.data(), bias.data(), out.data(), a.shape(0),
+                  a.shape(1), b.shape(1), /*b_transposed=*/false, act,
+                  post_scale);
+  return out;
+}
+
+void OnlineSoftmaxWeightedSumInto(const float* q, int64_t q_stride,
+                                  const float* k, int64_t k_stride,
+                                  const float* v, int64_t v_stride,
+                                  float* out, int64_t out_stride,
+                                  int64_t tokens, int64_t head_dim,
+                                  float scale) {
+  for (int64_t i = 0; i < tokens; ++i) {
+    const float* qi = q + i * q_stride;
+    float* oi = out + i * out_stride;
+    // The output row doubles as the weighted-value accumulator: when the
+    // running max rises, the accumulated row and mass are rescaled by
+    // exp(m_old - m_new), so no per-row scratch is needed. The row must
+    // start at exactly zero (not merely be rescaled by exp(-inf) == 0 on
+    // the first step): 0 * NaN from stale arena bits would poison it.
+    for (int64_t c = 0; c < head_dim; ++c) oi[c] = 0.0f;
+    float m = -std::numeric_limits<float>::infinity();
+    double mass = 0.0;  // double like Softmax's denominator
+    for (int64_t j = 0; j < tokens; ++j) {
+      const float* kj = k + j * k_stride;
+      float dot = 0.0f;
+      for (int64_t p = 0; p < head_dim; ++p) dot += qi[p] * kj[p];
+      const float s = dot * scale;
+      if (s > m) {
+        const float rescale = std::exp(m - s);
+        for (int64_t c = 0; c < head_dim; ++c) oi[c] *= rescale;
+        mass *= rescale;
+        m = s;
+      }
+      const float w = std::exp(s - m);
+      mass += w;
+      const float* vj = v + j * v_stride;
+      for (int64_t c = 0; c < head_dim; ++c) oi[c] += w * vj[c];
+    }
+    const float inv = static_cast<float>(1.0 / mass);
+    for (int64_t c = 0; c < head_dim; ++c) oi[c] *= inv;
+  }
+}
+
+Tensor OnlineSoftmaxWeightedSum(const Tensor& q, const Tensor& k,
+                                const Tensor& v, float scale) {
+  HIRE_CHECK_EQ(q.dim(), 3);
+  HIRE_CHECK(q.SameShape(k) && q.SameShape(v))
+      << "OnlineSoftmaxWeightedSum " << q.ShapeString() << " / "
+      << k.ShapeString() << " / " << v.ShapeString();
+  ScopedKernelTimer timer(KernelCategory::kInferFusedAttention);
+  const int64_t batch = q.shape(0);
+  const int64_t tokens = q.shape(1);
+  const int64_t dim = q.shape(2);
+  Tensor out(q.shape());
+  const double t = static_cast<double>(tokens);
+  const double d = static_cast<double>(dim);
+  const int64_t grain = PlanGrain(
+      batch, {t * t * (4.0 * d + kTranscendentalFlops), 12.0 * t * d});
+  ParallelForRange(0, batch, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t offset = s * tokens * dim;
+      OnlineSoftmaxWeightedSumInto(q.data() + offset, dim, k.data() + offset,
+                                   dim, v.data() + offset, dim,
+                                   out.data() + offset, dim, tokens, dim,
+                                   scale);
     }
   });
   return out;

@@ -95,6 +95,56 @@ Tensor Softmax(const Tensor& a);
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
               float rtol = 1e-4f);
 
+// ---------------------------------------------------------------------------
+// Fused inference primitives. These power the tape-free forward path
+// (core/inference_forward.h): the Into variants write into caller-owned
+// storage (normally an InferenceArena buffer) and allocate nothing, so a
+// warmed-up serve forward touches no heap. The Tensor wrappers exist for
+// tests and benchmarks.
+// ---------------------------------------------------------------------------
+
+/// Epilogue activation fused into GemmBiasAct.
+enum class Activation { kNone, kSigmoid, kRelu };
+
+/// C = post_scale * act(A[n, k] x B + bias): a Linear forward (MatMul +
+/// AddBias) plus an optional activation and scalar, fused into the GEMM's
+/// epilogue pass instead of three tensor-sized round trips. `b` is
+/// row-major [k, m], or stored transposed as [m, k] when `b_transposed`;
+/// `bias` ([m] floats) may be nullptr. Per C element the arithmetic is
+/// bitwise identical to the unfused chain: the shared GEMM backend
+/// accumulates products in ascending-p order into a zeroed C, then one
+/// rounding each for + bias, act, and * post_scale — the same order
+/// MatMul / AddBias / Sigmoid / MulScalar produce.
+void GemmBiasActInto(const float* a, const float* b, const float* bias,
+                     float* c, int64_t n, int64_t k, int64_t m,
+                     bool b_transposed = false,
+                     Activation act = Activation::kNone,
+                     float post_scale = 1.0f);
+
+/// Tensor wrapper: act(a x b + bias) * post_scale, a [n, k] x b [k, m].
+Tensor GemmBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   Activation act = Activation::kNone,
+                   float post_scale = 1.0f);
+
+/// Single-sequence single-pass attention: out[i, :] = sum_j a_ij * v[j, :]
+/// with a_ij = softmax_j(scale * <q_i, k_j>), computed in one sweep over j
+/// per query via online (running-max) softmax — the t x t score matrix is
+/// never materialised. Token i of q/k/v/out lives at base + i*stride
+/// (strides in floats), so per-head q/k/v can be read strided straight out
+/// of a fused QKV projection buffer and the result written head-merged.
+/// Serial by design; callers parallelise over (batch, head) sequences.
+void OnlineSoftmaxWeightedSumInto(const float* q, int64_t q_stride,
+                                  const float* k, int64_t k_stride,
+                                  const float* v, int64_t v_stride,
+                                  float* out, int64_t out_stride,
+                                  int64_t tokens, int64_t head_dim,
+                                  float scale);
+
+/// Batched tensor wrapper: q/k/v [b, t, d] -> [b, t, d], sharded over the
+/// batch through the cost model.
+Tensor OnlineSoftmaxWeightedSum(const Tensor& q, const Tensor& k,
+                                const Tensor& v, float scale);
+
 }  // namespace ops
 }  // namespace hire
 

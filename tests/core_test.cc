@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -12,12 +17,14 @@
 #include "core/him_block.h"
 #include "core/hire_config.h"
 #include "core/hire_model.h"
+#include "core/inference_forward.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "graph/context_builder.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace hire {
 namespace core {
@@ -655,6 +662,217 @@ TEST(EvaluationTest, HirePredictorReturnsOnePredictionPerItem) {
     EXPECT_GE(p, 0.0f);
     EXPECT_LE(p, dataset.max_rating());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tape-free fused inference path (core/inference_forward.h).
+// ---------------------------------------------------------------------------
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(a.flat(i) - b.flat(i)));
+  }
+  return max_abs;
+}
+
+TEST(InferenceForwardTest, MatchesTapePredictAcrossShapesAndHeadCounts) {
+  data::Dataset dataset = SmallDataset();
+  // e = 16, so every head count divides it with head_dim defaulted; an
+  // explicit head_dim covers inner != embed_dim.
+  const std::vector<std::pair<int64_t, int64_t>> head_configs = {
+      {1, 0}, {2, 4}, {4, 0}, {8, 0}, {2, 3}};
+  for (const auto& [heads, head_dim] : head_configs) {
+    HireConfig config = SmallConfig();
+    config.num_heads = heads;
+    config.head_dim = head_dim;
+    HireModel model(&dataset, config, /*seed=*/17);
+    model.SetTraining(false);
+    const InferenceModel fused(model);
+    InferenceArena arena;
+    for (const int64_t n : {1, 4, 16}) {
+      for (const int64_t m : {8, 32}) {
+        graph::PredictionContext context =
+            SmallContext(dataset, /*seed=*/100 + n + m, n, m);
+        const Tensor tape = model.Predict(context);
+        const Tensor& out = fused.Predict(context, &arena);
+        EXPECT_LE(MaxAbsDiff(out, tape), 1e-5f)
+            << "heads=" << heads << " head_dim=" << head_dim << " n=" << n
+            << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(InferenceForwardTest, MatchesTapeUnderAblationToggles) {
+  data::Dataset dataset = SmallDataset();
+  const auto variant = [](auto mutate) {
+    HireConfig config;
+    config.num_him_blocks = 2;
+    config.num_heads = 2;
+    config.head_dim = 4;
+    config.attr_embed_dim = 4;
+    mutate(&config);
+    return config;
+  };
+  const std::vector<HireConfig> variants = {
+      variant([](HireConfig* c) { c->use_residual = false; }),
+      variant([](HireConfig* c) { c->use_layer_norm = false; }),
+      variant([](HireConfig* c) { c->use_user_attention = false; }),
+      variant([](HireConfig* c) { c->use_item_attention = false; }),
+      variant([](HireConfig* c) { c->use_attr_attention = false; }),
+      variant([](HireConfig* c) {
+        c->use_residual = false;
+        c->use_layer_norm = false;
+      }),
+  };
+  graph::PredictionContext context = SmallContext(dataset, /*seed=*/9, 6, 8);
+  for (size_t i = 0; i < variants.size(); ++i) {
+    HireModel model(&dataset, variants[i], /*seed=*/23);
+    model.SetTraining(false);
+    const InferenceModel fused(model);
+    InferenceArena arena;
+    EXPECT_LE(MaxAbsDiff(fused.Predict(context, &arena),
+                         model.Predict(context)),
+              1e-5f)
+        << "ablation variant " << i;
+  }
+}
+
+TEST(InferenceForwardTest, BitwiseEqualWhenAttentionDisabled) {
+  // With all three attention branches off, the whole forward is encoder +
+  // residual/norm + decoder: every stage shares the tape's rounding chain,
+  // so the fused path must agree bit-for-bit, not just within tolerance.
+  data::Dataset dataset = SmallDataset();
+  HireConfig config = SmallConfig();
+  config.use_user_attention = false;
+  config.use_item_attention = false;
+  config.use_attr_attention = false;
+  HireModel model(&dataset, config, /*seed=*/29);
+  model.SetTraining(false);
+  const InferenceModel fused(model);
+  InferenceArena arena;
+  graph::PredictionContext context = SmallContext(dataset, /*seed=*/13, 5, 7);
+  const Tensor tape = model.Predict(context);
+  const Tensor& out = fused.Predict(context, &arena);
+  ASSERT_TRUE(out.SameShape(tape));
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.flat(i), tape.flat(i)) << "flat index " << i;
+  }
+}
+
+TEST(InferenceForwardTest, ArenaReusesBlocksAndRewindsMarks) {
+  InferenceArena arena;
+  EXPECT_EQ(arena.growth_count(), 0);
+  float* a = arena.Alloc(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.growth_count(), 1);
+
+  const InferenceArena::Mark mark = arena.CurrentMark();
+  float* b = arena.Alloc(200);
+  arena.Rewind(mark);
+  float* c = arena.Alloc(200);
+  EXPECT_EQ(b, c) << "Rewind must hand back the same storage";
+
+  arena.Reset();
+  float* d = arena.Alloc(100);
+  EXPECT_EQ(a, d) << "Reset must hand back the same storage";
+  EXPECT_EQ(arena.growth_count(), 1) << "no growth after warm-up";
+  const int64_t capacity = arena.capacity_floats();
+  arena.Reset();
+  EXPECT_EQ(arena.capacity_floats(), capacity);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hire
+
+// ---------------------------------------------------------------------------
+// Zero-heap forward. Global operator new/delete are replaced (at global
+// scope, affecting this whole test binary) with counting versions so the
+// test below can assert that a warmed-up fused forward performs no heap
+// allocation at all — the acceptance criterion for the arena-backed serve
+// path. Counting is a single relaxed atomic per allocation, far too small
+// to perturb the other tests. Under AddressSanitizer the replacement is
+// compiled out — ASan's own new/delete interceptors flag a malloc-backed
+// operator new as an alloc-dealloc mismatch — and the test falls back to
+// the arena growth counter, which ASan does not perturb.
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+#define HIRE_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HIRE_TEST_ASAN 1
+#endif
+#endif
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+#if !defined(HIRE_TEST_ASAN)
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // !HIRE_TEST_ASAN
+
+namespace hire {
+namespace core {
+namespace {
+
+TEST(InferenceForwardTest, WarmForwardAllocatesZeroHeap) {
+  // Run single-threaded so every kernel executes inline; the parallel
+  // runtime's task submission is the one legitimate allocator on the hot
+  // path and the serve tier sizes it at startup, not per request.
+  SetGlobalThreads(1);
+  data::Dataset dataset = SmallDataset();
+  HireModel model(&dataset, SmallConfig(), /*seed=*/31);
+  model.SetTraining(false);
+  const InferenceModel fused(model);
+  InferenceArena arena;
+  // Default serve batch shape (BatcherConfig{}.context_users/items).
+  graph::PredictionContext context =
+      SmallContext(dataset, /*seed=*/19, 16, 16);
+
+  // Warm-up: grows the arena, faults in thread-local GEMM pack buffers,
+  // and sizes the output tensor.
+  fused.Predict(context, &arena);
+  fused.Predict(context, &arena);
+
+  const int64_t growth_before = arena.growth_count();
+  const uint64_t allocs_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  const Tensor& out = fused.Predict(context, &arena);
+  const uint64_t allocs_after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+#if !defined(HIRE_TEST_ASAN)
+  EXPECT_EQ(allocs_after, allocs_before)
+      << "a warmed-up fused forward must not touch the heap";
+#else
+  // ASan owns operator new here; the counter stays at zero by design.
+  EXPECT_EQ(allocs_after, allocs_before);
+#endif
+  EXPECT_EQ(arena.growth_count(), growth_before);
+  EXPECT_EQ(out.shape(0), 16);
+  EXPECT_EQ(out.shape(1), 16);
+  SetGlobalThreads(0);
 }
 
 }  // namespace

@@ -15,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/inference_forward.h"
 #include "data/synthetic.h"
 #include "graph/bipartite_graph.h"
+#include "graph/context_builder.h"
 #include "nn/serialize.h"
+#include "tensor/random.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -520,6 +523,79 @@ TEST(MicroBatcherTest, OutcomeCountersPartitionAllTraffic) {
   EXPECT_EQ(counter("serve.deadline_exceeded"), 1u)
       << "the 504 alias counter must track expired requests";
   batcher.Stop();
+}
+
+TEST(InferenceEngineTest, FusedSnapshotMatchesTapeModelOnBatchShapes) {
+  const data::Dataset dataset = SmallDataset(31);
+  InferenceEngine engine(&dataset, SmallConfig());
+  engine.Load(WriteModelSnapshot(dataset, 33, "fused_eq.snap"));
+  const auto snapshot = engine.Acquire();
+  ASSERT_NE(snapshot->inference, nullptr)
+      << "Load must pack the fused inference weights";
+
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  graph::NeighborhoodSampler sampler;
+  core::InferenceArena arena;
+  // Shapes the micro-batcher actually runs, including the default
+  // BatcherConfig context (16 x 16) used by /predict.
+  for (const auto& [n, m] : std::vector<std::pair<int64_t, int64_t>>{
+           {1, 8}, {4, 8}, {16, 16}, {16, 32}}) {
+    Rng rng(200 + n + m);
+    graph::PredictionContext context =
+        graph::BuildTrainingContext(graph, sampler, n, m, 0.3, &rng);
+    const Tensor tape = snapshot->model->Predict(context);
+    const Tensor& fused = snapshot->inference->Predict(context, &arena);
+    ASSERT_TRUE(fused.SameShape(tape));
+    for (int64_t i = 0; i < fused.size(); ++i) {
+      ASSERT_NEAR(fused.flat(i), tape.flat(i), 1e-5f)
+          << "n=" << n << " m=" << m << " flat index " << i;
+    }
+  }
+}
+
+TEST(InferenceEngineTest, PacksOncePerLoadNeverPerRequest) {
+  const data::Dataset dataset = SmallDataset(35);
+  const std::string model_a = WriteModelSnapshot(dataset, 36, "pack_a.snap");
+  const std::string model_b = WriteModelSnapshot(dataset, 37, "pack_b.snap");
+  InferenceEngine engine(&dataset, SmallConfig());
+  ContextCache cache(8);
+  graph::NeighborhoodSampler sampler;
+  graph::BipartiteGraph graph(dataset.num_users(), dataset.num_items(),
+                              dataset.ratings());
+  auto versioned =
+      std::make_shared<const VersionedGraph>(std::move(graph), /*version=*/1);
+
+  const auto before = obs::MetricsRegistry::Global().Take();
+  engine.Load(model_a);
+  engine.Load(model_b);  // hot-swap: second pack
+
+  BatcherConfig config;
+  config.batch_window_us = 0;
+  config.context_users = 8;
+  config.context_items = 8;
+  MicroBatcher batcher(config, &engine, &cache, &sampler,
+                       [versioned] { return versioned; });
+  batcher.Start();
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    const RatingResponse response =
+        batcher.Submit(1 + i % 5, {1, 2, 3}).get();
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+  batcher.Stop();
+
+  const auto delta = obs::MetricsRegistry::Global().Take().Delta(before);
+  auto histogram_count = [&delta](const std::string& name) -> uint64_t {
+    const auto it = delta.histograms.find(name);
+    return it == delta.histograms.end() ? 0 : it->second.count;
+  };
+  // Packing happened exactly once per Load while the forward-stage
+  // histogram shows every request ran a model forward — i.e. no request
+  // ever paid for weight packing.
+  EXPECT_EQ(histogram_count("serve.snapshot.pack_us"), 2u);
+  EXPECT_EQ(histogram_count("serve.stage.forward_us.served"),
+            static_cast<uint64_t>(kRequests));
 }
 
 TEST(MicroBatcherTest, BatchRevalidatesIdsAgainstTheGraphItRunsOn) {

@@ -471,6 +471,93 @@ TEST_F(ParallelKernelsTest, SumAxis0TiledPathBitwiseStable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fused inference primitives (GemmBiasAct, OnlineSoftmaxWeightedSum).
+// ---------------------------------------------------------------------------
+
+TEST(FusedKernelsTest, GemmBiasActMatchesUnfusedChainBitwise) {
+  Rng rng(31);
+  for (const auto& [n, k, m] : kGemmShapes) {
+    Tensor a = RandomNormal({n, k}, 0, 1, &rng);
+    Tensor b = RandomNormal({k, m}, 0, 1, &rng);
+    Tensor bias = RandomNormal({m}, 0, 1, &rng);
+    ExpectBitwiseEqual(ops::GemmBiasAct(a, b, bias),
+                       ops::AddBias(ops::MatMul(a, b), bias));
+  }
+}
+
+TEST(FusedKernelsTest, GemmBiasActEpilogueMatchesUnfusedActivations) {
+  Rng rng(32);
+  Tensor a = RandomNormal({9, 24}, 0, 1, &rng);
+  Tensor b = RandomNormal({24, 7}, 0, 1, &rng);
+  Tensor bias = RandomNormal({7}, 0, 1, &rng);
+  const Tensor linear = ops::AddBias(ops::MatMul(a, b), bias);
+  ExpectBitwiseEqual(
+      ops::GemmBiasAct(a, b, bias, ops::Activation::kSigmoid, 5.0f),
+      ops::MulScalar(ops::Sigmoid(linear), 5.0f));
+  ExpectBitwiseEqual(ops::GemmBiasAct(a, b, bias, ops::Activation::kRelu),
+                     ops::Relu(linear));
+}
+
+TEST(FusedKernelsTest, OnlineSoftmaxWeightedSumMatchesSoftmaxMatmul) {
+  Rng rng(33);
+  for (const auto& [batch, tokens, dim] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {1, 1, 4}, {2, 5, 3}, {4, 16, 16}, {3, 33, 7}}) {
+    Tensor q = RandomNormal({batch, tokens, dim}, 0, 1, &rng);
+    Tensor k = RandomNormal({batch, tokens, dim}, 0, 1, &rng);
+    Tensor v = RandomNormal({batch, tokens, dim}, 0, 1, &rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    const Tensor scores =
+        ops::MulScalar(ops::BatchedMatMulTransposedB(q, k), scale);
+    const Tensor reference = ops::BatchedMatMul(ops::Softmax(scores), v);
+    const Tensor fused = ops::OnlineSoftmaxWeightedSum(q, k, v, scale);
+    ASSERT_TRUE(fused.SameShape(reference));
+    // Only the softmax normalisation is re-associated by the single-pass
+    // rescaling; everything else shares the reference rounding chain.
+    for (int64_t i = 0; i < fused.size(); ++i) {
+      EXPECT_NEAR(fused.flat(i), reference.flat(i), 1e-5f)
+          << "flat index " << i;
+    }
+  }
+}
+
+TEST(FusedKernelsTest, OnlineSoftmaxOverwritesStaleOutputMemory) {
+  // The output row doubles as the accumulator; stale NaNs in the
+  // destination (an arena hands out dirty memory) must not leak in.
+  Rng rng(34);
+  Tensor q = RandomNormal({1, 3, 4}, 0, 1, &rng);
+  Tensor k = RandomNormal({1, 3, 4}, 0, 1, &rng);
+  Tensor v = RandomNormal({1, 3, 4}, 0, 1, &rng);
+  Tensor out({1, 3, 4});
+  out.Fill(std::numeric_limits<float>::quiet_NaN());
+  ops::OnlineSoftmaxWeightedSumInto(q.data(), 4, k.data(), 4, v.data(), 4,
+                                    out.data(), 4, /*tokens=*/3,
+                                    /*head_dim=*/4, 0.5f);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_FALSE(std::isnan(out.flat(i))) << "flat index " << i;
+  }
+}
+
+TEST_F(ParallelKernelsTest, FusedKernelsSerialVsThreaded) {
+  Rng rng(35);
+  Tensor a = RandomNormal({65, 48}, 0, 1, &rng);
+  Tensor b = RandomNormal({48, 33}, 0, 1, &rng);
+  Tensor bias = RandomNormal({33}, 0, 1, &rng);
+  Tensor q = RandomNormal({24, 17, 8}, 0, 1, &rng);
+  Tensor k = RandomNormal({24, 17, 8}, 0, 1, &rng);
+  Tensor v = RandomNormal({24, 17, 8}, 0, 1, &rng);
+  SetGlobalThreads(1);
+  const Tensor gemm1 = ops::GemmBiasAct(a, b, bias, ops::Activation::kRelu);
+  const Tensor attn1 = ops::OnlineSoftmaxWeightedSum(q, k, v, 0.25f);
+  for (const int threads : {2, 4, 7}) {
+    SetGlobalThreads(threads);
+    ExpectBitwiseEqual(ops::GemmBiasAct(a, b, bias, ops::Activation::kRelu),
+                       gemm1);
+    ExpectBitwiseEqual(ops::OnlineSoftmaxWeightedSum(q, k, v, 0.25f), attn1);
+  }
+}
+
 TEST_F(ParallelKernelsTest, BatchedMatMulSerialVsThreaded) {
   Rng rng(14);
   for (const int64_t batch : {1L, 3L, 32L}) {

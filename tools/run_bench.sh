@@ -13,6 +13,12 @@
 # and write BENCH_serve.json at the repo root:
 #   tools/run_bench.sh --serve [build_dir] [extra serve_loadgen flags...]
 #
+# Kernel mode: time the fused inference kernels (fused attention, GEMM
+# epilogue, online softmax, whole serve forward) against their tape
+# equivalents and write BENCH_kernels.json at the repo root — the baseline
+# the `kernel_regress` ctest gates against:
+#   tools/run_bench.sh --kernels [build_dir] [extra bench flags...]
+#
 # Scaling-check mode: run the micro-benchmarks to a throwaway JSON and FAIL
 # (nonzero exit) if any threaded row whose thread count fits the machine is
 # slower than the serial row beyond a tolerance (default 5%). Skipped with a
@@ -30,6 +36,9 @@ if [ "${1:-}" = "--trace" ]; then
   shift
 elif [ "${1:-}" = "--serve" ]; then
   mode="serve"
+  shift
+elif [ "${1:-}" = "--kernels" ]; then
+  mode="kernels"
   shift
 elif [ "${1:-}" = "--check-scaling" ]; then
   mode="check"
@@ -80,6 +89,15 @@ if [ "${mode}" = "serve" ]; then
     --out="${repo_root}/BENCH_serve.json" \
     "$@"
   echo "wrote ${repo_root}/BENCH_serve.json"
+  exit 0
+fi
+
+if [ "${mode}" = "kernels" ]; then
+  cmake --build "${build_dir}" --target bench_kernels -j "${nproc_count}"
+  "${build_dir}/bench/bench_kernels" \
+    --emit_json="${repo_root}/BENCH_kernels.json" \
+    "$@"
+  echo "wrote ${repo_root}/BENCH_kernels.json"
   exit 0
 fi
 
