@@ -239,6 +239,14 @@ MicroBatcher::MicroBatcher(
   // Register every outcome's stage histograms up front so /metrics shows the
   // full partition (with zero counts) from boot.
   EnsureServeStageMetrics();
+  if (!config_.metric_prefix.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    for (int o = 0; o < kNumRequestOutcomes; ++o) {
+      shard_outcome_[static_cast<size_t>(o)] = registry.GetCounter(
+          config_.metric_prefix + "outcome." +
+          RequestOutcomeName(static_cast<RequestOutcome>(o)));
+    }
+  }
 }
 
 MicroBatcher::~MicroBatcher() { Stop(); }
@@ -259,10 +267,22 @@ void MicroBatcher::Stop() {
 std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
                                                  std::vector<int64_t> items,
                                                  RequestDeadline deadline) {
+  auto promise = std::make_shared<std::promise<RatingResponse>>();
+  std::future<RatingResponse> future = promise->get_future();
+  SubmitAsync(user, std::move(items), deadline,
+              [promise](RatingResponse response) {
+                promise->set_value(std::move(response));
+              });
+  return future;
+}
+
+void MicroBatcher::SubmitAsync(int64_t user, std::vector<int64_t> items,
+                               RequestDeadline deadline, PredictCallback done) {
   const auto now = std::chrono::steady_clock::now();
   PendingRequest request;
   request.user = user;
   request.items = std::move(items);
+  request.done = std::move(done);
   request.enqueue_time = now;
   request.request_id = NextServeRequestId();
   request.trace_sampled = config_.trace_sample_every > 0 &&
@@ -276,25 +296,23 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
     request.deadline =
         now + std::chrono::milliseconds(config_.request_deadline_ms);
   }
-  std::future<RatingResponse> future = request.promise.get_future();
-
   if (request.items.empty()) {
     Resolve(&request, FailedResponse("bad request: empty item list"));
-    return future;
+    return;
   }
   if (static_cast<int64_t>(request.items.size()) > config_.context_items) {
     Resolve(&request, FailedResponse(
         "bad request: " + std::to_string(request.items.size()) +
         " items exceed the context item budget of " +
         std::to_string(config_.context_items)));
-    return future;
+    return;
   }
   // Admission deadline check: a request born expired never costs a queue
   // slot.
   if (request.deadline.has_value() && *request.deadline <= now) {
     Resolve(&request,
             FailedResponse("deadline exceeded: expired before admission"));
-    return future;
+    return;
   }
   // In-flight cap: shed before any work is queued rather than letting tail
   // latency grow without bound.
@@ -309,7 +327,7 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
         "overloaded: " + std::to_string(inflight_.load()) +
         " requests in flight (cap " + std::to_string(config_.max_inflight) +
         ")"));
-    return future;
+    return;
   }
 
   // Admission completes here: everything before this point (validation,
@@ -319,7 +337,7 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
   request.admitted = true;
   inflight_.fetch_add(1);
   if (!queue_.TryPush(std::move(request))) {
-    // TryPush guarantees `request` is untouched on failure, so the promise
+    // TryPush guarantees `request` is untouched on failure, so the callback
     // (and its in-flight slot) is still ours to resolve here.
     obs::MetricsRegistry::Global()
         .GetCounter("serve.shed.queue_full")
@@ -328,12 +346,11 @@ std::future<RatingResponse> MicroBatcher::Submit(int64_t user,
         .GetCounter("serve.requests_rejected")
         ->Increment();
     Resolve(&request, FailedResponse("overloaded: request queue is full"));
-    return future;
+    return;
   }
   obs::MetricsRegistry::Global()
       .GetGauge("serve.queue_depth")
       ->Set(static_cast<double>(queue_.size()));
-  return future;
 }
 
 namespace {
@@ -400,6 +417,7 @@ void MicroBatcher::Resolve(PendingRequest* request, RatingResponse response) {
   }
 
   response.request_id = request->request_id;
+  response.shard = config_.shard_index;
   response.latency_us = MicrosBetween(request->enqueue_time, now);
   StageBreakdown& stages = response.stages;
   // Requests resolved during admission (bad request, shed, born expired)
@@ -421,6 +439,9 @@ void MicroBatcher::Resolve(PendingRequest* request, RatingResponse response) {
 
   const RequestOutcome outcome = ClassifyOutcome(response);
   RecordOutcome(outcome);
+  if (shard_outcome_[0] != nullptr) {
+    shard_outcome_[static_cast<size_t>(outcome)]->Increment();
+  }
   RecordStageBreakdown(outcome, stages);
   StageMetrics().request_latency->Record(response.latency_us);
 
@@ -443,7 +464,7 @@ void MicroBatcher::Resolve(PendingRequest* request, RatingResponse response) {
                                       response);
   }
 
-  request->promise.set_value(std::move(response));
+  request->done(std::move(response));
 }
 
 RatingResponse MicroBatcher::DegradedResponse(
@@ -552,8 +573,14 @@ std::vector<MicroBatcher::PendingRequest> MicroBatcher::CollectBatch(
   batch.push_back(std::move(first));
   if (config_.batch_window_us <= 0) return batch;
 
+  // The window is anchored at dequeue, not enqueue: when the worker lags
+  // arrivals (many shard workers contending for few cores), an
+  // enqueue-anchored deadline has already passed by the time the batch
+  // opens, silently collapsing coalescing to singleton forwards. When the
+  // worker is idle the two anchors coincide, so unloaded latency is
+  // unchanged.
   const auto deadline =
-      batch.front().enqueue_time +
+      batch.front().dequeue_time +
       std::chrono::microseconds(config_.batch_window_us);
   while (static_cast<int64_t>(users.size()) < config_.max_batch_users) {
     std::optional<PendingRequest> next = queue_.PopUntil(deadline);

@@ -27,6 +27,16 @@ namespace serve {
 /// Absolute per-request deadline (nullopt = none).
 using RequestDeadline = std::optional<std::chrono::steady_clock::time_point>;
 
+struct RatingResponse;
+
+/// Completion callback for the async submit path. Invoked exactly once per
+/// request — from the submitting thread when the request resolves during
+/// admission (bad request, shed, born expired), otherwise from the batch
+/// worker thread — so it must be thread-safe and must not block: the batch
+/// worker resolving one request is on every co-batched neighbor's critical
+/// path.
+using PredictCallback = std::function<void(RatingResponse)>;
+
 /// One immutable published generation of the rating graph. Requests are
 /// answered against whichever generation is current when their batch runs;
 /// the version is part of the context-cache key. The per-user mean ratings
@@ -84,6 +94,7 @@ struct RatingResponse {
   int64_t graph_version = 0;
   double latency_us = 0.0;        // enqueue -> completion
   uint64_t request_id = 0;        // process-wide monotonic id
+  int shard = 0;                  // engine shard that answered
   StageBreakdown stages;          // per-stage latency attribution
 };
 
@@ -171,6 +182,14 @@ struct BatcherConfig {
   /// Requests whose total latency exceeds this budget log one structured
   /// warning line with their full stage breakdown (0 = disabled).
   int64_t slow_request_ms = 0;
+  /// Which engine shard this batcher belongs to (stamped into every
+  /// response so transports and chaos drills can attribute answers).
+  int shard_index = 0;
+  /// Metric-name prefix for per-shard counters (e.g. "serve.shard.0.").
+  /// When set, every resolved request also bumps
+  /// "<prefix>outcome.<outcome>" next to the global "serve.outcome.*"
+  /// partition; empty = single-shard metrics only.
+  std::string metric_prefix;
 };
 
 /// Dynamic micro-batcher: a bounded MPMC queue feeding one inference worker
@@ -198,11 +217,20 @@ class MicroBatcher {
   /// drained and served; only new submissions are rejected.
   void Stop();
 
-  /// Enqueues a request. The future resolves when its batch completes. When
-  /// admission control sheds it (queue full or in-flight cap), the future is
-  /// already resolved with an "overloaded" error (callers map that to 503);
-  /// a request whose deadline has already passed resolves "deadline
-  /// exceeded" (504). `deadline` overrides the configured default.
+  /// Enqueues a request; `done` is invoked exactly once when it resolves
+  /// (see PredictCallback for threading). When admission control sheds it
+  /// (queue full or in-flight cap), `done` runs before SubmitAsync returns,
+  /// with an "overloaded" error (callers map that to 503); a request whose
+  /// deadline has already passed resolves "deadline exceeded" (504).
+  /// `deadline` overrides the configured default. This is the primary submit
+  /// path: it never blocks the caller on batch formation or the forward,
+  /// which is what lets an event-loop transport keep thousands of requests
+  /// in flight per handler thread.
+  void SubmitAsync(int64_t user, std::vector<int64_t> items,
+                   RequestDeadline deadline, PredictCallback done);
+
+  /// Future-returning convenience wrapper over SubmitAsync for callers that
+  /// want to block (tests, the in-process load generator).
   std::future<RatingResponse> Submit(int64_t user, std::vector<int64_t> items,
                                      RequestDeadline deadline = std::nullopt);
 
@@ -217,7 +245,7 @@ class MicroBatcher {
   struct PendingRequest {
     int64_t user = 0;
     std::vector<int64_t> items;
-    std::promise<RatingResponse> promise;
+    PredictCallback done;
     std::chrono::steady_clock::time_point enqueue_time;
     RequestDeadline deadline;
     bool admitted = false;  // counted in inflight_
@@ -242,8 +270,9 @@ class MicroBatcher {
                     const VersionedGraph& versioned_graph,
                     const ModelSnapshot& snapshot);
 
-  /// Resolves one request: sets the promise, releases its in-flight slot,
-  /// and bumps exactly one outcome counter. Every request ends here.
+  /// Resolves one request: invokes its completion callback, releases its
+  /// in-flight slot, and bumps exactly one outcome counter. Every request
+  /// ends here.
   void Resolve(PendingRequest* request, RatingResponse response);
   /// Fallback (bias-table) answer for one request; always ok + degraded.
   RatingResponse DegradedResponse(const PendingRequest& request,
@@ -274,6 +303,10 @@ class MicroBatcher {
   BoundedQueue<PendingRequest> queue_;
   std::thread worker_;
   bool started_ = false;
+
+  /// Per-shard outcome counters ("<metric_prefix>outcome.<o>"), resolved
+  /// once at construction; all nullptr when no prefix is configured.
+  std::array<obs::Counter*, 5> shard_outcome_{};
 
   std::atomic<int64_t> inflight_{0};
 

@@ -1,0 +1,196 @@
+#ifndef HIRE_SERVE_EVENT_LOOP_H_
+#define HIRE_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/http_server.h"
+#include "utils/thread_pool.h"
+
+namespace hire {
+namespace serve {
+
+/// One readiness event from a Poller backend.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+/// Minimal readiness-notification abstraction: epoll on Linux, a poll(2) set
+/// everywhere else (or when HIRE_SERVE_EVENT_BACKEND=poll forces it, which
+/// the tests use to exercise both backends on one machine). Level-triggered
+/// on both backends, so a handler that drains only part of a socket's data
+/// is re-notified on the next wait.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual void Add(int fd, bool want_read, bool want_write) = 0;
+  virtual void Update(int fd, bool want_read, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Blocks up to `timeout_ms`; appends ready fds to `*events` (cleared
+  /// first). Returns the number of ready fds, 0 on timeout.
+  virtual int Wait(int timeout_ms, std::vector<PollEvent>* events) = 0;
+  virtual const char* name() const = 0;
+
+  /// Chooses the backend: epoll on Linux unless HIRE_SERVE_EVENT_BACKEND=poll
+  /// asks for the portable poll(2) set.
+  static std::unique_ptr<Poller> Create();
+};
+
+/// Single-threaded non-blocking accept/read/write front-end for the serving
+/// tier. One loop thread owns every connection fd and multiplexes them
+/// through a Poller; parsed requests are dispatched to a small handler pool
+/// and finished responses come back to the loop over a completion queue +
+/// self-pipe wakeup. Synchronous routes occupy a pool thread until they
+/// return; async routes (e.g. /predict waiting on its shard's micro-batch)
+/// free their pool thread as soon as the handler returns and complete from
+/// wherever the backend invokes `done` — so requests in flight are bounded
+/// by backend admission control, not by the handler thread count.
+/// Connections cost a buffer each rather than a thread each, which is what
+/// lets one process hold thousands of them.
+///
+/// Protocol semantics are identical to the old thread-per-connection server
+/// (same parser, same limits): keep-alive + pipelining, 400 on malformed
+/// heads, 408 + close when a started request breaches `header_timeout_ms`
+/// (slow-loris), silent close + "serve.http.idle_closed" when an idle
+/// keep-alive connection outlives `idle_timeout_ms`, injected connection
+/// resets dropped after dispatch. New at this layer: when `max_connections`
+/// > 0, an accept beyond the bound is answered 503 + Retry-After and closed
+/// immediately ("serve.http.over_capacity") instead of growing the fd table
+/// without limit.
+class HttpEventLoop {
+ public:
+  /// `routes` / `async_routes` are the finished route tables (the loop
+  /// never mutates them). `handler_threads` sizes the pool that runs route
+  /// handlers.
+  HttpEventLoop(int port, HttpServerOptions options, int handler_threads,
+                std::map<std::pair<std::string, std::string>, HttpHandler>
+                    routes,
+                std::map<std::pair<std::string, std::string>, HttpAsyncHandler>
+                    async_routes = {});
+  ~HttpEventLoop();
+
+  HttpEventLoop(const HttpEventLoop&) = delete;
+  HttpEventLoop& operator=(const HttpEventLoop&) = delete;
+
+  /// Binds 127.0.0.1, listens, spawns the loop thread. Throws on bind/listen
+  /// failure.
+  void Start();
+
+  /// Stops accepting, drains in-flight handlers and writes, joins the loop
+  /// and the pool. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+
+  /// Currently open connections (tests assert the --max-connections bound).
+  int open_connections() const { return open_connections_.load(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class ConnState { kReading, kHandling, kWriting };
+
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    ConnState state = ConnState::kReading;
+    std::string in;           // bytes read, may hold pipelined requests
+    std::string out;          // rendered response being written
+    size_t out_sent = 0;
+    bool request_started = false;  // first byte of a request arrived
+    bool keep_alive_next = true;   // keep-alive after the in-flight response
+    bool close_after_write = false;
+    Clock::time_point deadline;    // idle/read/write budget, state-dependent
+    Clock::time_point write_start;
+    std::function<void(double)> on_written;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    HttpResponse response;
+  };
+
+  /// Finished responses en route back to the loop thread. Shared (not a
+  /// plain member) because async `done` callbacks outlive the pool: a
+  /// request parked in a backend queue may resolve after the loop — or the
+  /// whole HttpEventLoop — is gone. Callbacks own the sink via shared_ptr
+  /// and check `wake_fd` under the mutex; once Stop() set it to -1 a late
+  /// completion is dropped, which is correct because every connection was
+  /// already closed.
+  struct CompletionSink {
+    std::mutex mutex;
+    std::vector<Completion> completions;
+    int wake_fd = -1;  // self-pipe write end; -1 once the loop is unreachable
+  };
+
+  /// Hands a completion to the loop thread (and wakes it); drops it when
+  /// the loop is gone. Thread-safe.
+  static void PushCompletion(const std::shared_ptr<CompletionSink>& sink,
+                             Completion completion);
+
+  void Run();
+  void AcceptNew();
+  void OnReadable(Connection& conn);
+  void OnWritable(Connection& conn);
+  /// Tries to cut one complete request out of conn.in: dispatches it to the
+  /// pool (kHandling), queues a 400 for malformed heads, or leaves the
+  /// connection reading. May close the connection (oversized head).
+  void TryParseAndDispatch(Connection& conn);
+  /// Renders and stages a response; the connection enters kWriting.
+  void QueueResponse(Connection& conn, const HttpResponse& response,
+                     bool keep_alive, bool close_after);
+  void FinishWrite(Connection& conn);
+  void SweepTimeouts(Clock::time_point now);
+  void DrainCompletions();
+  void CloseConnection(int fd);
+  void Wake();
+  int WaitTimeoutMs(Clock::time_point now) const;
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  const int requested_port_;
+  const HttpServerOptions options_;
+  const int handler_threads_;
+  const std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
+  const std::map<std::pair<std::string, std::string>, HttpAsyncHandler>
+      async_routes_;
+
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool listen_closed_ = false;
+
+  std::unique_ptr<Poller> poller_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  uint64_t next_conn_id_ = 1;
+  /// Loop-thread-only connection table. Completions address connections by
+  /// id, not fd, so a completion for a connection that died (and whose fd
+  /// number was reused by a new accept) is dropped instead of misdelivered.
+  std::unordered_map<int, Connection> connections_;
+  std::unordered_map<uint64_t, int> id_to_fd_;
+  std::atomic<int> open_connections_{0};
+
+  std::shared_ptr<CompletionSink> sink_;
+};
+
+}  // namespace serve
+}  // namespace hire
+
+#endif  // HIRE_SERVE_EVENT_LOOP_H_

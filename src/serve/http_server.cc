@@ -1,146 +1,12 @@
 #include "serve/http_server.h"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cctype>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <string>
 #include <utility>
 
-#include "obs/metrics.h"
+#include "serve/event_loop.h"
 #include "utils/check.h"
-#include "utils/fault_injection.h"
-#include "utils/logging.h"
 
 namespace hire {
 namespace serve {
-
-namespace {
-
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 408: return "Request Timeout";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    case 504: return "Gateway Timeout";
-    default: return "Unknown";
-  }
-}
-
-std::string ToLower(std::string text) {
-  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return text;
-}
-
-/// Sends the whole buffer, retrying on short writes and EINTR.
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    ReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  for (const auto& [name, value] : response.headers) {
-    out += name + ": " + value + "\r\n";
-  }
-  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
-  out += "\r\n";
-  out += response.body;
-  return out;
-}
-
-struct ParsedHead {
-  bool ok = false;
-  std::string method;
-  std::string path;
-  std::string query;
-  size_t content_length = 0;
-  bool keep_alive = true;  // HTTP/1.1 default
-  std::map<std::string, std::string> headers;  // names lower-cased
-};
-
-/// Parses the request line + headers in buffer[0, head_end).
-ParsedHead ParseHead(const std::string& buffer, size_t head_end) {
-  ParsedHead head;
-  const size_t line_end = buffer.find("\r\n");
-  if (line_end == std::string::npos || line_end > head_end) return head;
-
-  const std::string request_line = buffer.substr(0, line_end);
-  const size_t sp1 = request_line.find(' ');
-  const size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return head;
-  head.method = request_line.substr(0, sp1);
-  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = target.find('?');
-  if (query != std::string::npos) {
-    head.query = target.substr(query + 1);
-    target.resize(query);
-  }
-  head.path = target;
-  const std::string version = request_line.substr(sp2 + 1);
-  if (version == "HTTP/1.0") head.keep_alive = false;
-
-  size_t pos = line_end + 2;
-  while (pos < head_end) {
-    const size_t eol = buffer.find("\r\n", pos);
-    if (eol == std::string::npos || eol > head_end) break;
-    const std::string line = buffer.substr(pos, eol - pos);
-    pos = eol + 2;
-    const size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    const std::string name = ToLower(line.substr(0, colon));
-    size_t value_begin = colon + 1;
-    while (value_begin < line.size() && line[value_begin] == ' ') ++value_begin;
-    const std::string value = line.substr(value_begin);
-    head.headers[name] = value;
-    if (name == "content-length") {
-      try {
-        head.content_length = static_cast<size_t>(std::stoull(value));
-      } catch (const std::exception&) {
-        return head;  // ok stays false
-      }
-    } else if (name == "connection") {
-      const std::string lower = ToLower(value);
-      if (lower == "close") head.keep_alive = false;
-      if (lower == "keep-alive") head.keep_alive = true;
-    }
-  }
-  head.ok = true;
-  return head;
-}
-
-constexpr size_t kMaxHeadBytes = 16 * 1024;
-constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
-
-}  // namespace
 
 HttpServer::HttpServer(int port, int num_threads, HttpServerOptions options)
     : requested_port_(port), num_threads_(num_threads), options_(options) {
@@ -148,267 +14,43 @@ HttpServer::HttpServer(int port, int num_threads, HttpServerOptions options)
   HIRE_CHECK_GT(num_threads, 0);
   HIRE_CHECK_GT(options.idle_timeout_ms, 0);
   HIRE_CHECK_GT(options.header_timeout_ms, 0);
+  HIRE_CHECK_GE(options.max_connections, 0);
 }
 
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::AddRoute(const std::string& method, const std::string& path,
                           HttpHandler handler) {
-  HIRE_CHECK(!running_.load()) << "AddRoute must precede Start";
+  HIRE_CHECK(loop_ == nullptr) << "AddRoute must precede Start";
   HIRE_CHECK(handler != nullptr);
   routes_[{method, path}] = std::move(handler);
 }
 
+void HttpServer::AddAsyncRoute(const std::string& method,
+                               const std::string& path,
+                               HttpAsyncHandler handler) {
+  HIRE_CHECK(loop_ == nullptr) << "AddAsyncRoute must precede Start";
+  HIRE_CHECK(handler != nullptr);
+  async_routes_[{method, path}] = std::move(handler);
+}
+
 void HttpServer::Start() {
-  HIRE_CHECK(!running_.load()) << "server already started";
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  HIRE_CHECK_GE(listen_fd_, 0) << "socket() failed: " << std::strerror(errno);
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    HIRE_CHECK(false) << "bind(127.0.0.1:" << requested_port_
-                      << ") failed: " << error;
-  }
-  HIRE_CHECK_EQ(::listen(listen_fd_, 128), 0)
-      << "listen() failed: " << std::strerror(errno);
-
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  HIRE_CHECK_EQ(
-      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len),
-      0)
-      << "getsockname() failed: " << std::strerror(errno);
-  port_ = static_cast<int>(ntohs(bound.sin_port));
-
-  stopping_.store(false);
-  running_.store(true);
-  pool_ = std::make_unique<ThreadPool>(num_threads_);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  HIRE_LOG(Info) << "http server listening on 127.0.0.1:" << port_ << " ("
-                << num_threads_ << " connection threads)";
+  HIRE_CHECK(loop_ == nullptr) << "server already started";
+  loop_ = std::make_unique<HttpEventLoop>(requested_port_, options_,
+                                          num_threads_, routes_,
+                                          async_routes_);
+  loop_->Start();
+  port_ = loop_->port();
 }
 
 void HttpServer::Stop() {
-  if (!running_.load()) return;
-  stopping_.store(true);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Connection handlers notice stopping_ at their next request boundary;
-  // Wait() then drains whatever is still in flight.
-  if (pool_ != nullptr) {
-    pool_->Wait();
-    pool_.reset();
-  }
-  running_.store(false);
+  if (loop_ == nullptr) return;
+  loop_->Stop();
+  loop_.reset();
 }
 
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      HIRE_LOG(Warning) << "poll() failed: " << std::strerror(errno);
-      return;
-    }
-    if (ready == 0) continue;  // timeout: re-check the stop flag
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      continue;
-    }
-    obs::MetricsRegistry::Global()
-        .GetCounter("serve.http.connections")
-        ->Increment();
-    pool_->Submit([this, client] { HandleConnection(client); });
-  }
-}
-
-void HttpServer::HandleConnection(int fd) {
-  using Clock = std::chrono::steady_clock;
-  // Reads poll in short slices so an idle keep-alive connection notices a
-  // server Stop() within ~200ms; the actual budgets are explicit deadlines:
-  // idle_timeout_ms between requests, header_timeout_ms from the first byte
-  // of a request until its head + body are fully received (slow-loris
-  // defense — a dribbling client gets a 408 instead of pinning the thread).
-  timeval slice;
-  slice.tv_sec = 0;
-  slice.tv_usec = 200 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &slice, sizeof(slice));
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  enum class RecvStatus { kData, kClosed, kTimedOut };
-  // Fills `*got` from the socket, or reports why it couldn't. `idle_phase`
-  // connections end quietly on server shutdown.
-  const auto recv_some = [&](char* out, size_t cap, bool idle_phase,
-                             Clock::time_point deadline, ssize_t* got) {
-    while (true) {
-      const ssize_t n = ::recv(fd, out, cap, 0);
-      if (n > 0) {
-        *got = n;
-        return RecvStatus::kData;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (idle_phase && stopping_.load()) return RecvStatus::kClosed;
-        if (Clock::now() >= deadline) return RecvStatus::kTimedOut;
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      return RecvStatus::kClosed;  // EOF or hard error
-    }
-  };
-
-  std::string buffer;
-  char chunk[4096];
-  bool keep_alive = true;
-  while (keep_alive && !stopping_.load()) {
-    bool request_started = !buffer.empty();  // pipelined bytes already here
-    Clock::time_point idle_deadline =
-        Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
-    Clock::time_point read_deadline =
-        Clock::now() + std::chrono::milliseconds(options_.header_timeout_ms);
-
-    const auto read_more = [&](bool between_requests) {
-      ssize_t n = 0;
-      const bool idle_phase = between_requests && !request_started;
-      const RecvStatus status =
-          recv_some(chunk, sizeof(chunk), idle_phase,
-                    idle_phase ? idle_deadline : read_deadline, &n);
-      if (status == RecvStatus::kData) {
-        if (!request_started) {
-          request_started = true;
-          read_deadline = Clock::now() +
-                          std::chrono::milliseconds(options_.header_timeout_ms);
-        }
-        buffer.append(chunk, static_cast<size_t>(n));
-        return RecvStatus::kData;
-      }
-      return status;
-    };
-
-    // Read until the header terminator is buffered.
-    size_t head_end = buffer.find("\r\n\r\n");
-    bool failed = false;
-    while (head_end == std::string::npos) {
-      if (buffer.size() > kMaxHeadBytes) { ::close(fd); return; }
-      const RecvStatus status = read_more(/*between_requests=*/true);
-      if (status == RecvStatus::kTimedOut) {
-        if (request_started) {
-          obs::MetricsRegistry::Global()
-              .GetCounter("serve.http.request_read_timeouts")
-              ->Increment();
-          SendAll(fd, RenderResponse(
-                          {408, "application/json",
-                           "{\"error\":\"request read timed out\"}",
-                           {}},
-                          /*keep_alive=*/false));
-        } else {
-          obs::MetricsRegistry::Global()
-              .GetCounter("serve.http.idle_closed")
-              ->Increment();
-        }
-        failed = true;
-        break;
-      }
-      if (status == RecvStatus::kClosed) { failed = true; break; }
-      head_end = buffer.find("\r\n\r\n");
-    }
-    if (failed) { ::close(fd); return; }
-
-    const ParsedHead head = ParseHead(buffer, head_end);
-    if (!head.ok || head.content_length > kMaxBodyBytes) {
-      SendAll(fd, RenderResponse(
-                      {400, "application/json",
-                       "{\"error\":\"malformed request\"}",
-                       {}},
-                      /*keep_alive=*/false));
-      ::close(fd);
-      return;
-    }
-
-    const size_t body_begin = head_end + 4;
-    while (buffer.size() < body_begin + head.content_length) {
-      const RecvStatus status = read_more(/*between_requests=*/false);
-      if (status == RecvStatus::kTimedOut) {
-        obs::MetricsRegistry::Global()
-            .GetCounter("serve.http.request_read_timeouts")
-            ->Increment();
-        SendAll(fd, RenderResponse(
-                        {408, "application/json",
-                         "{\"error\":\"request read timed out\"}",
-                         {}},
-                        /*keep_alive=*/false));
-        failed = true;
-        break;
-      }
-      if (status == RecvStatus::kClosed) { failed = true; break; }
-    }
-    if (failed) { ::close(fd); return; }
-
-    HttpRequest request;
-    request.method = head.method;
-    request.path = head.path;
-    request.query = head.query;
-    request.headers = head.headers;
-    request.body = buffer.substr(body_begin, head.content_length);
-    buffer.erase(0, body_begin + head.content_length);  // keep any pipelined next request
-
-    HttpResponse response = Dispatch(request);
-    if (FaultInjector::Global().ConsumeServeConnectionReset()) {
-      obs::MetricsRegistry::Global()
-          .GetCounter("serve.http.injected_resets")
-          ->Increment();
-      break;  // drop the connection without sending the response
-    }
-    keep_alive = head.keep_alive;
-    const Clock::time_point write_start = Clock::now();
-    if (!SendAll(fd, RenderResponse(response, keep_alive))) break;
-    if (response.on_written) {
-      response.on_written(std::chrono::duration<double, std::micro>(
-                              Clock::now() - write_start)
-                              .count());
-    }
-  }
-  ::close(fd);
-}
-
-HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
-  const auto it = routes_.find({request.method, request.path});
-  if (it == routes_.end()) {
-    // Distinguish wrong-method from unknown-path for friendlier errors.
-    for (const auto& [key, handler] : routes_) {
-      if (key.second == request.path) {
-        return {405, "application/json", "{\"error\":\"method not allowed\"}"};
-      }
-    }
-    return {404, "application/json", "{\"error\":\"no such endpoint\"}"};
-  }
-  try {
-    return it->second(request);
-  } catch (const std::exception& error) {
-    obs::MetricsRegistry::Global()
-        .GetCounter("serve.http.handler_errors")
-        ->Increment();
-    return {500, "application/json",
-            "{\"error\":" + std::string("\"internal error\"") + "}"};
-  }
+int HttpServer::open_connections() const {
+  return loop_ == nullptr ? 0 : loop_->open_connections();
 }
 
 }  // namespace serve

@@ -1,19 +1,17 @@
 #ifndef HIRE_SERVE_HTTP_SERVER_H_
 #define HIRE_SERVE_HTTP_SERVER_H_
 
-#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "utils/thread_pool.h"
-
 namespace hire {
 namespace serve {
+
+class HttpEventLoop;
 
 struct HttpRequest {
   std::string method;  // upper-case: "GET", "POST", ...
@@ -47,6 +45,20 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// Completion callback handed to an async route handler. Safe to invoke
+/// from any thread, exactly once, at any time after the handler was entered
+/// (including synchronously inside it); invocations after the server
+/// stopped are dropped (the connection is already gone).
+using HttpDone = std::function<void(HttpResponse)>;
+
+/// Async route handler: instead of returning a response it receives `done`
+/// and may complete the request later, from another thread. This is what
+/// lets a route that waits on backend work (e.g. /predict waiting on its
+/// shard's micro-batch) hold thousands of requests in flight without
+/// pinning a handler thread per request.
+using HttpAsyncHandler =
+    std::function<void(const HttpRequest&, HttpDone done)>;
+
 /// Connection-hygiene budgets. Both defend the handler pool from stalled
 /// clients (slow-loris): a connection that sends nothing is closed after the
 /// idle budget, and one that dribbles a request without finishing it gets a
@@ -58,6 +70,10 @@ struct HttpServerOptions {
   /// Max time from the first byte of a request until its head and body are
   /// fully received; breaching it returns 408 and closes the connection.
   int header_timeout_ms = 2000;
+  /// Upper bound on concurrently open connections; an accept past the bound
+  /// is answered 503 + Retry-After and closed immediately
+  /// ("serve.http.over_capacity"). 0 = unbounded.
+  int max_connections = 0;
 };
 
 /// Minimal dependency-free HTTP/1.1 server on POSIX sockets, loopback only.
@@ -65,9 +81,11 @@ struct HttpServerOptions {
 /// request line + headers, Content-Length bodies, keep-alive. No TLS, no
 /// chunked transfer, no multipart.
 ///
-/// Connections are handled on a dedicated pool (`num_threads`), deliberately
-/// separate from the process-wide tensor pool so slow clients cannot starve
-/// model forwards. Handlers may run concurrently and must be thread-safe.
+/// Since the sharded serving tier this is a thin facade over HttpEventLoop
+/// (serve/event_loop.h): a single non-blocking loop thread owns every
+/// connection and `num_threads` sizes the handler pool that runs routes —
+/// connections cost a buffer each, not a thread each. Handlers may run
+/// concurrently and must be thread-safe.
 class HttpServer {
  public:
   /// `port` 0 picks an ephemeral port; read it back with port() after
@@ -83,6 +101,14 @@ class HttpServer {
   void AddRoute(const std::string& method, const std::string& path,
                 HttpHandler handler);
 
+  /// Registers an async handler (see HttpAsyncHandler): the handler's
+  /// handler-pool thread is freed as soon as it returns, and the response
+  /// is written whenever `done` fires. Every `done` must eventually be
+  /// invoked or its connection idles in the handling state until the client
+  /// gives up. Must be called before Start().
+  void AddAsyncRoute(const std::string& method, const std::string& path,
+                     HttpAsyncHandler handler);
+
   /// Binds, listens, and spawns the accept loop. Throws hire::CheckError on
   /// socket errors (e.g. port already in use).
   void Start();
@@ -94,22 +120,19 @@ class HttpServer {
   /// The bound port (valid after Start()).
   int port() const { return port_; }
 
- private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  HttpResponse Dispatch(const HttpRequest& request) const;
+  /// Currently open connections (0 when not running).
+  int open_connections() const;
 
+ private:
   const int requested_port_;
   const int num_threads_;
   const HttpServerOptions options_;
   int port_ = 0;
-  int listen_fd_ = -1;
 
   std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
+  std::map<std::pair<std::string, std::string>, HttpAsyncHandler>
+      async_routes_;
+  std::unique_ptr<HttpEventLoop> loop_;
 };
 
 }  // namespace serve

@@ -86,7 +86,18 @@ std::string RenderPredictResponse(int64_t user, const RatingResponse& r) {
          ",\"cache_hit\":" + std::string(r.cache_hit ? "true" : "false") +
          ",\"batch_users\":" + std::to_string(r.batch_users) +
          ",\"latency_us\":" + obs::JsonNumber(r.latency_us) +
-         ",\"request_id\":" + std::to_string(r.request_id) + "}";
+         ",\"request_id\":" + std::to_string(r.request_id) +
+         ",\"shard\":" + std::to_string(r.shard) + "}";
+  return out;
+}
+
+std::string JsonInt64Array(const std::vector<int64_t>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
   return out;
 }
 
@@ -128,18 +139,12 @@ RatingServer::RatingServer(const data::Dataset* dataset,
                            graph::BipartiteGraph graph,
                            const ServeConfig& config)
     : config_(config),
-      engine_(dataset, model_config),
-      cache_(config.cache_capacity),
-      batcher_(config.batcher, &engine_, &cache_, &sampler_,
-               [this] {
-                 std::lock_guard<std::mutex> lock(graph_mutex_);
-                 return current_graph_;
-               }),
+      router_(dataset, model_config, std::move(graph),
+              ShardRouterConfig{config.num_shards, config.cache_capacity,
+                                config.batcher}),
       http_(config.port, config.http_threads,
-            HttpServerOptions{config.idle_timeout_ms,
-                              config.header_timeout_ms}) {
-  current_graph_ =
-      std::make_shared<VersionedGraph>(std::move(graph), /*version=*/1);
+            HttpServerOptions{config.idle_timeout_ms, config.header_timeout_ms,
+                              config.max_connections}) {
   RegisterRoutes();
 }
 
@@ -148,13 +153,24 @@ RatingServer::~RatingServer() { Stop(); }
 void RatingServer::Start() {
   HIRE_CHECK(!started_) << "server already started";
   if (!config_.model_path.empty()) {
-    engine_.Load(config_.model_path);
+    const RollingReloadResult initial =
+        router_.RollingReload(config_.model_path);
+    std::string first_error;
+    for (const std::string& error : initial.errors) {
+      if (!error.empty()) {
+        first_error = error;
+        break;
+      }
+    }
+    HIRE_CHECK(initial.ok) << "initial model load failed on "
+                           << initial.failed_shards
+                           << " shard(s): " << first_error;
   } else {
     HIRE_LOG(Warning) << "starting with no model: serving degraded "
                          "(bias-table) predictions until /reload publishes "
                          "a snapshot";
   }
-  batcher_.Start();
+  router_.Start();
   http_.Start();
   if (config_.stats_tick_ms > 0) {
     {
@@ -175,7 +191,7 @@ void RatingServer::Stop() {
   stats_cv_.notify_all();
   if (stats_thread_.joinable()) stats_thread_.join();
   http_.Stop();
-  batcher_.Stop();
+  router_.Stop();
   started_ = false;
 }
 
@@ -190,8 +206,10 @@ obs::MetricsRegistry::Snapshot RatingServer::TakeMetricsSnapshot() {
   // carries a consistent uptime and the currently published versions.
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetGauge("serve.uptime_seconds")->Set(UptimeSeconds());
+  // The fleet's published version is the conservative minimum; each shard
+  // also keeps its own serve.shard.<i>.model_version gauge current.
   registry.GetGauge("serve.model_version")
-      ->Set(static_cast<double>(engine_.version()));
+      ->Set(static_cast<double>(router_.min_model_version()));
   registry.GetGauge("serve.graph_version")
       ->Set(static_cast<double>(graph_version()));
   return registry.Take();
@@ -241,68 +259,43 @@ RatingResponse RatingServer::Predict(int64_t user, std::vector<int64_t> items,
 
 std::future<RatingResponse> RatingServer::PredictAsync(
     int64_t user, std::vector<int64_t> items, RequestDeadline deadline) {
-  // Bounds-check against the entity universe up front: the context
-  // assembler indexes attribute tables by id and must never see a
-  // out-of-range one.
-  int64_t num_users = 0;
-  int64_t num_items = 0;
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    num_users = current_graph_->graph.num_users();
-    num_items = current_graph_->graph.num_items();
-  }
-  std::string error;
-  if (user < 0 || user >= num_users) {
-    error = "bad request: user " + std::to_string(user) +
-            " outside [0, " + std::to_string(num_users) + ")";
-  } else {
-    for (int64_t item : items) {
-      if (item < 0 || item >= num_items) {
-        error = "bad request: item " + std::to_string(item) +
-                " outside [0, " + std::to_string(num_items) + ")";
-        break;
-      }
-    }
-  }
-  if (!error.empty()) {
-    // Rejected before the batcher ever saw it, so account the outcome here
-    // (the batcher's Resolve() accounts everything it admits).
-    std::promise<RatingResponse> rejected;
-    RatingResponse response;
-    response.ok = false;
-    response.error = std::move(error);
-    RecordOutcome(ClassifyOutcome(response));
-    rejected.set_value(std::move(response));
-    return rejected.get_future();
-  }
-  return batcher_.Submit(user, std::move(items), deadline);
+  // The router owns id validation and per-shard/global outcome accounting.
+  return router_.Submit(user, std::move(items), deadline);
 }
 
 int64_t RatingServer::Reload(const std::string& snapshot_path) {
+  const RollingReloadResult result = ReloadDetailed(snapshot_path);
+  if (!result.ok) {
+    std::string message = std::to_string(result.failed_shards) +
+                          " shard(s) rejected the snapshot:";
+    for (size_t i = 0; i < result.errors.size(); ++i) {
+      if (result.errors[i].empty()) continue;
+      message += " [shard " + std::to_string(i) + "] " + result.errors[i];
+    }
+    throw std::runtime_error(message);
+  }
+  return result.version;
+}
+
+RollingReloadResult RatingServer::ReloadDetailed(
+    const std::string& snapshot_path) {
   const std::string& path =
       snapshot_path.empty() ? config_.model_path : snapshot_path;
   HIRE_CHECK(!path.empty()) << "no model path to reload";
-  // Chaos hook: when HIRE_FAULT_SERVE_CORRUPT_RELOAD is armed this flips a
-  // bit in the snapshot file, and the CRC check in Load must reject it
-  // while the previously published snapshot keeps serving.
+  // Chaos hook (fleet-wide knob, explicit reloads only — never the boot
+  // load): when HIRE_FAULT_SERVE_CORRUPT_RELOAD is armed this flips a bit in
+  // the snapshot file itself, so every shard's CRC check must reject it and
+  // the whole fleet keeps its previous snapshots.
   FaultInjector::Global().MaybeCorruptServeReload(path);
-  return engine_.Load(path);
+  return router_.RollingReload(path);
 }
 
 void RatingServer::UpdateGraph(graph::BipartiteGraph graph) {
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    current_graph_ = std::make_shared<VersionedGraph>(
-        std::move(graph), current_graph_->version + 1);
-  }
-  cache_.InvalidateAll();
-  obs::MetricsRegistry::Global().GetCounter("serve.graph_updates")->Increment();
-  HIRE_LOG(Info) << "published graph v" << graph_version();
+  router_.UpdateGraph(std::move(graph));
 }
 
 int64_t RatingServer::graph_version() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  return current_graph_->version;
+  return router_.graph_version();
 }
 
 void RatingServer::RequestShutdown() {
@@ -320,7 +313,13 @@ bool RatingServer::WaitForShutdown(int timeout_ms) {
 }
 
 void RatingServer::RegisterRoutes() {
-  http_.AddRoute("POST", "/predict", [this](const HttpRequest& request) {
+  // Async route: the handler thread is released as soon as the request is
+  // in its shard's queue, and the response is completed from the batcher's
+  // resolve callback. Requests in flight are therefore bounded by per-shard
+  // admission control (queue + max-inflight), not by --http-threads — the
+  // property that lets every shard keep full batches under load.
+  http_.AddAsyncRoute("POST", "/predict", [this](const HttpRequest& request,
+                                                 HttpDone done) {
     int64_t user = 0;
     std::vector<int64_t> items;
     std::string error;
@@ -328,8 +327,9 @@ void RatingServer::RegisterRoutes() {
       // Never reaches the batcher; account the failure here so the outcome
       // counters still partition all /predict traffic.
       RecordOutcome(RequestOutcome::kFailed);
-      return HttpResponse{400, "application/json",
-                          "{\"error\":" + obs::JsonString(error) + "}"};
+      done(HttpResponse{400, "application/json",
+                        "{\"error\":" + obs::JsonString(error) + "}"});
+      return;
     }
     // Per-request deadline override: X-Deadline-Ms is a relative budget,
     // converted to an absolute deadline at admission.
@@ -340,46 +340,59 @@ void RatingServer::RegisterRoutes() {
       const long long ms = std::strtoll(header->second.c_str(), &end, 10);
       if (end == header->second.c_str() || ms <= 0) {
         RecordOutcome(RequestOutcome::kFailed);
-        return HttpResponse{
+        done(HttpResponse{
             400, "application/json",
             "{\"error\":\"bad request: X-Deadline-Ms must be a positive "
-            "integer\"}"};
+            "integer\"}"});
+        return;
       }
       deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(ms);
     }
-    RatingResponse response = Predict(user, std::move(items), deadline);
-    // Serialize and socket-write happen after the batcher resolved the
-    // request, so the transport attributes those two stages itself, under
-    // the same outcome the batcher recorded.
-    const RequestOutcome outcome = ClassifyOutcome(response);
-    const auto serialize_start = std::chrono::steady_clock::now();
-    HttpResponse http =
-        response.ok ? HttpResponse{200, "application/json",
-                                   RenderPredictResponse(user, response)}
-                    : ErrorResponse(response);
-    RecordStageLatency(outcome, RequestStage::kSerialize,
-                       std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - serialize_start)
-                           .count());
-    http.on_written = [outcome](double write_micros) {
-      RecordStageLatency(outcome, RequestStage::kWrite, write_micros);
-    };
-    return http;
+    router_.SubmitAsync(
+        user, std::move(items), deadline,
+        [user, done = std::move(done)](RatingResponse response) {
+          // Serialize and socket-write happen after the batcher resolved
+          // the request, so the transport attributes those two stages
+          // itself, under the same outcome the batcher recorded.
+          const RequestOutcome outcome = ClassifyOutcome(response);
+          const auto serialize_start = std::chrono::steady_clock::now();
+          HttpResponse http =
+              response.ok ? HttpResponse{200, "application/json",
+                                         RenderPredictResponse(user, response)}
+                          : ErrorResponse(response);
+          RecordStageLatency(
+              outcome, RequestStage::kSerialize,
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - serialize_start)
+                  .count());
+          http.on_written = [outcome](double write_micros) {
+            RecordStageLatency(outcome, RequestStage::kWrite, write_micros);
+          };
+          done(std::move(http));
+        });
   });
 
   http_.AddRoute("GET", "/healthz", [this](const HttpRequest&) {
     // Liveness stays 200 even without a model: the server still answers
-    // (degraded), and restart-looping it would not help.
-    const bool degraded = !engine_.loaded() || batcher_.circuit_open();
+    // (degraded), and restart-looping it would not help. "degraded" means
+    // ANY shard lacks a model or has its breaker open; the top-level
+    // model_version is the conservative fleet minimum and shard_versions
+    // breaks it out per shard.
+    const bool all_loaded = router_.all_loaded();
+    const bool any_open = router_.any_circuit_open();
+    const bool degraded = !all_loaded || any_open;
     std::string body =
         std::string("{\"status\":") + (degraded ? "\"degraded\"" : "\"ok\"") +
-        ",\"model_loaded\":" + (engine_.loaded() ? "true" : "false") +
-        ",\"circuit_open\":" + (batcher_.circuit_open() ? "true" : "false") +
-        ",\"model_version\":" + std::to_string(engine_.version()) +
+        ",\"model_loaded\":" + (all_loaded ? "true" : "false") +
+        ",\"circuit_open\":" + (any_open ? "true" : "false") +
+        ",\"model_version\":" + std::to_string(router_.min_model_version()) +
         ",\"graph_version\":" + std::to_string(graph_version()) +
-        ",\"inflight\":" + std::to_string(batcher_.inflight()) +
-        ",\"queue_depth\":" + std::to_string(batcher_.queue_depth()) + "}";
+        ",\"inflight\":" + std::to_string(router_.total_inflight()) +
+        ",\"queue_depth\":" + std::to_string(router_.total_queue_depth()) +
+        ",\"shards\":" + std::to_string(router_.num_shards()) +
+        ",\"shard_versions\":" + JsonInt64Array(router_.ShardModelVersions()) +
+        "}";
     return HttpResponse{200, "application/json", body};
   });
 
@@ -413,10 +426,29 @@ void RatingServer::RegisterRoutes() {
       obs::FindJsonStringField(request.body, "model", &path);
     }
     try {
-      const int64_t version = Reload(path);
-      return HttpResponse{200, "application/json",
-                          "{\"model_version\":" + std::to_string(version) +
-                              "}"};
+      const RollingReloadResult result = ReloadDetailed(path);
+      const std::string versions = JsonInt64Array(result.shard_versions);
+      if (result.ok) {
+        return HttpResponse{
+            200, "application/json",
+            "{\"model_version\":" + std::to_string(result.version) +
+                ",\"shard_versions\":" + versions + "}"};
+      }
+      // Partial failure: shards that swapped keep the new snapshot, the sick
+      // ones keep serving their previous one (or degrade) — 500 tells the
+      // operator the roll did not fully land.
+      std::string message;
+      for (size_t i = 0; i < result.errors.size(); ++i) {
+        if (result.errors[i].empty()) continue;
+        if (!message.empty()) message += "; ";
+        message += "shard " + std::to_string(i) + ": " + result.errors[i];
+      }
+      return HttpResponse{
+          500, "application/json",
+          "{\"error\":" + obs::JsonString(message) +
+              ",\"failed_shards\":" + std::to_string(result.failed_shards) +
+              ",\"model_version\":" + std::to_string(result.version) +
+              ",\"shard_versions\":" + versions + "}"};
     } catch (const std::exception& error) {
       return HttpResponse{500, "application/json",
                           "{\"error\":" +

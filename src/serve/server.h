@@ -13,12 +13,12 @@
 #include "core/hire_config.h"
 #include "data/dataset.h"
 #include "graph/bipartite_graph.h"
-#include "graph/samplers.h"
+#include "obs/window.h"
 #include "serve/batcher.h"
 #include "serve/context_cache.h"
-#include "obs/window.h"
 #include "serve/http_server.h"
 #include "serve/inference_engine.h"
+#include "serve/shard_router.h"
 
 namespace hire {
 namespace serve {
@@ -26,9 +26,17 @@ namespace serve {
 struct ServeConfig {
   /// HTTP listen port; 0 picks an ephemeral port (read back via port()).
   int port = 0;
-  /// Connection-handling threads (separate from the tensor pool).
+  /// Handler threads for the HTTP event loop (separate from the tensor
+  /// pool).
   int http_threads = 4;
-  /// Context-plan LRU capacity (entries).
+  /// Engine shards behind this server. Each shard owns its own
+  /// InferenceEngine + ContextCache + MicroBatcher; /predict routes by
+  /// user-id consistent hashing (see serve/shard_router.h).
+  int num_shards = 1;
+  /// Upper bound on concurrently open HTTP connections; accepts past the
+  /// bound are answered 503 + Retry-After at accept time. 0 = unbounded.
+  int max_connections = 0;
+  /// Context-plan LRU capacity (total entries, split across shards).
   size_t cache_capacity = 1024;
   /// Initial HIRESNAP checkpoint to publish; also the default for /reload
   /// requests that name no model. Empty = boot with no model and serve
@@ -44,15 +52,17 @@ struct ServeConfig {
   BatcherConfig batcher;
 };
 
-/// The assembled serving stack: InferenceEngine (hot-swappable model
-/// snapshot) + ContextCache + MicroBatcher + HttpServer, plus the in-process
-/// request path used by tests and the load generator.
+/// The assembled serving stack: a ShardRouter (N engine shards, each its own
+/// hot-swappable InferenceEngine + ContextCache + MicroBatcher) behind one
+/// HttpServer event-loop front-end, plus the in-process request path used by
+/// tests and the load generator.
 ///
 /// Endpoints:
-///   POST /predict  {"user":u,"items":[i,...]} -> predictions
-///   GET  /healthz  liveness + published versions
-///   GET  /metrics  full obs::MetricsRegistry snapshot (JSON)
-///   POST /reload   {"model":path}? -> hot-swap to a new checkpoint
+///   POST /predict  {"user":u,"items":[i,...]} -> predictions (+"shard")
+///   GET  /healthz  liveness + published versions (+"shard_versions")
+///   GET  /metrics  full obs::MetricsRegistry snapshot (JSON), including the
+///                  per-shard serve.shard.<i>.* series
+///   POST /reload   {"model":path}? -> rolling hot-swap, one shard at a time
 ///   POST /shutdown graceful stop (the CLI main loop watches
 ///                  WaitForShutdown)
 class RatingServer {
@@ -66,8 +76,9 @@ class RatingServer {
   RatingServer(const RatingServer&) = delete;
   RatingServer& operator=(const RatingServer&) = delete;
 
-  /// Loads config.model_path (when set), then starts the batcher worker and
-  /// the HTTP listener. Throws hire::CheckError on load/bind failure.
+  /// Loads config.model_path into every shard (when set), then starts the
+  /// shard batcher workers and the HTTP listener. Throws hire::CheckError on
+  /// load/bind failure.
   void Start();
   void Stop();
 
@@ -83,14 +94,20 @@ class RatingServer {
                                            RequestDeadline deadline =
                                                std::nullopt);
 
-  /// Hot-swaps to `snapshot_path` (empty = config.model_path). Returns the
-  /// new model version. A failed load (missing file, corrupt HIRESNAP)
-  /// throws and leaves the previously published snapshot serving.
+  /// Rolling hot-swap to `snapshot_path` (empty = config.model_path), one
+  /// shard at a time. Returns the new (min) model version. Throws when any
+  /// shard rejected the snapshot (missing file, corrupt HIRESNAP); shards
+  /// that already swapped keep the new snapshot, the failed ones keep their
+  /// previous one serving.
   int64_t Reload(const std::string& snapshot_path);
 
-  /// Publishes a new rating-graph generation: bumps the graph version (so
-  /// cached context plans can never be served against the old graph) and
-  /// eagerly drops the cache.
+  /// Like Reload but never throws: the full per-shard outcome, for the
+  /// /reload endpoint's response body.
+  RollingReloadResult ReloadDetailed(const std::string& snapshot_path);
+
+  /// Publishes a new rating-graph generation to every shard: bumps the graph
+  /// version (so cached context plans can never be served against the old
+  /// graph) and eagerly drops each shard's cache.
   void UpdateGraph(graph::BipartiteGraph graph);
   int64_t graph_version() const;
 
@@ -99,9 +116,12 @@ class RatingServer {
   /// Waits up to `timeout_ms` for a shutdown request; true once requested.
   bool WaitForShutdown(int timeout_ms);
 
-  InferenceEngine& engine() { return engine_; }
-  ContextCache& cache() { return cache_; }
-  MicroBatcher& batcher() { return batcher_; }
+  ShardRouter& router() { return router_; }
+  int num_shards() const { return router_.num_shards(); }
+  /// Single-shard compatibility accessors (shard 0).
+  InferenceEngine& engine() { return router_.engine(0); }
+  ContextCache& cache() { return router_.cache(0); }
+  MicroBatcher& batcher() { return router_.batcher(0); }
 
   /// Seconds since this server was constructed.
   double UptimeSeconds() const;
@@ -119,14 +139,7 @@ class RatingServer {
   const ServeConfig config_;
   const std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
-  InferenceEngine engine_;
-  ContextCache cache_;
-  graph::NeighborhoodSampler sampler_;
-
-  mutable std::mutex graph_mutex_;
-  std::shared_ptr<const VersionedGraph> current_graph_;
-
-  MicroBatcher batcher_;
+  ShardRouter router_;
   HttpServer http_;
 
   std::mutex shutdown_mutex_;

@@ -23,6 +23,7 @@ void FaultInjector::Reset() {
   bitflip_checkpoint_ = false;
   serve_slow_handler_ms_ = 0;
   serve_corrupt_reload_ = false;
+  serve_corrupt_reload_shard_.store(-1);
   serve_reset_every_ = 0;
   serve_reset_counter_.store(0);
   serve_stall_client_ms_ = 0;
@@ -50,6 +51,10 @@ void FaultInjector::LoadFromEnv() {
   }
   if (const char* value = std::getenv("HIRE_FAULT_SERVE_CORRUPT_RELOAD")) {
     serve_corrupt_reload_ = std::string(value) != "0";
+  }
+  if (const char* value =
+          std::getenv("HIRE_FAULT_SERVE_CORRUPT_RELOAD_SHARD")) {
+    serve_corrupt_reload_shard_.store(ParseInt64(value));
   }
   if (const char* value = std::getenv("HIRE_FAULT_SERVE_RESET_EVERY")) {
     serve_reset_every_ = ParseInt64(value);
@@ -84,6 +89,10 @@ void FaultInjector::ArmServeCorruptReload(bool on) {
   serve_corrupt_reload_ = on;
 }
 
+void FaultInjector::ArmServeCorruptReloadShard(int64_t shard) {
+  serve_corrupt_reload_shard_.store(shard);
+}
+
 void FaultInjector::ArmServeResetEvery(int64_t every) {
   serve_reset_every_ = every;
   serve_reset_counter_.store(0);
@@ -104,6 +113,18 @@ void FaultInjector::MaybeCorruptServeReload(const std::string& path) {
   FlipFileBit(path, size / 2, 2);
   HIRE_LOG(Warning) << "fault injection: corrupted snapshot '" << path
                     << "' before reload";
+}
+
+bool FaultInjector::ConsumeServeCorruptReloadShard(int64_t shard) {
+  int64_t armed = serve_corrupt_reload_shard_.load();
+  while (armed >= 0 && armed == shard) {
+    if (serve_corrupt_reload_shard_.compare_exchange_weak(armed, -1)) {
+      HIRE_LOG(Warning) << "fault injection: corrupting reload for shard "
+                        << shard << " (one-shot)";
+      return true;
+    }
+  }
+  return false;
 }
 
 bool FaultInjector::ConsumeServeConnectionReset() {

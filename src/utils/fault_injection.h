@@ -36,6 +36,14 @@ namespace hire {
 ///                                     /reload names before it is read (the
 ///                                     CRC check must reject it and the old
 ///                                     model must stay published)
+///   HIRE_FAULT_SERVE_CORRUPT_RELOAD_SHARD=k  one-shot: corrupt the snapshot
+///                                     only for engine shard k's next reload
+///                                     (on a private copy, so the other
+///                                     shards still read the intact file);
+///                                     the sick shard must degrade to the
+///                                     bias-table fallback while the rest of
+///                                     the fleet serves, and the following
+///                                     reload must recover it
 ///   HIRE_FAULT_SERVE_RESET_EVERY=k    close every k-th HTTP connection
 ///                                     without sending the response
 ///                                     (client sees a connection reset)
@@ -64,6 +72,7 @@ class FaultInjector {
   void ArmBitflipCheckpoint(bool on);
   void ArmServeSlowHandler(int64_t ms);
   void ArmServeCorruptReload(bool on);
+  void ArmServeCorruptReloadShard(int64_t shard);
   void ArmServeResetEvery(int64_t every);
   void ArmServeStallClient(int64_t ms);
   void ArmServeFailForward(int64_t count);
@@ -96,6 +105,12 @@ class FaultInjector {
   /// calls this on the snapshot file a /reload names, before reading it.
   void MaybeCorruptServeReload(const std::string& path);
 
+  /// True exactly once when `shard` matches the armed
+  /// HIRE_FAULT_SERVE_CORRUPT_RELOAD_SHARD index, then disarms (so the next
+  /// rolling reload recovers the shard). The shard router corrupts a private
+  /// copy of the snapshot for that shard only.
+  bool ConsumeServeCorruptReloadShard(int64_t shard);
+
   /// True every k-th call when reset-every is armed: the HTTP server should
   /// close this connection without sending the response. Thread-safe (the
   /// connection pool calls it concurrently).
@@ -114,6 +129,7 @@ class FaultInjector {
   bool bitflip_checkpoint_ = false;
   int64_t serve_slow_handler_ms_ = 0;
   bool serve_corrupt_reload_ = false;
+  std::atomic<int64_t> serve_corrupt_reload_shard_{-1};
   int64_t serve_reset_every_ = 0;
   std::atomic<int64_t> serve_reset_counter_{0};
   int64_t serve_stall_client_ms_ = 0;

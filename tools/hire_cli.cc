@@ -99,7 +99,14 @@ serve:
                        degraded (bias-table predictions) until a /reload
   --port <int>         HTTP listen port on 127.0.0.1 (0 = ephemeral; the
                        bound port is printed as "SERVE_LISTENING port=N")
-  --http-threads <int>      connection-handling threads (4)
+  --shards <int>       engine shards behind this server; each owns its own
+                       hot-swappable model snapshot, context cache, and
+                       micro-batcher, and /predict routes by user-id
+                       consistent hashing (1)
+  --http-threads <int>      handler threads for the HTTP event loop (4)
+  --max-connections <int>   open-connection bound; accepts past it get an
+                            immediate 503 + Retry-After instead of growing
+                            the fd table (0 = unbounded)
   --batch-window-us <int>   micro-batching window; requests arriving within
                             it share one model forward (2000; 0 = one
                             context per request)
@@ -132,11 +139,17 @@ serve:
                             period (1000; 0 = off)
 
   endpoints: POST /predict {"user":u,"items":[i,...]}   rating predictions
+                  (response carries "shard", the engine shard that answered)
              GET  /healthz                              liveness + versions
+                  (fleet-min "model_version" plus per-shard
+                  "shard_versions":[...])
              GET  /metrics                              metrics registry JSON
                   (?format=prometheus or /metrics/prometheus for text
-                  exposition)
-             POST /reload {"model":path}?               hot-swap checkpoint
+                  exposition; merged serve.* totals plus per-shard
+                  serve.shard.<i>.routed / .outcome.* / .model_version)
+             POST /reload {"model":path}?               rolling hot-swap, one
+                  shard at a time; 500 + "failed_shards" when any shard
+                  rejects the snapshot (the rest still swap)
              POST /shutdown                             graceful stop
 )";
 
@@ -332,7 +345,10 @@ int Serve(const Flags& flags) {
 
   serve::ServeConfig config;
   config.port = static_cast<int>(flags.GetInt("port", 0));
+  config.num_shards = static_cast<int>(flags.GetInt("shards", 1));
   config.http_threads = static_cast<int>(flags.GetInt("http-threads", 4));
+  config.max_connections =
+      static_cast<int>(flags.GetInt("max-connections", 0));
   config.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity", 1024));
   config.model_path = model_path;

@@ -81,11 +81,17 @@ if [ "${mode}" = "serve" ]; then
   "${build_dir}/tools/hire_cli" train \
     --profile=movielens --scale=0.2 --steps=40 --context=16 \
     --log-every=0 --out="${work}/model.bin"
+  # The open-loop sweep offers a geometric RPS ladder to a single-shard and
+  # a 4-shard server (so the saturation knee is visible per config) while
+  # 2000 idle connections stay open to prove fd scale on the event loop.
   "${build_dir}/tools/serve_loadgen" --mode=bench \
     --model="${work}/model.bin" \
     --profile=movielens --scale=0.2 --context=16 \
     --clients=8 --requests-per-client=25 --items-per-request=3 \
     --batch-window-us=2000 \
+    --shards=4 --open-loop-steps=5 --open-loop-base-rps=100 \
+    --open-loop-duration-s=2 --open-loop-connections=64 \
+    --idle-connections=2000 \
     --out="${repo_root}/BENCH_serve.json" \
     "$@"
   echo "wrote ${repo_root}/BENCH_serve.json"

@@ -18,7 +18,7 @@ set -u
 SOURCE_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${2:-$SOURCE_DIR/build-sanitize}"
 SANITIZERS="${HIRE_SANITIZERS:-address,undefined}"
-TESTS=(utils_test core_test serve_test)
+TESTS=(utils_test core_test serve_test shard_test)
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
@@ -40,4 +40,14 @@ for test in "${TESTS[@]}"; do
   "$BUILD_DIR/tests/$test" || fail "$test reported sanitizer findings"
 done
 
-echo "PASS: ${TESTS[*]} clean under $SANITIZERS"
+# The chaos drill drives the whole serving tier — event-loop front-end,
+# shard router, rolling reloads, fault injection — through real sockets, so
+# a sanitized pass covers the code paths unit tests cannot reach.
+cmake --build "$BUILD_DIR" -j --target hire_cli serve_loadgen \
+    || fail "build (serve drill binaries)"
+echo "running serve_chaos drill under $SANITIZERS"
+bash "$SOURCE_DIR/tools/run_serve_chaos.sh" \
+    "$BUILD_DIR/tools/hire_cli" "$BUILD_DIR/tools/serve_loadgen" \
+    || fail "serve_chaos reported sanitizer findings"
+
+echo "PASS: ${TESTS[*]} + serve_chaos clean under $SANITIZERS"

@@ -12,6 +12,9 @@
 #      malformed 200
 #   F  stalled (slow-loris) client        -> 408 cut-off while a parallel
 #      healthy probe still answers
+#   G  corrupt reload scoped to one shard -> the sick shard degrades to
+#      user-mean fallbacks while the other three keep serving the model,
+#      and the next /reload heals it
 #
 # Each phase boots a fresh server because fault knobs are read from the
 # environment at process start.
@@ -234,4 +237,61 @@ METRICS="$("$LOADGEN" --mode=probe --port="$PORT" --path=/metrics)" \
     || fail "serve.http.request_read_timeouts never moved"
 stop_server
 
-echo "PASS: deadlines, shedding, degradation, corrupt reload, resets, and slow-loris all held"
+# ---------------------------------------------------------------------------
+echo "phase G: corrupt reload scoped to shard 1 -> fleet keeps serving"
+# Boot a 4-shard fleet with NO model so the sick shard has nothing to fall
+# back on: after the poisoned roll it must answer degraded while the other
+# three serve the freshly loaded model.
+export HIRE_FAULT_SERVE_CORRUPT_RELOAD_SHARD=1
+start_server "$WORK/g.log" --shards=4  # no --model
+OUT="$("$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/reload \
+    --body="{\"model\":\"$WORK/model.bin\"}" 2>/dev/null)"
+echo "$OUT" | grep -q "PROBE_STATUS 500" \
+    || fail "a roll with one sick shard must answer 500, got: $OUT"
+echo "$OUT" | grep -q '"failed_shards":1' \
+    || fail "expected exactly one failed shard: $OUT"
+echo "$OUT" | grep -q '"shard_versions":\[1,0,1,1\]' \
+    || fail "expected shard 1 left at v0, rest at v1: $OUT"
+HEALTH="$("$LOADGEN" --mode=probe --port="$PORT" --path=/healthz)" \
+    || fail "sick-fleet /healthz"
+echo "$HEALTH" | grep -q '"status":"degraded"' \
+    || fail "healthz must report degraded while a shard is unloaded: $HEALTH"
+# Walk the user universe: every user answers 200, users routed to shard 1
+# get tagged degraded fallbacks, everyone else gets real model predictions.
+SICK=0
+HEALTHY=0
+for user in $(seq 0 29); do
+  OUT="$("$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/predict \
+      --body="{\"user\":$user,\"items\":[1,2]}")" \
+      || fail "predict for user $user on the sick fleet"
+  if echo "$OUT" | grep -q '"shard":1[,}]'; then
+    echo "$OUT" | grep -q '"degraded":true' \
+        || fail "user $user on the sick shard was not degraded: $OUT"
+    SICK=$((SICK + 1))
+  else
+    echo "$OUT" | grep -q '"degraded":false' \
+        || fail "user $user on a healthy shard was degraded: $OUT"
+    HEALTHY=$((HEALTHY + 1))
+  fi
+done
+[ "$SICK" -gt 0 ] || fail "no user routed to the sick shard"
+[ "$HEALTHY" -gt 0 ] || fail "no user routed to a healthy shard"
+# The fault is one-shot: the next roll heals shard 1 and the fleet reports
+# healthy again.
+"$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/reload \
+    --body="{\"model\":\"$WORK/model.bin\"}" >"$WORK/g_heal.log" \
+    || { cat "$WORK/g_heal.log" >&2; fail "healing /reload"; }
+grep -q '"shard_versions":\[2,1,2,2\]' "$WORK/g_heal.log" \
+    || fail "healing roll must publish on every shard: $(cat "$WORK/g_heal.log")"
+HEALTH="$("$LOADGEN" --mode=probe --port="$PORT" --path=/healthz)" \
+    || fail "healed-fleet /healthz"
+echo "$HEALTH" | grep -q '"status":"ok"' \
+    || fail "fleet must report ok after the healing roll: $HEALTH"
+METRICS="$("$LOADGEN" --mode=probe --port="$PORT" --path=/metrics)" \
+    || fail "phase G /metrics"
+[ "$(metrics_counter "$METRICS" serve.reload.shard_failures)" -eq 1 ] \
+    || fail "serve.reload.shard_failures must count the one sick swap"
+stop_server
+unset HIRE_FAULT_SERVE_CORRUPT_RELOAD_SHARD
+
+echo "PASS: deadlines, shedding, degradation, corrupt reload, resets, slow-loris, and the sick-shard roll all held"

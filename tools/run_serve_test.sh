@@ -108,4 +108,79 @@ SERVER_PID=""
 grep -q '"name":"req#[0-9]*/total"' "$WORK/serve_trace.json" \
     || fail "trace has no req#<id>/total spans"
 
-echo "PASS: hot-swap under load, metrics, shutdown, and telemetry all check out"
+# --------------------------------------------------------------------------
+# Sharded pass: the same drill against a 4-shard fleet behind the event-loop
+# front-end. Checks shard-aware /healthz, per-shard routing counters that
+# sum to the total traffic, and a rolling /reload with zero failed requests.
+# --------------------------------------------------------------------------
+"$CLI" serve "${SHAPE[@]}" --model="$WORK/model_a.bin" --port=0 --shards=4 \
+    --context=8 --batch-window-us=2000 --max-batch-users=4 \
+    >"$WORK/serve_sharded.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^SERVE_LISTENING port=\([0-9]*\)$/\1/p' "$WORK/serve_sharded.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve_sharded.log" >&2; fail "sharded server exited before listening"; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "sharded server never printed SERVE_LISTENING"
+
+HEALTH="$("$LOADGEN" --mode=probe --port="$PORT" --path=/healthz)" \
+    || fail "sharded /healthz probe"
+echo "$HEALTH" | grep -q '"shards":4' \
+    || fail "expected \"shards\":4 in healthz, got: $HEALTH"
+echo "$HEALTH" | grep -q '"shard_versions":\[1,1,1,1\]' \
+    || fail "expected shard_versions [1,1,1,1], got: $HEALTH"
+
+"$LOADGEN" --mode=drive --port="$PORT" --clients=4 --requests-per-client=100 \
+    --max-user=30 --max-item=25 --items-per-request=3 \
+    >"$WORK/drive_sharded.log" 2>&1 &
+DRIVE_PID=$!
+
+# Rolling hot-swap across all four shards while the drive is in flight.
+sleep 0.3
+"$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/reload \
+    --body="{\"model\":\"$WORK/model_b.bin\"}" >/dev/null \
+    || fail "mid-flight rolling /reload"
+
+wait "$DRIVE_PID" || { cat "$WORK/drive_sharded.log" >&2; fail "sharded drive had failed requests across the rolling swap"; }
+
+HEALTH="$("$LOADGEN" --mode=probe --port="$PORT" --path=/healthz)" \
+    || fail "post-roll /healthz probe"
+echo "$HEALTH" | grep -q '"model_version":2' \
+    || fail "expected fleet model_version 2 after rolling reload, got: $HEALTH"
+echo "$HEALTH" | grep -q '"shard_versions":\[2,2,2,2\]' \
+    || fail "expected every shard at version 2, got: $HEALTH"
+
+METRICS="$("$LOADGEN" --mode=probe --port="$PORT" --path=/metrics)" \
+    || fail "sharded /metrics probe"
+ROUTED_SUM=0
+NONZERO_SHARDS=0
+for i in 0 1 2 3; do
+  ROUTED="$(echo "$METRICS" | grep -o "\"serve.shard.$i.routed\":[0-9]*" | grep -o '[0-9]*$')"
+  [ -n "$ROUTED" ] || fail "serve.shard.$i.routed missing from /metrics"
+  ROUTED_SUM=$((ROUTED_SUM + ROUTED))
+  [ "$ROUTED" -gt 0 ] && NONZERO_SHARDS=$((NONZERO_SHARDS + 1))
+done
+REQUESTS="$(echo "$METRICS" | grep -o '"serve.requests":[0-9]*' | grep -o '[0-9]*$')"
+[ "$ROUTED_SUM" -eq "$REQUESTS" ] \
+    || fail "per-shard routed counters ($ROUTED_SUM) do not sum to serve.requests ($REQUESTS)"
+[ "$NONZERO_SHARDS" -ge 2 ] \
+    || fail "drive traffic landed on $NONZERO_SHARDS shard(s); expected a spread"
+
+"$LOADGEN" --mode=probe --port="$PORT" --method=POST --path=/shutdown \
+    >/dev/null || fail "sharded /shutdown probe"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  kill "$SERVER_PID"
+  fail "sharded server did not exit after /shutdown"
+fi
+wait "$SERVER_PID" || { cat "$WORK/serve_sharded.log" >&2; fail "sharded server exited non-zero"; }
+SERVER_PID=""
+
+echo "PASS: hot-swap under load, metrics, shutdown, telemetry, and the 4-shard rolling-reload pass all check out"

@@ -16,8 +16,12 @@
 //
 // Metrics: p50/p95/p99 (request latency; value suffix us|ms|s, default us),
 //          qps, degraded/shed/expired/failed (outcome shares; suffix % or a
-//          plain fraction), cache_hit (share).
+//          plain fraction), cache_hit (share), balance (hottest shard's
+//          routed traffic over a uniform spread; 1.0 = even).
 // Ops: < <= > >=
+//
+// Against a multi-shard server each row gains a second line with the
+// per-shard routed split for that window and its max/uniform ratio.
 //
 // Prints "SLO_PASS <expr> actual=<v>" / "SLO_FAIL <expr> actual=<v>" lines
 // for scripts, and exits 0 (all pass), 1 (violation), 2 (usage/scrape
@@ -64,6 +68,7 @@ struct Scrape {
   double batched_users = 0.0;
   double cache_hits = 0.0;
   double cache_misses = 0.0;
+  std::vector<double> shard_routed;  // serve.shard.<i>.routed, per shard
   obs::HistogramSnapshot latency;
 
   double total_requests() const {
@@ -134,6 +139,14 @@ Scrape ParseScrape(const std::string& body) {
                            &scrape.cache_hits);
   obs::FindJsonNumberField(body, "serve.context_cache.misses",
                            &scrape.cache_misses);
+  double num_shards = 0.0;
+  obs::FindJsonNumberField(body, "serve.shards", &num_shards);
+  for (int shard = 0; shard < static_cast<int>(num_shards); ++shard) {
+    double routed = 0.0;
+    obs::FindJsonNumberField(
+        body, "serve.shard." + std::to_string(shard) + ".routed", &routed);
+    scrape.shard_routed.push_back(routed);
+  }
   scrape.ok =
       ParseHistogram(body, "serve.request_latency_us", &scrape.latency);
   return scrape;
@@ -150,9 +163,24 @@ struct WindowStats {
   double outcome_delta[5] = {0, 0, 0, 0, 0};
   double batch_occupancy = 0.0;  // mean users per forward
   double cache_hit_rate = 0.0;
+  std::vector<double> shard_routed_delta;  // per-shard routed, this window
 
   double share(int outcome) const {
     return requests > 0 ? outcome_delta[outcome] / requests : 0.0;
+  }
+
+  /// Hottest shard's share of routed traffic relative to a perfectly even
+  /// spread (1.0 = uniform; 2.0 = one shard saw twice its fair share).
+  double shard_balance() const {
+    if (shard_routed_delta.size() < 2) return 1.0;
+    double total = 0.0;
+    double hottest = 0.0;
+    for (double routed : shard_routed_delta) {
+      total += routed;
+      hottest = std::max(hottest, routed);
+    }
+    if (total <= 0.0) return 1.0;
+    return hottest / (total / static_cast<double>(shard_routed_delta.size()));
   }
 };
 
@@ -178,7 +206,25 @@ WindowStats Diff(const Scrape& before, const Scrape& after) {
   const double hits = after.cache_hits - before.cache_hits;
   const double misses = after.cache_misses - before.cache_misses;
   stats.cache_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  if (before.shard_routed.size() == after.shard_routed.size()) {
+    for (size_t i = 0; i < after.shard_routed.size(); ++i) {
+      stats.shard_routed_delta.push_back(after.shard_routed[i] -
+                                         before.shard_routed[i]);
+    }
+  }
   return stats;
+}
+
+/// One extra line under a row for multi-shard servers: the per-shard routed
+/// split this window and how far the hottest shard sits above uniform.
+void PrintShardBalance(const WindowStats& stats) {
+  if (stats.shard_routed_delta.size() < 2) return;
+  std::printf("  shards routed=[");
+  for (size_t i = 0; i < stats.shard_routed_delta.size(); ++i) {
+    std::printf("%s%.0f", i == 0 ? "" : ",", stats.shard_routed_delta[i]);
+  }
+  std::printf("] max/uniform=%.2f\n", stats.shard_balance());
+  std::fflush(stdout);
 }
 
 void PrintHeader() {
@@ -269,7 +315,7 @@ bool ParseSloCheck(const std::string& expr, SloCheck* out) {
 
   return IsLatencyMetric(metric) || metric == "qps" || metric == "served" ||
          metric == "degraded" || metric == "shed" || metric == "expired" ||
-         metric == "failed" || metric == "cache_hit";
+         metric == "failed" || metric == "cache_hit" || metric == "balance";
 }
 
 double SloActual(const SloCheck& check, const WindowStats& stats) {
@@ -283,6 +329,7 @@ double SloActual(const SloCheck& check, const WindowStats& stats) {
   if (check.metric == "expired") return stats.share(3);
   if (check.metric == "failed") return stats.share(4);
   if (check.metric == "cache_hit") return stats.cache_hit_rate;
+  if (check.metric == "balance") return stats.shard_balance();
   return 0.0;
 }
 
@@ -350,12 +397,15 @@ int main(int argc, char** argv) {
     for (int64_t i = 0; i < scrapes; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
       if (!scrape_once(&last)) return 2;
-      PrintRow("w" + std::to_string(i + 1), Diff(previous, last));
+      const WindowStats window = Diff(previous, last);
+      PrintRow("w" + std::to_string(i + 1), window);
+      PrintShardBalance(window);
       previous = last;
     }
 
     const WindowStats aggregate = Diff(baseline, last);
     PrintRow("total", aggregate);
+    PrintShardBalance(aggregate);
     if (aggregate.requests <= 0) {
       std::cout << "warning: no requests observed; latency SLOs are vacuous\n";
     }
